@@ -1,0 +1,25 @@
+//! Criterion bench for E1: every strategy answering the bound ancestor
+//! query on a chain (one benchmark per strategy).
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new(workload::ancestor(), workload::chain("par", 200)).unwrap();
+    let query = parse_atom("anc(n100, X)").unwrap();
+
+    let mut g = c.benchmark_group("e1_ancestor_chain200_bf");
+    g.sample_size(20);
+    for s in Strategy::ALL {
+        g.bench_function(s.name(), |b| {
+            b.iter(|| black_box(engine.query(&query, s).unwrap().answers.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for E2: every strategy on the bound same-generation
+//! query over the classical tree EDB.
+
+use alexander_core::{Engine, Strategy};
+use alexander_ir::{Atom, Symbol, Term};
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (edb, seed) = workload::sg_tree(6);
+    let engine = Engine::new(workload::same_generation(), edb).unwrap();
+    let query = Atom {
+        pred: Symbol::intern("sg"),
+        terms: vec![Term::Const(seed), Term::var("Y")],
+    };
+
+    let mut g = c.benchmark_group("e2_same_generation_tree6_bf");
+    g.sample_size(20);
+    for s in Strategy::ALL {
+        g.bench_function(s.name(), |b| {
+            b.iter(|| black_box(engine.query(&query, s).unwrap().answers.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

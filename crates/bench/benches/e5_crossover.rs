@@ -1,0 +1,31 @@
+//! Criterion bench for E5: the all-free crossover — plain semi-naive vs the
+//! rewritings when the query binds nothing.
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new(workload::ancestor(), workload::chain("par", 120)).unwrap();
+    let query = parse_atom("anc(X, Y)").unwrap();
+
+    let mut g = c.benchmark_group("e5_crossover_chain120_ff");
+    g.sample_size(10);
+    for s in [
+        Strategy::SemiNaive,
+        Strategy::Magic,
+        Strategy::SupplementaryMagic,
+        Strategy::Alexander,
+        Strategy::Oldt,
+    ] {
+        g.bench_function(s.name(), |b| {
+            b.iter(|| black_box(engine.query(&query, s).unwrap().answers.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E6: the conditional fixpoint on win–move games.
+
+use alexander_eval::eval_conditional;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let program = workload::win_move();
+    let dag = workload::random_dag("move", 100, 250, 6);
+    let cyc = workload::random_graph("move", 100, 250, 6);
+
+    let mut g = c.benchmark_group("e6_winmove_100nodes");
+    g.sample_size(10);
+    g.bench_function("conditional_dag", |b| {
+        b.iter(|| black_box(eval_conditional(&program, &dag).unwrap().db.total_tuples()))
+    });
+    g.bench_function("conditional_cyclic", |b| {
+        b.iter(|| black_box(eval_conditional(&program, &cyc).unwrap().undefined.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for F1: strategy runtime vs chain length (the figure's
+//! series, one benchmark per point).
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_chain_sweep_bf");
+    g.sample_size(10);
+    for n in [50usize, 100, 200, 400] {
+        let engine = Engine::new(workload::ancestor(), workload::chain("par", n)).unwrap();
+        let query = parse_atom("anc(n0, X)").unwrap();
+        for s in [
+            Strategy::SemiNaive,
+            Strategy::Magic,
+            Strategy::SupplementaryMagic,
+            Strategy::Alexander,
+            Strategy::Oldt,
+        ] {
+            g.bench_with_input(BenchmarkId::new(s.name(), n), &n, |b, _| {
+                b.iter(|| black_box(engine.query(&query, s).unwrap().answers.len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

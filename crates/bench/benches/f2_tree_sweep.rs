@@ -1,0 +1,35 @@
+//! Criterion bench for F2: strategy runtime vs same-generation tree depth.
+
+use alexander_core::{Engine, Strategy};
+use alexander_ir::{Atom, Symbol, Term};
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_tree_sweep_bf");
+    g.sample_size(10);
+    for depth in [4usize, 5, 6] {
+        let (edb, seed) = workload::sg_tree(depth);
+        let engine = Engine::new(workload::same_generation(), edb).unwrap();
+        let query = Atom {
+            pred: Symbol::intern("sg"),
+            terms: vec![Term::Const(seed), Term::var("Y")],
+        };
+        for s in [
+            Strategy::SemiNaive,
+            Strategy::Magic,
+            Strategy::SupplementaryMagic,
+            Strategy::Alexander,
+            Strategy::Oldt,
+        ] {
+            g.bench_with_input(BenchmarkId::new(s.name(), depth), &depth, |b, _| {
+                b.iter(|| black_box(engine.query(&query, s).unwrap().answers.len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for F3: conditional-fixpoint runtime vs win–move game
+//! size, acyclic vs cyclic series.
+
+use alexander_eval::eval_conditional;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let program = workload::win_move();
+    let mut g = c.benchmark_group("f3_negation_sweep");
+    g.sample_size(10);
+    for n in [40usize, 80, 160] {
+        let dag = workload::random_dag("move", n, n * 5 / 2, n as u64);
+        let cyc = workload::random_graph("move", n, n * 5 / 2, n as u64);
+        g.bench_with_input(BenchmarkId::new("dag", n), &n, |b, _| {
+            b.iter(|| black_box(eval_conditional(&program, &dag).unwrap().db.total_tuples()))
+        });
+        g.bench_with_input(BenchmarkId::new("cyclic", n), &n, |b, _| {
+            b.iter(|| black_box(eval_conditional(&program, &cyc).unwrap().undefined.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The experiment harness: regenerates every table and figure.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness               # run all experiments, print markdown
+//! harness e3 e4         # run selected experiments
+//! harness --list        # list experiment ids
+//! harness --json        # print JSON instead of markdown
+//! ```
+
+use alexander_bench::experiments;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let list = args.iter().any(|a| a == "--list");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if list {
+        for id in experiments::IDS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let tables = if ids.is_empty() {
+        eprintln!("running all {} experiments…", experiments::IDS.len());
+        experiments::all()
+    } else {
+        let mut out = Vec::new();
+        for id in ids {
+            match experiments::by_id(id) {
+                Some(t) => out.push(t),
+                None => {
+                    eprintln!("unknown experiment `{id}`; try --list");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if json {
+        serde_json::to_writer_pretty(&mut lock, &tables).expect("write json");
+        writeln!(lock).ok();
+    } else {
+        for t in &tables {
+            writeln!(lock, "{t}").expect("write table");
+        }
+    }
+}

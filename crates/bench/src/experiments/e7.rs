@@ -1,0 +1,105 @@
+//! E7 (Table 7): loose stratification — the analysis ladder on programs the
+//! plain stratifier rejects.
+
+use crate::table::Table;
+use alexander_eval::{eval_conditional, eval_stratified};
+use alexander_ir::analysis::{locally_stratified, loosely_stratified, stratify};
+use alexander_ir::Program;
+use alexander_parser::parse;
+use alexander_storage::Database;
+
+fn analyse(name: &str, program: &Program, edb_src: &str) -> Vec<String> {
+    let parsed = parse(edb_src).expect("edb parses");
+    let mut with_facts = program.clone();
+    with_facts.facts = parsed.program.facts.clone();
+    let edb = Database::from_program(&with_facts);
+
+    let strat = stratify(program).is_ok();
+    let loose = loosely_stratified(program).is_ok();
+    let local = locally_stratified(&with_facts, &[]).is_ok();
+    let stratified_runs = eval_stratified(program, &edb).is_ok();
+    let cond = eval_conditional(program, &edb).expect("conditional always runs");
+
+    vec![
+        name.to_string(),
+        yn(strat),
+        yn(loose),
+        yn(local),
+        yn(stratified_runs),
+        format!("yes ({} undefined)", cond.undefined.len()),
+    ]
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7",
+        "the stratification ladder: stratified ⊂ loosely stratified ⊂ decided-by-conditional-fixpoint",
+        "Bry's loose stratification admits programs whose negation recursion \
+         is broken by constant guards at the atom level. The guard program is \
+         rejected by the stratifier but accepted by the loose/local analyses \
+         and fully decided by the conditional fixpoint; win–move over an \
+         acyclic graph fails even the loose test yet is still decided (its \
+         ground instantiation is stratified); win–move over a cycle is \
+         genuinely undefined at the cycle.",
+        &[
+            "program",
+            "stratified",
+            "loosely strat.",
+            "locally strat. (EDB)",
+            "stratified eval runs",
+            "conditional decides",
+        ],
+    );
+
+    t.row(analyse(
+        "reach/unreach (stratified)",
+        &alexander_workload::reach_unreach(),
+        "edge(s, a). node(s). node(a). node(z). source(s).",
+    ));
+    t.row(analyse(
+        "loose guard p(X,a) :- q(X,Y), s(Z,X), !p(Z,b)",
+        &alexander_workload::loose_guard(),
+        "q(c, d). s(e2, c).",
+    ));
+    t.row(analyse(
+        "win-move on a chain",
+        &alexander_workload::win_move(),
+        "move(a, b). move(b, c). move(c, d).",
+    ));
+    t.row(analyse(
+        "win-move on a 2-cycle",
+        &alexander_workload::win_move(),
+        "move(a, b). move(b, a).",
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_strictly_ordered() {
+        let t = run();
+        let row = |name: &str| t.rows.iter().find(|r| r[0].starts_with(name)).unwrap();
+        // Stratified program: yes everywhere.
+        assert_eq!(row("reach")[1], "yes");
+        assert_eq!(row("reach")[2], "yes");
+        // Loose guard: not stratified, loosely + locally stratified.
+        assert_eq!(row("loose guard")[1], "no");
+        assert_eq!(row("loose guard")[2], "yes");
+        assert_eq!(row("loose guard")[3], "yes");
+        assert_eq!(row("loose guard")[4], "no");
+        // Acyclic win-move: not even loosely stratified, but locally so and
+        // fully decided.
+        assert_eq!(row("win-move on a chain")[2], "no");
+        assert_eq!(row("win-move on a chain")[3], "yes");
+        assert!(row("win-move on a chain")[5].contains("(0 undefined)"));
+        // Cyclic win-move: undefined residue.
+        assert!(!row("win-move on a 2-cycle")[5].contains("(0 undefined)"));
+    }
+}

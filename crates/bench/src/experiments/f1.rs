@@ -1,0 +1,81 @@
+//! F1 (Figure 1): runtime and facts vs chain length, bound ancestor query.
+//!
+//! The "figure" is emitted as a table with one row per (size, strategy)
+//! point; each strategy is one series.
+
+use crate::table::{ms, timed, Table};
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+
+/// The sweep sizes.
+pub const SIZES: [usize; 5] = [50, 100, 200, 400, 800];
+
+/// The strategies plotted.
+pub const SERIES: [Strategy; 5] = [
+    Strategy::SemiNaive,
+    Strategy::Magic,
+    Strategy::SupplementaryMagic,
+    Strategy::Alexander,
+    Strategy::Oldt,
+];
+
+pub fn run() -> Table {
+    run_with(&SIZES)
+}
+
+/// Parameterised sweep (tests use small sizes).
+pub fn run_with(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "F1",
+        "figure: ancestor(n0, X) vs chain length n (series = strategy)",
+        "Querying from the chain's head is the rewritings' worst case: every \
+         node is demanded, so all strategies are O(n²) in facts and the \
+         goal-directed series pay only constant-factor overheads (compare \
+         E1, where the query starts mid-chain and the gap is 5x). Expected \
+         shape: all series quadratic, tightly clustered, OLDT cheapest by a \
+         small margin.",
+        &["n", "strategy", "answers", "facts", "inferences", "time_ms"],
+    );
+
+    for &n in sizes {
+        let engine = Engine::new(workload::ancestor(), workload::chain("par", n)).unwrap();
+        let q = parse_atom("anc(n0, X)").unwrap();
+        for s in SERIES {
+            let (r, d) = timed(|| engine.query(&q, s).unwrap());
+            let inferences = r
+                .report
+                .eval
+                .map(|m| m.firings)
+                .or(r.report.oldt.map(|m| m.resolution_steps))
+                .unwrap_or(0);
+            t.row(vec![
+                n.to_string(),
+                s.name().to_string(),
+                r.answers.len().to_string(),
+                r.report.facts_materialised.to_string(),
+                inferences.to_string(),
+                ms(d),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_scale_linearly_and_agree() {
+        let sizes = [20usize, 40];
+        let t = run_with(&sizes);
+        for n in sizes {
+            let rows: Vec<_> = t.rows.iter().filter(|r| r[0] == n.to_string()).collect();
+            assert_eq!(rows.len(), SERIES.len());
+            for r in &rows {
+                assert_eq!(r[2], n.to_string(), "{r:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Experiment tables: the harness's output format.
+//!
+//! Every experiment produces a [`Table`]; the harness renders them as
+//! GitHub-flavoured markdown (for EXPERIMENTS.md) and optionally as JSON
+//! (for diffing runs).
+
+use serde::Serialize;
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"` or `"F2"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the experiment demonstrates (one paragraph).
+    pub note: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given id/title/columns.
+    pub fn new(
+        id: &str,
+        title: &str,
+        note: &str,
+        columns: &[&str],
+    ) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            note: note.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.note)?;
+        writeln!(f)?;
+        // Column widths for aligned markdown.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render_row(&self.columns, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Milliseconds with two decimals — the tables' time format.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Runs `f`, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("E0", "demo", "a note", &["strategy", "facts"]);
+        t.row(vec!["naive".into(), "120".into()]);
+        t.row(vec!["alexander".into(), "7".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### E0 — demo"));
+        assert!(s.contains("| strategy  | facts |"));
+        assert!(s.contains("| alexander | 7     |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("E0", "demo", "", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        let s = ms(d);
+        assert!(s.parse::<f64>().is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! The `alexander` CLI: load a Datalog file, answer its queries.
+//!
+//! See [`alexander_core::cli::USAGE`] or run with `--help`.
+
+use alexander_core::cli;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, opts) = match cli::parse_args(&args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some(path) = path else {
+        eprintln!("{}", cli::USAGE);
+        std::process::exit(2);
+    };
+    let source = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error reading stdin: {e}");
+            std::process::exit(1);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    match cli::run(&source, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

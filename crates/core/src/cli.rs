@@ -1,0 +1,341 @@
+//! The `alexander` command-line interface, as a testable library function.
+//!
+//! ```text
+//! alexander program.dl                        # run the file's ?- queries
+//! alexander program.dl -q 'anc(adam, X)'      # ad-hoc query
+//! alexander program.dl -s oldt --stats        # choose strategy, show counters
+//! alexander program.dl -q 'anc(a, d)' --proof # print a constructive proof
+//! alexander program.dl --analyze              # stratification ladder
+//! ```
+
+use crate::{Engine, Strategy};
+use alexander_eval::eval_with_provenance;
+use alexander_ir::analysis::{loosely_stratified, stratify};
+use alexander_ir::{Atom, Program};
+use alexander_parser::{parse, parse_atom};
+use alexander_storage::Database;
+use std::fmt::Write as _;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct CliOptions {
+    pub source: String,
+    pub queries: Vec<String>,
+    pub strategy: Option<String>,
+    pub stats: bool,
+    pub proof: bool,
+    pub analyze: bool,
+    /// `pred/arity=path.csv` specs to bulk-load into the EDB.
+    pub loads: Vec<String>,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: alexander <file.dl | -> [options]
+  -q, --query ATOM    ad-hoc query (repeatable; overrides ?- queries in the file)
+  -s, --strategy S    naive | seminaive | stratified | conditional |
+                      magic | supmagic | alexander | oldt   (default: alexander)
+      --load P/N=FILE bulk-load relation P (arity N) from a CSV/TSV file
+      --stats         print instrumentation counters per query
+      --proof         print a constructive proof tree per answer
+      --analyze       print stratification analysis and exit
+  -h, --help          this text
+";
+
+/// Parses argv-style arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), String> {
+    let mut opts = CliOptions::default();
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-q" | "--query" => {
+                i += 1;
+                let q = args.get(i).ok_or("missing argument to --query")?;
+                opts.queries.push(q.clone());
+            }
+            "-s" | "--strategy" => {
+                i += 1;
+                let s = args.get(i).ok_or("missing argument to --strategy")?;
+                opts.strategy = Some(s.clone());
+            }
+            "--load" => {
+                i += 1;
+                let l = args.get(i).ok_or("missing argument to --load")?;
+                opts.loads.push(l.clone());
+            }
+            "--stats" => opts.stats = true,
+            "--proof" => opts.proof = true,
+            "--analyze" => opts.analyze = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            _ => {
+                if path.is_some() {
+                    return Err(format!("unexpected extra argument `{a}`\n{USAGE}"));
+                }
+                path = Some(a.to_string());
+            }
+        }
+        i += 1;
+    }
+    Ok((path, opts))
+}
+
+fn strategy_by_name(name: &str) -> Result<Strategy, String> {
+    Strategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+            format!("unknown strategy `{name}`; one of: {}", names.join(", "))
+        })
+}
+
+/// Runs the CLI on already-loaded source text; returns the printable output.
+pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
+    let parsed = parse(source).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+
+    if opts.analyze {
+        analyze(&parsed.program, &mut out);
+        return Ok(out);
+    }
+
+    let strategy = strategy_by_name(opts.strategy.as_deref().unwrap_or("alexander"))?;
+    let file_queries = parsed.queries.clone();
+
+    // Bulk-load external relations before building the engine.
+    let mut edb = Database::new();
+    for spec in &opts.loads {
+        let (pred_part, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--load expects pred/arity=path, got `{spec}`"))?;
+        let (name, arity) = pred_part
+            .split_once('/')
+            .ok_or_else(|| format!("--load expects pred/arity=path, got `{spec}`"))?;
+        let arity: usize = arity
+            .parse()
+            .map_err(|_| format!("bad arity in --load `{spec}`"))?;
+        let pred = alexander_ir::Predicate::new(name, arity);
+        let n = alexander_storage::load_file(&mut edb, pred, std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        writeln!(out, "loaded {n} tuples into {pred} from {path}").unwrap();
+    }
+
+    let engine = Engine::new(parsed.program, edb).map_err(|e| e.to_string())?;
+
+    let queries: Vec<Atom> = if opts.queries.is_empty() {
+        file_queries
+    } else {
+        opts.queries
+            .iter()
+            .map(|q| parse_atom(q).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?
+    };
+    if queries.is_empty() {
+        return Err("no queries: add `?- goal.` lines to the file or pass --query".into());
+    }
+
+    // Provenance is computed once if proofs were requested (stratified
+    // programs only — report a friendly error otherwise).
+    let provenance = if opts.proof {
+        let (_, prov) = eval_with_provenance(engine.program(), engine.edb())
+            .map_err(|e| format!("--proof needs a stratified program: {e}"))?;
+        Some(prov)
+    } else {
+        None
+    };
+
+    for query in &queries {
+        writeln!(out, "?- {query}.  [{}]", strategy.name()).unwrap();
+        match engine.query(query, strategy) {
+            Ok(result) => {
+                if result.answers.is_empty() {
+                    writeln!(out, "  no").unwrap();
+                }
+                for a in &result.answers {
+                    writeln!(out, "  {a}").unwrap();
+                    if let Some(prov) = &provenance {
+                        match prov.proof(a, engine.edb()) {
+                            Some(tree) => {
+                                for line in tree.to_string().lines() {
+                                    writeln!(out, "    | {line}").unwrap();
+                                }
+                            }
+                            None => writeln!(out, "    | (no recorded proof)").unwrap(),
+                        }
+                    }
+                }
+                if opts.stats {
+                    writeln!(out, "  -- {}", result.report).unwrap();
+                }
+            }
+            Err(e) => writeln!(out, "  error: {e}").unwrap(),
+        }
+    }
+    Ok(out)
+}
+
+fn analyze(program: &Program, out: &mut String) {
+    writeln!(out, "rules: {}", program.rules.len()).unwrap();
+    writeln!(out, "inline facts: {}", program.facts.len()).unwrap();
+    let mut idb: Vec<String> = program
+        .idb_predicates()
+        .into_iter()
+        .map(|p| p.to_string())
+        .collect();
+    idb.sort();
+    writeln!(out, "intensional: {}", idb.join(", ")).unwrap();
+    let mut edb: Vec<String> = program
+        .edb_predicates()
+        .into_iter()
+        .map(|p| p.to_string())
+        .collect();
+    edb.sort();
+    writeln!(out, "extensional: {}", edb.join(", ")).unwrap();
+    match stratify(program) {
+        Ok(s) => writeln!(out, "stratified: yes ({} strata)", s.len()).unwrap(),
+        Err(e) => writeln!(out, "stratified: no — {e}").unwrap(),
+    }
+    match loosely_stratified(program) {
+        Ok(()) => writeln!(out, "loosely stratified: yes").unwrap(),
+        Err(w) => writeln!(out, "loosely stratified: no — {w}").unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        par(adam, seth). par(seth, enos).
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+        ?- anc(adam, X).
+    ";
+
+    #[test]
+    fn runs_file_queries_with_default_strategy() {
+        let out = run(SRC, &CliOptions::default()).unwrap();
+        assert!(out.contains("?- anc(adam, X).  [alexander]"), "{out}");
+        assert!(out.contains("anc(adam, seth)"), "{out}");
+        assert!(out.contains("anc(adam, enos)"), "{out}");
+    }
+
+    #[test]
+    fn adhoc_query_overrides_file_queries() {
+        let opts = CliOptions {
+            queries: vec!["anc(seth, X)".into()],
+            strategy: Some("oldt".into()),
+            stats: true,
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("[oldt]"), "{out}");
+        assert!(out.contains("anc(seth, enos)"), "{out}");
+        assert!(!out.contains("anc(adam"), "{out}");
+        assert!(out.contains("--"), "stats line expected: {out}");
+    }
+
+    #[test]
+    fn proof_mode_prints_trees() {
+        let opts = CliOptions {
+            queries: vec!["anc(adam, enos)".into()],
+            proof: true,
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("[rule 1]"), "{out}");
+        assert!(out.contains("[fact]"), "{out}");
+    }
+
+    #[test]
+    fn analyze_mode() {
+        let opts = CliOptions {
+            analyze: true,
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("stratified: yes"), "{out}");
+        assert!(out.contains("intensional: anc/2"), "{out}");
+        assert!(out.contains("extensional: par/2"), "{out}");
+    }
+
+    #[test]
+    fn failing_query_prints_no() {
+        let opts = CliOptions {
+            queries: vec!["anc(enos, adam)".into()],
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("  no\n"), "{out}");
+    }
+
+    #[test]
+    fn bad_strategy_is_reported() {
+        let opts = CliOptions {
+            strategy: Some("quantum".into()),
+            ..CliOptions::default()
+        };
+        let err = run(SRC, &opts).unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+    }
+
+    #[test]
+    fn no_queries_is_an_error() {
+        let err = run("p(a).", &CliOptions::default()).unwrap_err();
+        assert!(err.contains("no queries"), "{err}");
+    }
+
+    #[test]
+    fn bulk_loading_via_load_flag() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("alexander_cli_load.csv");
+        std::fs::write(&path, "adam,seth
+seth,enos
+").unwrap();
+        let opts = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            loads: vec![format!("par/2={}", path.display())],
+            ..CliOptions::default()
+        };
+        let out = run(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            &opts,
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("loaded 2 tuples into par/2"), "{out}");
+        assert!(out.contains("anc(adam, enos)"), "{out}");
+    }
+
+    #[test]
+    fn bad_load_specs_are_reported() {
+        for spec in ["nopath", "p=file.csv", "p/x=file.csv"] {
+            let opts = CliOptions {
+                queries: vec!["p(X)".into()],
+                loads: vec![spec.into()],
+                ..CliOptions::default()
+            };
+            assert!(run("p(X) :- q(X).", &opts).is_err(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_args_roundtrip() {
+        let args: Vec<String> = ["prog.dl", "-q", "p(X)", "-s", "oldt", "--stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (path, opts) = parse_args(&args).unwrap();
+        assert_eq!(path.as_deref(), Some("prog.dl"));
+        assert_eq!(opts.queries, ["p(X)"]);
+        assert_eq!(opts.strategy.as_deref(), Some("oldt"));
+        assert!(opts.stats);
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_args(&["--help".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Incremental view maintenance: keep a materialised IDB up to date under
+//! EDB insertions and deletions without recomputing from scratch.
+//!
+//! * **Insertion** is semi-naive continuation: the new facts seed a delta
+//!   round over the existing total.
+//! * **Deletion** is DRed (delete-and-rederive, Gupta–Mumick–Subrahmanian):
+//!   first *overdelete* everything with a derivation through a deleted
+//!   fact (a delta fixpoint over the pre-deletion database), then
+//!   *rederive* the overdeleted facts that still have an alternative
+//!   derivation from what remains (a second fixpoint).
+//!
+//! Restricted to definite programs: deletions under negation flip truth in
+//! both directions and need counting or stratified DRed, out of scope here.
+
+use crate::error::EvalError;
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::metrics::EvalMetrics;
+use crate::naive::seed_database;
+use alexander_ir::{Atom, FxHashMap, FxHashSet, Predicate, Program};
+use alexander_storage::{Database, Tuple};
+
+/// A materialised deductive database that stays consistent under updates.
+pub struct IncrementalEngine {
+    program: Program,
+    compiled: Vec<CompiledRule>,
+    /// EDB + all derived facts.
+    total: Database,
+    /// The extensional predicates (facts the user may insert/delete).
+    edb_preds: FxHashSet<Predicate>,
+    metrics: EvalMetrics,
+}
+
+impl IncrementalEngine {
+    /// Materialises `program` over `edb`.
+    pub fn new(program: Program, edb: Database) -> Result<IncrementalEngine, EvalError> {
+        program.validate().map_err(EvalError::Invalid)?;
+        if !program.is_definite() {
+            return Err(EvalError::NegatedIdb(
+                program
+                    .rules
+                    .iter()
+                    .flat_map(|r| r.body.iter())
+                    .find(|l| l.is_negative())
+                    .map(|l| l.atom.predicate())
+                    .expect("non-definite program has a negative literal"),
+            ));
+        }
+        let compiled: Vec<CompiledRule> = program
+            .rules
+            .iter()
+            .map(|r| compile_rule(r).map_err(EvalError::from))
+            .collect::<Result<_, _>>()?;
+        let mut total = seed_database(&program, &edb);
+        let mut metrics = EvalMetrics::default();
+        let mut edb_preds: FxHashSet<Predicate> = edb.predicates().into_iter().collect();
+        for f in &program.facts {
+            edb_preds.insert(f.predicate());
+        }
+        // Initial materialisation.
+        crate::seminaive::run_rules(&program.rules, &mut total, &mut metrics, Default::default(), None)?;
+        Ok(IncrementalEngine {
+            program,
+            compiled,
+            total,
+            edb_preds,
+            metrics,
+        })
+    }
+
+    /// The maintained database (EDB + IDB).
+    pub fn db(&self) -> &Database {
+        &self.total
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> EvalMetrics {
+        self.metrics
+    }
+
+    /// Inserts an EDB fact; returns the number of facts (including derived
+    /// ones) added to the database.
+    pub fn insert(&mut self, fact: &Atom) -> Result<usize, EvalError> {
+        let pred = fact.predicate();
+        if self.program.is_idb(pred) {
+            return Err(EvalError::IdbUpdate(pred));
+        }
+        self.edb_preds.insert(pred);
+        let t = Tuple::from_atom(fact).ok_or_else(|| {
+            EvalError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
+                fact: fact.to_string(),
+            }])
+        })?;
+        if !self.total.insert(pred, t.clone()) {
+            return Ok(0);
+        }
+        let mut delta = Database::new();
+        delta.insert(pred, t);
+        Ok(1 + self.propagate_insertions(delta))
+    }
+
+    /// Semi-naive insertion rounds seeded with `delta`; returns facts added.
+    fn propagate_insertions(&mut self, mut delta: Database) -> usize {
+        let mut added = 0usize;
+        while delta.total_tuples() > 0 {
+            self.metrics.iterations += 1;
+            for r in &self.compiled {
+                ensure_rule_indexes(r, &mut self.total);
+                ensure_rule_indexes(r, &mut delta);
+            }
+            let mut next = Database::new();
+            for rule in &self.compiled {
+                let head = rule.head.pred;
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if delta.len_of(lit.atom.pred) == 0 {
+                        continue;
+                    }
+                    let input = JoinInput {
+                        total: &self.total,
+                        delta: Some((i, &delta)),
+                        negatives: None,
+                    };
+                    let total_ref = &self.total;
+                    join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                        if total_ref.relation(head).is_some_and(|r| r.contains(&t)) {
+                            false
+                        } else {
+                            next.insert(head, t)
+                        }
+                    });
+                }
+            }
+            added += self.total.merge(&next);
+            delta = next;
+        }
+        added
+    }
+
+    /// Deletes an EDB fact (DRed); returns `(overdeleted, rederived)` counts
+    /// over derived facts.
+    pub fn delete(&mut self, fact: &Atom) -> Result<(usize, usize), EvalError> {
+        let pred = fact.predicate();
+        if self.program.is_idb(pred) {
+            return Err(EvalError::IdbUpdate(pred));
+        }
+        if !self.total.contains_atom(fact) {
+            return Ok((0, 0));
+        }
+
+        // ---- Phase 1: overdelete. ----
+        // Everything with a derivation passing through a deleted fact.
+        let t = Tuple::from_atom(fact).expect("checked ground");
+        let mut doomed: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
+        doomed.entry(pred).or_default().insert(t.clone());
+        let mut delta = Database::new();
+        delta.insert(pred, t);
+
+        while delta.total_tuples() > 0 {
+            self.metrics.iterations += 1;
+            for r in &self.compiled {
+                ensure_rule_indexes(r, &mut self.total);
+                ensure_rule_indexes(r, &mut delta);
+            }
+            let mut next = Database::new();
+            for rule in &self.compiled {
+                let head = rule.head.pred;
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if delta.len_of(lit.atom.pred) == 0 {
+                        continue;
+                    }
+                    let input = JoinInput {
+                        total: &self.total,
+                        delta: Some((i, &delta)),
+                        negatives: None,
+                    };
+                    let doomed_ref = &doomed;
+                    join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                        let seen = doomed_ref
+                            .get(&head)
+                            .is_some_and(|s| s.contains(&t));
+                        if seen {
+                            false
+                        } else {
+                            next.insert(head, t)
+                        }
+                    });
+                }
+            }
+            for p in next.predicates() {
+                let set = doomed.entry(p).or_default();
+                if let Some(rel) = next.relation(p) {
+                    for t in rel.iter() {
+                        set.insert(t.clone());
+                    }
+                }
+            }
+            delta = next;
+        }
+
+        // Physically remove the doomed facts.
+        let mut overdeleted = 0usize;
+        for (p, set) in &doomed {
+            overdeleted += self.total.remove_tuples(*p, set);
+        }
+
+        // ---- Phase 2: rederive. ----
+        // A doomed IDB fact survives if some rule derives it from what is
+        // left. Re-run the rules to a fixpoint, only accepting heads that
+        // were doomed (everything else is already present).
+        let mut rederived = 0usize;
+        loop {
+            self.metrics.iterations += 1;
+            for r in &self.compiled {
+                ensure_rule_indexes(r, &mut self.total);
+            }
+            let mut next = Database::new();
+            for rule in &self.compiled {
+                let head = rule.head.pred;
+                let Some(candidates) = doomed.get(&head) else {
+                    continue;
+                };
+                let input = JoinInput {
+                    total: &self.total,
+                    delta: None,
+                    negatives: None,
+                };
+                let total_ref = &self.total;
+                join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                    if candidates.contains(&t)
+                        && !total_ref.relation(head).is_some_and(|r| r.contains(&t))
+                    {
+                        next.insert(head, t)
+                    } else {
+                        false
+                    }
+                });
+            }
+            let n = self.total.merge(&next);
+            rederived += n;
+            if n == 0 {
+                break;
+            }
+        }
+
+        // The deleted EDB fact itself is not a "derived" casualty.
+        Ok((overdeleted.saturating_sub(1), rederived))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seminaive::eval_seminaive;
+    use alexander_parser::{parse, parse_atom};
+    use alexander_workload as workload;
+
+    fn snapshot(db: &Database) -> Vec<String> {
+        let mut out: Vec<String> = db
+            .predicates()
+            .into_iter()
+            .flat_map(|p| db.atoms_of(p))
+            .map(|a| a.to_string())
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn from_scratch(program: &Program, edb: &Database) -> Vec<String> {
+        snapshot(&eval_seminaive(program, edb).unwrap().db)
+    }
+
+    #[test]
+    fn insertion_matches_recompute() {
+        let program = workload::transitive_closure();
+        let mut edb = workload::chain("e", 5);
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let new_edge = parse_atom("e(n5, n6)").unwrap();
+        let added = inc.insert(&new_edge).unwrap();
+        assert!(added > 1, "the new edge extends the closure");
+        edb.insert_atom(&new_edge).unwrap();
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb));
+    }
+
+    #[test]
+    fn deletion_splits_a_chain() {
+        let program = workload::transitive_closure();
+        let edb = workload::chain("e", 6);
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let victim = parse_atom("e(n2, n3)").unwrap();
+        let (over, re) = inc.delete(&victim).unwrap();
+        assert!(over > 0);
+        assert_eq!(re, 0, "a chain has no alternative derivations");
+
+        let mut edb2 = edb.clone();
+        assert!(edb2.remove_atom(&victim));
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+    }
+
+    #[test]
+    fn deletion_with_alternative_paths_rederives() {
+        // Diamond: n0->n1->n3 and n0->n2->n3. Deleting one branch must keep
+        // tc(n0, n3) via the other.
+        let parsed = parse("
+            e(n0, n1). e(n1, n3). e(n0, n2). e(n2, n3).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ")
+        .unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let program = Program { rules: parsed.program.rules, facts: Vec::new() };
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let victim = parse_atom("e(n1, n3)").unwrap();
+        let (over, re) = inc.delete(&victim).unwrap();
+        assert!(over > 0);
+        assert!(re > 0, "tc(n0, n3) must be rederived via n2");
+        assert!(inc.db().contains_atom(&parse_atom("tc(n0, n3)").unwrap()));
+        assert!(!inc.db().contains_atom(&parse_atom("tc(n1, n3)").unwrap()));
+
+        let mut edb2 = edb.clone();
+        edb2.remove_atom(&victim);
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+    }
+
+    #[test]
+    fn random_update_sequences_match_recompute() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let program = workload::transitive_closure();
+        for seed in [1u64, 2, 3] {
+            let mut edb = workload::random_graph("e", 10, 25, seed);
+            let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed * 100);
+            for step in 0..12 {
+                let a = rng.random_range(0..10);
+                let b = rng.random_range(0..10);
+                if a == b {
+                    continue;
+                }
+                let atom = parse_atom(&format!("e(n{a}, n{b})")).unwrap();
+                if step % 2 == 0 {
+                    inc.insert(&atom).unwrap();
+                    edb.insert_atom(&atom).unwrap();
+                } else {
+                    inc.delete(&atom).unwrap();
+                    edb.remove_atom(&atom);
+                }
+                assert_eq!(
+                    snapshot(inc.db()),
+                    from_scratch(&program, &edb),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_closure_survives_deletion_correctly() {
+        // On a cycle, deleting one edge must shrink the closure exactly.
+        let program = workload::transitive_closure();
+        let edb = workload::cycle("e", 5);
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let victim = parse_atom("e(n2, n3)").unwrap();
+        inc.delete(&victim).unwrap();
+        let mut edb2 = edb.clone();
+        edb2.remove_atom(&victim);
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+    }
+
+    #[test]
+    fn idb_updates_are_rejected() {
+        let program = workload::transitive_closure();
+        let edb = workload::chain("e", 3);
+        let mut inc = IncrementalEngine::new(program, edb).unwrap();
+        assert!(inc.insert(&parse_atom("tc(n0, n9)").unwrap()).is_err());
+        assert!(inc.delete(&parse_atom("tc(n0, n1)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn non_definite_programs_are_rejected() {
+        let parsed = parse("move(a, b). win(X) :- move(X, Y), !win(Y).").unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let program = Program { rules: parsed.program.rules, facts: Vec::new() };
+        assert!(IncrementalEngine::new(program, edb).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let program = workload::transitive_closure();
+        let edb = workload::chain("e", 3);
+        let mut inc = IncrementalEngine::new(program, edb).unwrap();
+        assert_eq!(inc.insert(&parse_atom("e(n0, n1)").unwrap()).unwrap(), 0);
+        assert_eq!(
+            inc.delete(&parse_atom("e(n8, n9)").unwrap()).unwrap(),
+            (0, 0)
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! Compiled rules and the nested-loop index join at the heart of every
+//! bottom-up evaluator.
+//!
+//! Rules are compiled once: variables become dense slots, terms become
+//! [`Pat`]s, and each body literal gets the static [`Mask`] of positions
+//! that are bound when the join reaches it left to right. Joining then works
+//! on a flat `Vec<Option<Const>>` binding array with a trail for
+//! backtracking — no hash-map substitutions on the hot path.
+
+use crate::metrics::EvalMetrics;
+use crate::order::{order_for_evaluation, Unorderable};
+use alexander_ir::{Atom, Const, FxHashMap, Polarity, Predicate, Rule, Term, Var};
+use alexander_storage::{Database, Mask, Tuple};
+
+/// A compiled term: a constant or a variable slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pat {
+    Const(Const),
+    Var(u32),
+}
+
+/// A compiled atom pattern.
+#[derive(Clone, Debug)]
+pub struct AtomPat {
+    pub pred: Predicate,
+    pub args: Vec<Pat>,
+}
+
+impl AtomPat {
+    /// Instantiates the pattern under `bind` into a tuple; `None` if any slot
+    /// is unbound.
+    pub fn to_tuple(&self, bind: &[Option<Const>]) -> Option<Tuple> {
+        let vals: Option<Vec<Const>> = self
+            .args
+            .iter()
+            .map(|p| match p {
+                Pat::Const(c) => Some(*c),
+                Pat::Var(v) => bind[*v as usize],
+            })
+            .collect();
+        vals.map(Tuple::from)
+    }
+}
+
+/// One compiled body literal.
+#[derive(Clone, Debug)]
+pub struct BodyPat {
+    pub atom: AtomPat,
+    pub polarity: Polarity,
+    /// Positions bound when the join reaches this literal (left-to-right).
+    pub mask: Mask,
+}
+
+/// A rule compiled for bottom-up joining.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    pub head: AtomPat,
+    pub body: Vec<BodyPat>,
+    pub nvars: usize,
+    /// The source rule (after evaluation ordering), for diagnostics.
+    pub source: Rule,
+}
+
+/// Compiles `rule`, reordering its body for evaluability first. Fails only
+/// on rules whose negations cannot be grounded (unsafe rules).
+pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
+    let ordered = order_for_evaluation(rule)?;
+    let mut slots: FxHashMap<Var, u32> = FxHashMap::default();
+    let slot_of = |v: Var, slots: &mut FxHashMap<Var, u32>| -> u32 {
+        let next = slots.len() as u32;
+        *slots.entry(v).or_insert(next)
+    };
+    let compile_atom = |a: &Atom, slots: &mut FxHashMap<Var, u32>| AtomPat {
+        pred: a.predicate(),
+        args: a
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Pat::Const(*c),
+                Term::Var(v) => Pat::Var(slot_of(*v, slots)),
+            })
+            .collect(),
+    };
+
+    // Compile body first so masks reflect the evaluation order; safety
+    // guarantees head slots are a subset of body slots.
+    let mut body = Vec::with_capacity(ordered.body.len());
+    let mut bound: Vec<bool> = Vec::new();
+    for l in &ordered.body {
+        let atom = compile_atom(&l.atom, &mut slots);
+        bound.resize(slots.len(), false);
+        let mut cols = Vec::new();
+        for (i, p) in atom.args.iter().enumerate() {
+            match p {
+                Pat::Const(_) => cols.push(i),
+                Pat::Var(v) => {
+                    if bound[*v as usize] {
+                        cols.push(i);
+                    }
+                }
+            }
+        }
+        let mask = Mask::of_columns(&cols);
+        if l.polarity == Polarity::Positive {
+            for p in &atom.args {
+                if let Pat::Var(v) = p {
+                    bound[*v as usize] = true;
+                }
+            }
+        }
+        body.push(BodyPat {
+            atom,
+            polarity: l.polarity,
+            mask,
+        });
+    }
+    let head = compile_atom(&ordered.head, &mut slots);
+    Ok(CompiledRule {
+        head,
+        body,
+        nvars: slots.len(),
+        source: ordered,
+    })
+}
+
+/// The fact sources a join reads from.
+pub struct JoinInput<'a> {
+    /// Full set of facts derived so far (plus the EDB).
+    pub total: &'a Database,
+    /// Semi-naive: the literal index that must match the delta, and the
+    /// delta database. `None` runs a naive (full) join.
+    pub delta: Option<(usize, &'a Database)>,
+    /// Where negative literals are checked. Stratified evaluation passes the
+    /// total database (lower strata complete); `None` defaults to `total`.
+    pub negatives: Option<&'a Database>,
+}
+
+/// Joins `rule`'s body over `input`, calling `emit` with the instantiated
+/// head tuple for every satisfying assignment. `emit` returns whether the
+/// tuple was new, which feeds the duplicate counter.
+pub fn join_rule(
+    rule: &CompiledRule,
+    input: &JoinInput<'_>,
+    metrics: &mut EvalMetrics,
+    emit: &mut dyn FnMut(Tuple) -> bool,
+) {
+    join_rule_bindings(rule, input, metrics, &mut |rule, bind, metrics| {
+        metrics.firings += 1;
+        let head = rule
+            .head
+            .to_tuple(bind)
+            .expect("safety guarantees a ground head after a full body match");
+        if emit(head) {
+            metrics.new_facts += 1;
+        } else {
+            metrics.duplicate_facts += 1;
+        }
+    });
+}
+
+/// Like [`join_rule`], but hands the raw binding array to `emit` on every
+/// satisfying assignment, so callers can reconstruct body instances (the
+/// conditional-fixpoint procedure needs the ground premises, not just the
+/// head). `emit` is responsible for the firing/fact counters.
+pub fn join_rule_bindings(
+    rule: &CompiledRule,
+    input: &JoinInput<'_>,
+    metrics: &mut EvalMetrics,
+    emit: &mut dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics),
+) {
+    let mut bind: Vec<Option<Const>> = vec![None; rule.nvars];
+    let neg_db = input.negatives.unwrap_or(input.total);
+    descend(rule, input, neg_db, 0, &mut bind, metrics, emit);
+}
+
+fn descend(
+    rule: &CompiledRule,
+    input: &JoinInput<'_>,
+    neg_db: &Database,
+    depth: usize,
+    bind: &mut Vec<Option<Const>>,
+    metrics: &mut EvalMetrics,
+    emit: &mut dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics),
+) {
+    if depth == rule.body.len() {
+        emit(rule, bind, metrics);
+        return;
+    }
+
+    let lit = &rule.body[depth];
+
+    // Built-in comparisons are evaluated natively, whatever their polarity;
+    // the body ordering guarantees their arguments are ground here.
+    if let Some(b) = alexander_ir::Builtin::of(lit.atom.pred) {
+        let t = lit
+            .atom
+            .to_tuple(bind)
+            .expect("ordering guarantees ground built-ins");
+        metrics.probes += 1;
+        let holds = b.eval(t.get(0), t.get(1));
+        let want = lit.polarity == Polarity::Positive;
+        if holds == want {
+            descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+        }
+        return;
+    }
+
+    match lit.polarity {
+        Polarity::Negative => {
+            // Ordering guarantees groundness here.
+            let t = lit
+                .atom
+                .to_tuple(bind)
+                .expect("ordering guarantees ground negative literals");
+            let present = neg_db
+                .relation(lit.atom.pred)
+                .is_some_and(|r| r.contains(&t));
+            metrics.probes += 1;
+            if !present {
+                descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+            }
+        }
+        Polarity::Positive => {
+            let db = match input.delta {
+                Some((d, delta)) if d == depth => delta,
+                _ => input.total,
+            };
+            let Some(relation) = db.relation(lit.atom.pred) else {
+                return;
+            };
+            // Build the probe key from the bound positions.
+            let cols = lit.mask.columns();
+            let key: Vec<Const> = cols
+                .iter()
+                .map(|&c| match lit.atom.args[c] {
+                    Pat::Const(k) => k,
+                    Pat::Var(v) => bind[v as usize].expect("masked position is bound"),
+                })
+                .collect();
+            metrics.probes += 1;
+            let (candidates, indexed) = relation.probe(lit.mask, &key);
+            if !indexed {
+                // Fallback scan: storage enumerated the whole relation to
+                // filter it, and that cost is what `tuples_considered`
+                // measures (ablation E10).
+                metrics.tuples_considered += relation.len() as u64;
+            }
+
+            // Trail of slots bound while matching one candidate.
+            let mut trail: Vec<u32> = Vec::new();
+            for t in candidates {
+                if indexed {
+                    metrics.tuples_considered += 1;
+                }
+                trail.clear();
+                let mut ok = true;
+                for (i, p) in lit.atom.args.iter().enumerate() {
+                    match p {
+                        Pat::Const(c) => {
+                            if t.get(i) != *c {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Pat::Var(v) => {
+                            let v = *v as usize;
+                            match bind[v] {
+                                Some(c) => {
+                                    if t.get(i) != c {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                None => {
+                                    bind[v] = Some(t.get(i));
+                                    trail.push(v as u32);
+                                }
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+                }
+                for &v in &trail {
+                    bind[v as usize] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Ensures the indexes a compiled rule will probe exist in `db` (for the
+/// masks over its positive body literals).
+pub fn ensure_rule_indexes(rule: &CompiledRule, db: &mut Database) {
+    for lit in &rule.body {
+        if lit.polarity == Polarity::Positive && !lit.mask.is_empty() {
+            db.ensure_index(lit.atom.pred, lit.mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_ir::{atom, Literal};
+    use alexander_storage::tuple_of_syms;
+
+    fn edb() -> Database {
+        let mut db = Database::new();
+        let e = Predicate::new("e", 2);
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.insert(e, tuple_of_syms(&[a, b]));
+        }
+        db
+    }
+
+    #[test]
+    fn compile_assigns_slots_and_masks() {
+        // p(X, Y) :- e(X, Z), e(Z, Y).
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        assert_eq!(c.nvars, 3);
+        // First literal: nothing bound.
+        assert!(c.body[0].mask.is_empty());
+        // Second literal: Z (column 0) bound.
+        assert_eq!(c.body[1].mask, Mask::of_columns(&[0]));
+    }
+
+    #[test]
+    fn join_computes_composition() {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let db = edb();
+        let mut out = Vec::new();
+        let mut m = EvalMetrics::default();
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |t| {
+                out.push(t);
+                true
+            },
+        );
+        // a->b->c and b->c->d.
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple_of_syms(&["a", "c"])));
+        assert!(out.contains(&tuple_of_syms(&["b", "d"])));
+        assert_eq!(m.firings, 2);
+        assert_eq!(m.new_facts, 2);
+    }
+
+    #[test]
+    fn join_with_constants_filters() {
+        // p(Y) :- e(a, Y).
+        let r = Rule::new(
+            atom("p", [Term::var("Y")]),
+            vec![Literal::pos(atom("e", [Term::sym("a"), Term::var("Y")]))],
+        );
+        let c = compile_rule(&r).unwrap();
+        assert_eq!(c.body[0].mask, Mask::of_columns(&[0]));
+        let db = edb();
+        let mut out = Vec::new();
+        let mut m = EvalMetrics::default();
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |t| {
+                out.push(t);
+                true
+            },
+        );
+        assert_eq!(out, vec![tuple_of_syms(&["b"])]);
+    }
+
+    #[test]
+    fn repeated_variables_require_equal_columns() {
+        // loop(X) :- e(X, X).
+        let r = Rule::new(
+            atom("loop", [Term::var("X")]),
+            vec![Literal::pos(atom("e", [Term::var("X"), Term::var("X")]))],
+        );
+        let c = compile_rule(&r).unwrap();
+        let mut db = edb();
+        let mut m = EvalMetrics::default();
+        let mut out = Vec::new();
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |t| {
+                out.push(t);
+                true
+            },
+        );
+        assert!(out.is_empty());
+        db.insert(Predicate::new("e", 2), tuple_of_syms(&["z", "z"]));
+        let mut out2 = Vec::new();
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |t| {
+                out2.push(t);
+                true
+            },
+        );
+        assert_eq!(out2, vec![tuple_of_syms(&["z"])]);
+    }
+
+    #[test]
+    fn negative_literal_filters_bound_tuples() {
+        // q(X) :- e(X, Y), !blocked(X).
+        let r = Rule::new(
+            atom("q", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("blocked", [Term::var("X")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let mut db = edb();
+        db.insert(Predicate::new("blocked", 1), tuple_of_syms(&["a"]));
+        let mut m = EvalMetrics::default();
+        let mut out = Vec::new();
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |t| {
+                out.push(t);
+                true
+            },
+        );
+        // a is blocked; b and c survive.
+        assert_eq!(out.len(), 2);
+        assert!(!out.contains(&tuple_of_syms(&["a"])));
+    }
+
+    #[test]
+    fn delta_restricts_one_literal() {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let db = edb();
+        // Delta holds only (b, c): position 0 restricted to it.
+        let mut delta = Database::new();
+        delta.insert(Predicate::new("e", 2), tuple_of_syms(&["b", "c"]));
+        let mut m = EvalMetrics::default();
+        let mut out = Vec::new();
+        join_rule(
+            &c,
+            &JoinInput {
+                total: &db,
+                delta: Some((0, &delta)),
+                negatives: None,
+            },
+            &mut m,
+            &mut |t| {
+                out.push(t);
+                true
+            },
+        );
+        assert_eq!(out, vec![tuple_of_syms(&["b", "d"])]);
+    }
+
+    #[test]
+    fn missing_relation_yields_no_matches() {
+        let r = Rule::new(
+            atom("p", [Term::var("X")]),
+            vec![Literal::pos(atom("ghost", [Term::var("X")]))],
+        );
+        let c = compile_rule(&r).unwrap();
+        let db = edb();
+        let mut m = EvalMetrics::default();
+        let mut n = 0;
+        join_rule(
+            &c,
+            &JoinInput { total: &db, delta: None, negatives: None },
+            &mut m,
+            &mut |_| {
+                n += 1;
+                true
+            },
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn ensure_rule_indexes_builds_probe_masks() {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let mut db = edb();
+        ensure_rule_indexes(&c, &mut db);
+        assert!(db
+            .relation(Predicate::new("e", 2))
+            .unwrap()
+            .has_index(Mask::of_columns(&[0])));
+    }
+}

@@ -1,0 +1,55 @@
+//! # alexander-eval
+//!
+//! Bottom-up evaluation of Datalog programs:
+//!
+//! * [`eval_naive`] — apply every rule to the full database each round.
+//! * [`eval_seminaive`] — delta-driven rounds (the standard fixpoint engine).
+//! * [`eval_stratified`] — stratify, then semi-naive per stratum; computes
+//!   the perfect model of stratified programs with negation.
+//! * [`eval_conditional`] — Bry's conditional fixpoint (PODS 1989): delay
+//!   negations into conditional statements, then reduce; decides loosely /
+//!   locally stratified programs and reports a well-founded-style undefined
+//!   residue on cyclic negation. This is the evaluator that runs
+//!   magic-rewritten programs, whose stratification the rewriting destroys.
+//! * [`eval_naive_parallel`] — round-parallel naive evaluation (ablation).
+//!
+//! All evaluators return machine-independent [`EvalMetrics`] counters; the
+//! benchmark tables of the reproduction are built from these.
+//!
+//! ```
+//! use alexander_parser::parse;
+//! use alexander_storage::Database;
+//! use alexander_ir::Predicate;
+//!
+//! let parsed = parse("
+//!     e(a, b). e(b, c).
+//!     tc(X, Y) :- e(X, Y).
+//!     tc(X, Y) :- e(X, Z), tc(Z, Y).
+//! ").unwrap();
+//! let result = alexander_eval::eval_seminaive(&parsed.program, &Database::new()).unwrap();
+//! assert_eq!(result.db.len_of(Predicate::new("tc", 2)), 3);
+//! ```
+
+pub mod conditional;
+pub mod error;
+pub mod incremental;
+pub mod join;
+pub mod metrics;
+pub mod naive;
+pub mod order;
+pub mod parallel;
+pub mod provenance;
+pub mod seminaive;
+pub mod stratified;
+
+pub use conditional::{eval_conditional, ConditionalResult, Conditions};
+pub use error::EvalError;
+pub use incremental::IncrementalEngine;
+pub use join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+pub use metrics::EvalMetrics;
+pub use naive::{eval_naive, eval_naive_opts, EvalOptions, EvalResult};
+pub use order::{order_for_evaluation, Unorderable};
+pub use parallel::eval_naive_parallel;
+pub use provenance::{eval_with_provenance, Justification, ProofTree, Provenance};
+pub use seminaive::{eval_seminaive, eval_seminaive_opts};
+pub use stratified::{eval_stratified, eval_stratified_opts, StratifiedResult};

@@ -1,0 +1,97 @@
+//! Machine-independent evaluation counters.
+//!
+//! The power comparisons of the paper are stated in numbers of generated
+//! facts and inference steps, not wall-clock seconds; these counters are the
+//! quantities every experiment table reports.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by an evaluation run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct EvalMetrics {
+    /// Successful full-body rule instantiations (inference steps). Includes
+    /// firings that re-derive an already-known fact.
+    pub firings: u64,
+    /// Facts inserted for the first time.
+    pub new_facts: u64,
+    /// Firings whose conclusion was already known.
+    pub duplicate_facts: u64,
+    /// Index/scan probes issued while joining rule bodies.
+    pub probes: u64,
+    /// Candidate tuples enumerated by those probes.
+    pub tuples_considered: u64,
+    /// Fixpoint rounds until saturation.
+    pub iterations: u64,
+    /// Conditional statements generated (conditional-fixpoint runs only).
+    pub conditional_statements: u64,
+}
+
+impl EvalMetrics {
+    /// Total derivations attempted (new + duplicate).
+    pub fn derivations(&self) -> u64 {
+        self.new_facts + self.duplicate_facts
+    }
+}
+
+impl AddAssign for EvalMetrics {
+    fn add_assign(&mut self, o: EvalMetrics) {
+        self.firings += o.firings;
+        self.new_facts += o.new_facts;
+        self.duplicate_facts += o.duplicate_facts;
+        self.probes += o.probes;
+        self.tuples_considered += o.tuples_considered;
+        self.iterations += o.iterations;
+        self.conditional_statements += o.conditional_statements;
+    }
+}
+
+impl fmt::Display for EvalMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "firings={} new={} dup={} probes={} considered={} iters={}",
+            self.firings,
+            self.new_facts,
+            self.duplicate_facts,
+            self.probes,
+            self.tuples_considered,
+            self.iterations
+        )?;
+        if self.conditional_statements > 0 {
+            write!(f, " cond={}", self.conditional_statements)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = EvalMetrics {
+            firings: 1,
+            new_facts: 2,
+            duplicate_facts: 3,
+            probes: 4,
+            tuples_considered: 5,
+            iterations: 6,
+            conditional_statements: 7,
+        };
+        a += a;
+        assert_eq!(a.firings, 2);
+        assert_eq!(a.new_facts, 4);
+        assert_eq!(a.conditional_statements, 14);
+        assert_eq!(a.derivations(), 4 + 6);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = EvalMetrics::default();
+        let s = m.to_string();
+        assert!(s.contains("firings=0"));
+        assert!(!s.contains("cond="));
+    }
+}

@@ -1,0 +1,213 @@
+//! Naive bottom-up evaluation: apply every rule to the whole database until
+//! saturation. The baseline every other strategy is measured against.
+
+use crate::error::EvalError;
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::metrics::EvalMetrics;
+use alexander_ir::{Polarity, Program};
+use alexander_storage::Database;
+
+/// Evaluator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Build hash indexes for the masks rules probe. Turning this off forces
+    /// every probe into a filtered scan (ablation E10).
+    pub use_indexes: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions { use_indexes: true }
+    }
+}
+
+/// The outcome of a bottom-up run: the saturated database (EDB + IDB) and
+/// the counters.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    pub db: Database,
+    pub metrics: EvalMetrics,
+}
+
+/// Checks that negations only touch extensional predicates (the soundness
+/// condition for naive and semi-naive runs; stratified programs go through
+/// [`crate::stratified`]).
+pub(crate) fn check_semipositive(program: &Program) -> Result<(), EvalError> {
+    let idb = program.idb_predicates();
+    for r in &program.rules {
+        for l in &r.body {
+            if l.polarity == Polarity::Negative && idb.contains(&l.atom.predicate()) {
+                return Err(EvalError::NegatedIdb(l.atom.predicate()));
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn compile_program(program: &Program) -> Result<Vec<CompiledRule>, EvalError> {
+    program.rules.iter().map(|r| Ok(compile_rule(r)?)).collect()
+}
+
+pub(crate) fn seed_database(program: &Program, edb: &Database) -> Database {
+    let mut db = edb.clone();
+    for f in &program.facts {
+        db.insert_atom(f).expect("validated facts are ground");
+    }
+    db
+}
+
+/// Runs naive evaluation of a semipositive `program` over `edb`.
+pub fn eval_naive(program: &Program, edb: &Database) -> Result<EvalResult, EvalError> {
+    eval_naive_opts(program, edb, EvalOptions::default())
+}
+
+/// [`eval_naive`] with explicit options.
+pub fn eval_naive_opts(
+    program: &Program,
+    edb: &Database,
+    opts: EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    program.validate().map_err(EvalError::Invalid)?;
+    check_semipositive(program)?;
+    let rules = compile_program(program)?;
+    let mut db = seed_database(program, edb);
+    let mut metrics = EvalMetrics::default();
+
+    loop {
+        metrics.iterations += 1;
+        if opts.use_indexes {
+            for r in &rules {
+                ensure_rule_indexes(r, &mut db);
+            }
+        }
+        // Naive semantics: T is applied to the *current* instant; staged
+        // facts only become visible next round.
+        let mut staged = Database::new();
+        for rule in &rules {
+            let head_pred = rule.head.pred;
+            let input = JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            };
+            join_rule(rule, &input, &mut metrics, &mut |t| {
+                if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                    false
+                } else {
+                    staged.insert(head_pred, t)
+                }
+            });
+        }
+        if db.merge(&staged) == 0 {
+            break;
+        }
+    }
+    Ok(EvalResult { db, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_parser::parse;
+    use alexander_storage::tuple_of_syms;
+
+    fn run(src: &str) -> EvalResult {
+        let parsed = parse(src).unwrap();
+        let edb = Database::new();
+        eval_naive(&parsed.program, &edb).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_on_chain() {
+        let r = run("
+            e(a, b). e(b, c). e(c, d).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ");
+        let tc = alexander_ir::Predicate::new("tc", 2);
+        assert_eq!(r.db.len_of(tc), 6); // ab ac ad bc bd cd
+        assert!(r
+            .db
+            .relation(tc)
+            .unwrap()
+            .contains(&tuple_of_syms(&["a", "d"])));
+    }
+
+    #[test]
+    fn naive_iterations_track_chain_depth() {
+        let r = run("
+            e(a, b). e(b, c). e(c, d). e(d, e5).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ");
+        // Depth-4 chain: tc grows for 4 rounds, +1 to detect saturation.
+        assert!(r.metrics.iterations >= 4);
+        assert!(r.metrics.duplicate_facts > 0, "naive re-derives facts");
+    }
+
+    #[test]
+    fn semipositive_negation_on_edb_is_allowed() {
+        let r = run("
+            node(a). node(b). bad(b).
+            good(X) :- node(X), !bad(X).
+        ");
+        let good = alexander_ir::Predicate::new("good", 1);
+        assert_eq!(r.db.len_of(good), 1);
+        assert!(r
+            .db
+            .relation(good)
+            .unwrap()
+            .contains(&tuple_of_syms(&["a"])));
+    }
+
+    #[test]
+    fn negated_idb_is_rejected() {
+        let parsed = parse("
+            p(X) :- q(X).
+            r(X) :- q(X), !p(X).
+            q(a).
+        ")
+        .unwrap();
+        let err = eval_naive(&parsed.program, &Database::new()).unwrap_err();
+        assert!(matches!(err, EvalError::NegatedIdb(_)));
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let parsed = parse("p(X, Y) :- q(X).").unwrap();
+        let err = eval_naive(&parsed.program, &Database::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Invalid(_)));
+    }
+
+    #[test]
+    fn without_indexes_same_answers() {
+        let parsed = parse("
+            e(a, b). e(b, c).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ")
+        .unwrap();
+        let with = eval_naive(&parsed.program, &Database::new()).unwrap();
+        let without = eval_naive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions { use_indexes: false },
+        )
+        .unwrap();
+        let tc = alexander_ir::Predicate::new("tc", 2);
+        assert_eq!(with.db.len_of(tc), without.db.len_of(tc));
+    }
+
+    #[test]
+    fn empty_program_terminates_immediately() {
+        let r = run("");
+        assert_eq!(r.db.total_tuples(), 0);
+        assert_eq!(r.metrics.iterations, 1);
+    }
+
+    #[test]
+    fn facts_only_program() {
+        let r = run("p(a). p(b).");
+        assert_eq!(r.db.len_of(alexander_ir::Predicate::new("p", 1)), 2);
+    }
+}

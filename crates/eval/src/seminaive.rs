@@ -1,0 +1,240 @@
+//! Semi-naive bottom-up evaluation: each round only joins rule bodies
+//! against the facts discovered in the previous round (the *delta*),
+//! eliminating the bulk of naive evaluation's re-derivations.
+
+use crate::error::EvalError;
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::metrics::EvalMetrics;
+use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
+use alexander_ir::{FxHashSet, Polarity, Predicate, Program, Rule};
+use alexander_storage::Database;
+
+/// Runs semi-naive evaluation of a semipositive `program` over `edb`.
+pub fn eval_seminaive(program: &Program, edb: &Database) -> Result<EvalResult, EvalError> {
+    eval_seminaive_opts(program, edb, EvalOptions::default())
+}
+
+/// [`eval_seminaive`] with explicit options.
+pub fn eval_seminaive_opts(
+    program: &Program,
+    edb: &Database,
+    opts: EvalOptions,
+) -> Result<EvalResult, EvalError> {
+    program.validate().map_err(EvalError::Invalid)?;
+    check_semipositive(program)?;
+    let mut db = seed_database(program, edb);
+    let mut metrics = EvalMetrics::default();
+    run_rules(&program.rules, &mut db, &mut metrics, opts, None)?;
+    Ok(EvalResult { db, metrics })
+}
+
+/// The semi-naive engine over an explicit rule set, mutating `db` in place.
+///
+/// `negatives`: where negative literals are checked; `None` means the current
+/// total (correct when negated predicates are already complete in `db`, as in
+/// per-stratum evaluation). The delta tracks only the head predicates of
+/// `rules` — facts of other predicates are static during the run.
+///
+/// This is also the engine the stratified evaluator calls once per stratum.
+pub(crate) fn run_rules(
+    rules: &[Rule],
+    db: &mut Database,
+    metrics: &mut EvalMetrics,
+    opts: EvalOptions,
+    negatives: Option<&Database>,
+) -> Result<(), EvalError> {
+    let compiled: Vec<CompiledRule> = rules
+        .iter()
+        .map(|r| compile_rule(r).map_err(EvalError::from))
+        .collect::<Result<_, _>>()?;
+    let derived: FxHashSet<Predicate> = compiled.iter().map(|r| r.head.pred).collect();
+
+    // Round 0: full join over the seed database.
+    metrics.iterations += 1;
+    if opts.use_indexes {
+        for r in &compiled {
+            ensure_rule_indexes(r, db);
+        }
+    }
+    let mut delta = Database::new();
+    for rule in &compiled {
+        let head_pred = rule.head.pred;
+        let input = JoinInput {
+            total: db,
+            delta: None,
+            negatives,
+        };
+        join_rule(rule, &input, metrics, &mut |t| {
+            if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                false
+            } else {
+                delta.insert(head_pred, t)
+            }
+        });
+    }
+    db.merge(&delta);
+
+    // Delta rounds: every derived-predicate literal takes a turn as the
+    // delta position.
+    while delta.total_tuples() > 0 {
+        metrics.iterations += 1;
+        if opts.use_indexes {
+            for r in &compiled {
+                ensure_rule_indexes(r, db);
+                ensure_rule_indexes(r, &mut delta);
+            }
+        }
+        let mut next = Database::new();
+        for rule in &compiled {
+            let head_pred = rule.head.pred;
+            for (i, lit) in rule.body.iter().enumerate() {
+                if lit.polarity != Polarity::Positive || !derived.contains(&lit.atom.pred) {
+                    continue;
+                }
+                if delta.len_of(lit.atom.pred) == 0 {
+                    continue;
+                }
+                let input = JoinInput {
+                    total: db,
+                    delta: Some((i, &delta)),
+                    negatives,
+                };
+                join_rule(rule, &input, metrics, &mut |t| {
+                    if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                        false
+                    } else {
+                        next.insert(head_pred, t)
+                    }
+                });
+            }
+        }
+        db.merge(&next);
+        delta = next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::eval_naive;
+    use alexander_parser::parse;
+    use alexander_storage::tuple_of_syms;
+
+    const TC: &str = "
+        e(a, b). e(b, c). e(c, d). e(d, e5). e(e5, f).
+        tc(X, Y) :- e(X, Y).
+        tc(X, Y) :- e(X, Z), tc(Z, Y).
+    ";
+
+    #[test]
+    fn agrees_with_naive_on_tc() {
+        let parsed = parse(TC).unwrap();
+        let edb = Database::new();
+        let naive = eval_naive(&parsed.program, &edb).unwrap();
+        let semi = eval_seminaive(&parsed.program, &edb).unwrap();
+        let tc = Predicate::new("tc", 2);
+        assert_eq!(naive.db.len_of(tc), semi.db.len_of(tc));
+        assert_eq!(semi.db.len_of(tc), 15); // C(6,2) pairs on a 6-node chain
+    }
+
+    #[test]
+    fn seminaive_rederives_less_than_naive() {
+        let parsed = parse(TC).unwrap();
+        let edb = Database::new();
+        let naive = eval_naive(&parsed.program, &edb).unwrap();
+        let semi = eval_seminaive(&parsed.program, &edb).unwrap();
+        assert!(
+            semi.metrics.duplicate_facts < naive.metrics.duplicate_facts,
+            "semi-naive {} vs naive {}",
+            semi.metrics.duplicate_facts,
+            naive.metrics.duplicate_facts
+        );
+        assert_eq!(semi.metrics.new_facts, naive.metrics.new_facts);
+    }
+
+    #[test]
+    fn nonlinear_rules_use_delta_at_each_position() {
+        // Nonlinear transitive closure: tc(X,Y) :- tc(X,Z), tc(Z,Y).
+        let parsed = parse("
+            e(a, b). e(b, c). e(c, d).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+        ")
+        .unwrap();
+        let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
+        assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 6);
+        assert!(r
+            .db
+            .relation(Predicate::new("tc", 2))
+            .unwrap()
+            .contains(&tuple_of_syms(&["a", "d"])));
+    }
+
+    #[test]
+    fn same_generation_nonrecursive_base() {
+        let parsed = parse("
+            up(a, b). up(c, b). flat(b, b2). up(x, b). down(b2, y).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        ")
+        .unwrap();
+        let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
+        let sg = Predicate::new("sg", 2);
+        // sg(b, b2) from flat; sg(a,y), sg(c,y), sg(x,y) from the recursion.
+        assert_eq!(r.db.len_of(sg), 4);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let parsed = parse("
+            e(a, b). e(b, a).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ")
+        .unwrap();
+        let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
+        assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 4); // aa ab ba bb
+    }
+
+    #[test]
+    fn mutually_recursive_predicates() {
+        // Even/odd distance from a.
+        let parsed = parse("
+            e(a, b). e(b, c). e(c, d).
+            even(a).
+            odd(Y) :- even(X), e(X, Y).
+            even(Y) :- odd(X), e(X, Y).
+        ")
+        .unwrap();
+        let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
+        let even = Predicate::new("even", 1);
+        let odd = Predicate::new("odd", 1);
+        assert_eq!(r.db.len_of(even), 2); // a, c
+        assert_eq!(r.db.len_of(odd), 2); // b, d
+    }
+
+    #[test]
+    fn negated_idb_is_rejected_here_too() {
+        let parsed = parse("q(a). p(X) :- q(X). r(X) :- q(X), !p(X).").unwrap();
+        assert!(matches!(
+            eval_seminaive(&parsed.program, &Database::new()),
+            Err(EvalError::NegatedIdb(_))
+        ));
+    }
+
+    #[test]
+    fn edb_passed_externally() {
+        let parsed = parse("tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
+        let mut edb = Database::new();
+        let e = Predicate::new("e", 2);
+        for i in 0..20 {
+            edb.insert(
+                e,
+                tuple_of_syms(&[&format!("n{i}"), &format!("n{}", i + 1)]),
+            );
+        }
+        let r = eval_seminaive(&parsed.program, &edb).unwrap();
+        assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 20 * 21 / 2);
+    }
+}

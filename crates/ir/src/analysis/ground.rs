@@ -1,0 +1,274 @@
+//! Local stratification checked on the ground (Herbrand) instantiation.
+//!
+//! A program is *locally stratified* (Przymusinski) iff the dependency graph
+//! of its ground instantiation over the active domain has no cycle through a
+//! negative edge. This is exponential in general — we materialise the ground
+//! program — so it is only intended for small domains: cross-validating the
+//! loose-stratification analysis (the two coincide for function-free
+//! programs, Bry §5.1) and powering experiment E7.
+//!
+//! The check is **EDB-aware**: ground rule instances whose extensional body
+//! literals are falsified by the program's inline facts are pruned before
+//! building the graph. This matches the "depends on" relation of Bry's
+//! Proposition 5.1 (proofs are built from actual facts), and is what makes
+//! `win :- move, !win` locally stratified exactly when the `move` relation
+//! is acyclic.
+
+use crate::atom::Atom;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::literal::Polarity;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::subst::Subst;
+use crate::term::{Const, Term};
+
+use super::scc::tarjan;
+
+/// All ground instances of `rule` over `domain` (every variable replaced by
+/// every domain constant).
+pub fn ground_instances(rule: &Rule, domain: &[Const]) -> Vec<Rule> {
+    let vars = rule.vars();
+    if vars.is_empty() {
+        return vec![rule.clone()];
+    }
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; vars.len()];
+    if domain.is_empty() {
+        return out;
+    }
+    loop {
+        let mut s = Subst::new();
+        for (v, &c) in vars.iter().zip(&choice) {
+            s.bind(*v, Term::Const(domain[c]));
+        }
+        out.push(s.apply_rule(rule));
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            choice[i] += 1;
+            if choice[i] < domain.len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+            if i == vars.len() {
+                return out;
+            }
+        }
+    }
+}
+
+/// The active domain of a program: every constant occurring in its rules and
+/// inline facts, plus the extra constants supplied (e.g. from the EDB).
+pub fn active_domain(program: &Program, extra: &[Const]) -> Vec<Const> {
+    let mut seen: FxHashSet<Const> = FxHashSet::default();
+    let mut out = Vec::new();
+    let mut push = |c: Const| {
+        if seen.insert(c) {
+            out.push(c);
+        }
+    };
+    for r in &program.rules {
+        for t in r.head.terms.iter().chain(r.body.iter().flat_map(|l| l.atom.terms.iter())) {
+            if let Term::Const(c) = t {
+                push(*c);
+            }
+        }
+    }
+    for f in &program.facts {
+        for t in &f.terms {
+            if let Term::Const(c) = t {
+                push(*c);
+            }
+        }
+    }
+    for &c in extra {
+        push(c);
+    }
+    out
+}
+
+/// A witness that the ground instantiation has a negative edge in a cycle.
+#[derive(Clone, Debug)]
+pub struct NotLocallyStratified {
+    pub from: Atom,
+    pub to: Atom,
+}
+
+impl std::fmt::Display for NotLocallyStratified {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ground atom {} depends negatively on {} within a cycle",
+            self.from, self.to
+        )
+    }
+}
+
+/// Checks local stratification of `program` over the active domain extended
+/// by `extra_constants`.
+pub fn locally_stratified(
+    program: &Program,
+    extra_constants: &[Const],
+) -> Result<(), NotLocallyStratified> {
+    let domain = active_domain(program, extra_constants);
+    let mut vertices: Vec<Atom> = Vec::new();
+    let mut index: FxHashMap<Atom, usize> = FxHashMap::default();
+    let mut succs: Vec<Vec<(usize, Polarity)>> = Vec::new();
+    let add = |a: Atom,
+                   vertices: &mut Vec<Atom>,
+                   index: &mut FxHashMap<Atom, usize>,
+                   succs: &mut Vec<Vec<(usize, Polarity)>>| {
+        if let Some(&i) = index.get(&a) {
+            return i;
+        }
+        let i = vertices.len();
+        index.insert(a.clone(), i);
+        vertices.push(a);
+        succs.push(Vec::new());
+        i
+    };
+
+    let idb = program.idb_predicates();
+    let facts: FxHashSet<&Atom> = program.facts.iter().collect();
+    for rule in &program.rules {
+        for g in ground_instances(rule, &domain) {
+            // Prune instances falsified by the extensional database: a
+            // positive EDB literal absent from the facts, or a negative EDB
+            // literal present in them, means the instance can never fire.
+            let falsified = g.body.iter().any(|l| {
+                let p = l.atom.predicate();
+                if idb.contains(&p) {
+                    return false;
+                }
+                match l.polarity {
+                    Polarity::Positive => !facts.contains(&l.atom),
+                    Polarity::Negative => facts.contains(&l.atom),
+                }
+            });
+            if falsified {
+                continue;
+            }
+            let h = add(g.head.clone(), &mut vertices, &mut index, &mut succs);
+            for l in &g.body {
+                let b = add(l.atom.clone(), &mut vertices, &mut index, &mut succs);
+                if !succs[h].contains(&(b, l.polarity)) {
+                    succs[h].push((b, l.polarity));
+                }
+            }
+        }
+    }
+
+    let scc = tarjan(vertices.len(), &|v| {
+        succs[v].iter().map(|&(w, _)| w).collect()
+    });
+    for (v, outs) in succs.iter().enumerate() {
+        for &(w, pol) in outs {
+            if pol == Polarity::Negative && scc.component[v] == scc.component[w] {
+                return Err(NotLocallyStratified {
+                    from: vertices[v].clone(),
+                    to: vertices[w].clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::literal::Literal;
+    use crate::term::Var;
+
+    #[test]
+    fn ground_instances_enumerate_the_domain() {
+        let r = Rule::new(
+            atom("p", [Term::var("X")]),
+            vec![Literal::pos(atom("q", [Term::var("X"), Term::var("Y")]))],
+        );
+        let dom = vec![Const::sym("a"), Const::sym("b")];
+        let gs = ground_instances(&r, &dom);
+        assert_eq!(gs.len(), 4); // 2 vars × 2 constants
+        assert!(gs.iter().all(|g| g.head.is_ground()));
+        let distinct: FxHashSet<String> = gs.iter().map(|g| g.to_string()).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn ground_instances_of_ground_rule_is_itself() {
+        let r = Rule::new(atom("p", [Term::sym("a")]), vec![]);
+        assert_eq!(ground_instances(&r, &[Const::sym("z")]).len(), 1);
+    }
+
+    #[test]
+    fn active_domain_collects_constants() {
+        let mut p = Program::from_rules(vec![Rule::new(
+            atom("p", [Term::var("X"), Term::sym("a")]),
+            vec![Literal::pos(atom("q", [Term::var("X")]))],
+        )]);
+        p.facts.push(atom("q", [Term::sym("b")]));
+        let d = active_domain(&p, &[Const::int(3)]);
+        assert_eq!(d, vec![Const::sym("a"), Const::sym("b"), Const::int(3)]);
+    }
+
+    #[test]
+    fn win_move_on_cycle_is_not_locally_stratified() {
+        // move(a, b), move(b, a): win(a) depends negatively on win(b) and
+        // vice versa.
+        let mut p = Program::from_rules(vec![Rule::new(
+            atom("win", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("move", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("win", [Term::var("Y")])),
+            ],
+        )]);
+        p.facts.push(atom("move", [Term::sym("a"), Term::sym("b")]));
+        p.facts.push(atom("move", [Term::sym("b"), Term::sym("a")]));
+        assert!(locally_stratified(&p, &[]).is_err());
+    }
+
+    #[test]
+    fn win_move_ground_graph_is_fine_on_acyclic_moves() {
+        // Only move(a, b): ground win(a) -> win(b) negative, no cycle.
+        let mut p = Program::from_rules(vec![Rule::new(
+            atom("win", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("move", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("win", [Term::var("Y")])),
+            ],
+        )]);
+        p.facts.push(atom("move", [Term::sym("a"), Term::sym("b")]));
+        assert!(locally_stratified(&p, &[]).is_ok());
+    }
+
+    #[test]
+    fn bry_loose_example_is_locally_stratified() {
+        // p(x, a) :- q(x, y), s(z, x), !r(z, x), !p(z, b): ground p-atoms
+        // ending in `a` depend on p-atoms ending in `b`, which have no rules.
+        let p = Program::from_rules(vec![Rule::new(
+            atom("p", [Term::var("X"), Term::sym("a")]),
+            vec![
+                Literal::pos(atom("q", [Term::var("X"), Term::var("Y")])),
+                Literal::pos(atom("s", [Term::var("Z"), Term::var("X")])),
+                Literal::neg(atom("r", [Term::var("Z"), Term::var("X")])),
+                Literal::neg(atom("p", [Term::var("Z"), Term::sym("b")])),
+            ],
+        )]);
+        assert!(locally_stratified(&p, &[Const::sym("c")]).is_ok());
+        // Agreement with the loose-stratification analysis (they coincide on
+        // the function-free fragment).
+        assert!(super::super::loose::loosely_stratified(&p).is_ok());
+    }
+
+    #[test]
+    fn empty_domain_rules_have_no_instances() {
+        let r = Rule::new(
+            atom("p", [Term::var("X")]),
+            vec![Literal::pos(atom("q", [Term::var("X")]))],
+        );
+        assert!(ground_instances(&r, &[]).is_empty());
+        let _ = Var::new("X"); // keep import used under cfg(test)
+    }
+}

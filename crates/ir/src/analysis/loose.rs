@@ -1,0 +1,373 @@
+//! Loose stratification (Bry, PODS 1989, §5.1).
+//!
+//! Stratification rejects any negative edge in a dependency *cycle* at the
+//! predicate level. Loose stratification refines the test to the *atom*
+//! level: vertices of the **adorned dependency graph** are the atom
+//! occurrences of the rules (rules renamed apart), and an arc `A₁ →ˢ_σ A₂`
+//! exists when `A₁` unifies with the head `H` of a rule (mgu `τ`) and `A₂`
+//! is a body atom of that rule occurring with polarity `s`; the arc label
+//! `σ` is `τ` restricted to the variables of `A₁` and `A₂`.
+//!
+//! A program is **loosely stratified** iff there is no chain
+//! `A₁ →_σ₁ … →_σₙ Aₙ₊₁` such that
+//!   1. some arc of the chain is negative,
+//!   2. the labels `σ₁ … σₙ` are compatible (their union is solvable), and
+//!   3. the endpoints unify under the combined unifier (`A₁τ = Aₙ₊₁τ`).
+//!
+//! Because arc labels are fixed, traversing an arc twice adds no constraint:
+//! any witness chain can be shortened to a *trail* (each arc used at most
+//! once), so a depth-first search over trails with incremental
+//! substitution-merging is complete. For function-free programs loose
+//! stratification coincides with local stratification (Bry §5.1).
+
+use crate::atom::Atom;
+use crate::literal::Polarity;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::subst::Subst;
+use crate::term::Term;
+use crate::unify::{mgu, unify_atoms, unify_terms};
+
+/// One arc of the adorned dependency graph.
+#[derive(Clone, Debug)]
+pub struct AdornedArc {
+    pub from: usize,
+    pub to: usize,
+    pub polarity: Polarity,
+    /// The label: the head-unifier restricted to the endpoint atoms' variables.
+    pub label: Subst,
+}
+
+/// The adorned dependency graph of a program.
+#[derive(Clone, Debug, Default)]
+pub struct AdornedGraph {
+    /// Atom occurrences of the (renamed-apart) rules: heads first, then body
+    /// atoms, rule by rule.
+    pub vertices: Vec<Atom>,
+    pub arcs: Vec<AdornedArc>,
+}
+
+/// A witness that a program is *not* loosely stratified: the chain of
+/// vertices (by display form) whose endpoints unify and which crosses a
+/// negative arc.
+#[derive(Clone, Debug)]
+pub struct LooseWitness {
+    pub chain: Vec<String>,
+}
+
+impl std::fmt::Display for LooseWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "negative self-dependent chain: {}",
+            self.chain.join(" -> ")
+        )
+    }
+}
+
+impl AdornedGraph {
+    /// Builds the adorned dependency graph of `program`. Rules are renamed
+    /// apart first; within a rule, head/body variable sharing is kept — that
+    /// sharing is what propagates bindings along arcs.
+    pub fn build(program: &Program) -> AdornedGraph {
+        let rules: Vec<Rule> = program.rules.iter().map(|r| r.rectified()).collect();
+
+        let mut g = AdornedGraph::default();
+        // (head vertex id, body vertex ids) per rule.
+        let mut rule_vertices: Vec<(usize, Vec<(usize, Polarity)>)> = Vec::new();
+        for r in &rules {
+            let h = g.vertices.len();
+            g.vertices.push(r.head.clone());
+            let mut body = Vec::new();
+            for l in &r.body {
+                body.push((g.vertices.len(), l.polarity));
+                g.vertices.push(l.atom.clone());
+            }
+            rule_vertices.push((h, body));
+        }
+
+        // Arcs: every vertex that unifies with a rule head points at that
+        // rule's body atoms.
+        for a1 in 0..g.vertices.len() {
+            for (r, (h, body)) in rules.iter().zip(&rule_vertices) {
+                // Unify the source atom with the rule head. When the source
+                // *is* this rule's head occurrence the mgu is the identity.
+                let tau = if a1 == *h {
+                    Some(Subst::new())
+                } else {
+                    mgu(&g.vertices[a1], &r.head)
+                };
+                let Some(tau) = tau else { continue };
+                for &(a2, polarity) in body {
+                    let label = restrict(&tau, &g.vertices[a1], &g.vertices[a2]);
+                    g.arcs.push(AdornedArc {
+                        from: a1,
+                        to: a2,
+                        polarity,
+                        label,
+                    });
+                }
+            }
+        }
+        g
+    }
+
+    /// Outgoing arcs of vertex `v` (by arc index).
+    fn out_arcs(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.arcs
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.from == v)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Restricts `tau` to the variables occurring in `a1` or `a2` (Bry's σ).
+fn restrict(tau: &Subst, a1: &Atom, a2: &Atom) -> Subst {
+    let mut sigma = Subst::new();
+    let keep = |atom: &Atom, sigma: &mut Subst| {
+        for v in atom.vars() {
+            let w = tau.walk(Term::Var(v));
+            if w != Term::Var(v) && sigma.get(v).is_none() {
+                sigma.bind(v, w);
+            }
+        }
+    };
+    keep(a1, &mut sigma);
+    keep(a2, &mut sigma);
+    sigma
+}
+
+/// Checks loose stratification. `Ok(())` means loosely stratified; the error
+/// carries a witness chain.
+pub fn loosely_stratified(program: &Program) -> Result<(), LooseWitness> {
+    let g = AdornedGraph::build(program);
+
+    // DFS over trails from each start vertex, merging labels incrementally.
+    // State: current vertex, merged substitution, whether a negative arc was
+    // crossed, used-arc set, vertex path (for the witness).
+    fn dfs(
+        g: &AdornedGraph,
+        start: usize,
+        current: usize,
+        merged: &Subst,
+        negative_seen: bool,
+        used: &mut Vec<bool>,
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        // A chain (length >= 1) whose endpoints unify under the merged
+        // substitution and which crossed a negative arc is a witness.
+        if !path.is_empty() && negative_seen {
+            let mut tau = merged.clone();
+            if unify_atoms(&g.vertices[start], &g.vertices[current], &mut tau) {
+                let mut chain = vec![start];
+                chain.extend(path.iter().copied());
+                return Some(chain);
+            }
+        }
+        for ai in g.out_arcs(current) {
+            if used[ai] {
+                continue;
+            }
+            let arc = &g.arcs[ai];
+            // Merge the arc label into the accumulated substitution; an
+            // inconsistent merge prunes this branch (incompatible unifiers).
+            let mut next = merged.clone();
+            let mut ok = true;
+            for (v, t) in arc.label.iter() {
+                if !unify_terms(Term::Var(v), t, &mut next) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            used[ai] = true;
+            path.push(arc.to);
+            let hit = dfs(
+                g,
+                start,
+                arc.to,
+                &next,
+                negative_seen || arc.polarity == Polarity::Negative,
+                used,
+                path,
+            );
+            path.pop();
+            used[ai] = false;
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+
+    for start in 0..g.vertices.len() {
+        let mut used = vec![false; g.arcs.len()];
+        let mut path = Vec::new();
+        if let Some(chain) = dfs(&g, start, start, &Subst::new(), false, &mut used, &mut path) {
+            return Err(LooseWitness {
+                chain: chain
+                    .into_iter()
+                    .map(|v| g.vertices[v].to_string())
+                    .collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::stratify::stratify;
+    use crate::atom::atom;
+    use crate::literal::Literal;
+    use crate::term::Term;
+
+    /// Bry §5.1's example of a loosely stratified but unstratified program:
+    /// `p(x, a) :- q(x, y), !r(z, x), !p(z, b).`
+    fn bry_loose_example() -> Program {
+        Program::from_rules(vec![Rule::new(
+            atom("p", [Term::var("X"), Term::sym("a")]),
+            vec![
+                Literal::pos(atom("q", [Term::var("X"), Term::var("Y")])),
+                Literal::pos(atom("s", [Term::var("Z"), Term::var("X")])),
+                Literal::neg(atom("r", [Term::var("Z"), Term::var("X")])),
+                Literal::neg(atom("p", [Term::var("Z"), Term::sym("b")])),
+            ],
+        )])
+    }
+
+    /// Bry Figure 1: `p(x) :- q(x, y), !p(y).` — constructively consistent on
+    /// acyclic `q`, but not loosely stratified.
+    fn bry_fig1() -> Program {
+        Program::from_rules(vec![Rule::new(
+            atom("p", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("q", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("p", [Term::var("Y")])),
+            ],
+        )])
+    }
+
+    #[test]
+    fn loose_example_is_loosely_stratified_but_not_stratified() {
+        let p = bry_loose_example();
+        assert!(stratify(&p).is_err(), "negation through p's own SCC");
+        assert!(loosely_stratified(&p).is_ok(), "a/b clash blocks the chain");
+    }
+
+    #[test]
+    fn fig1_is_not_loosely_stratified() {
+        let err = loosely_stratified(&bry_fig1()).unwrap_err();
+        assert!(err.chain.len() >= 2, "witness chain: {err}");
+    }
+
+    #[test]
+    fn win_move_is_not_loosely_stratified() {
+        let p = Program::from_rules(vec![Rule::new(
+            atom("win", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("move", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("win", [Term::var("Y")])),
+            ],
+        )]);
+        assert!(loosely_stratified(&p).is_err());
+    }
+
+    #[test]
+    fn stratified_programs_are_loosely_stratified() {
+        // reached/unreached: stratified, hence loosely stratified.
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("reached", [Term::var("X")]),
+                vec![Literal::pos(atom("edge", [Term::sym("s"), Term::var("X")]))],
+            ),
+            Rule::new(
+                atom("reached", [Term::var("Y")]),
+                vec![
+                    Literal::pos(atom("reached", [Term::var("X")])),
+                    Literal::pos(atom("edge", [Term::var("X"), Term::var("Y")])),
+                ],
+            ),
+            Rule::new(
+                atom("unreached", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("node", [Term::var("X")])),
+                    Literal::neg(atom("reached", [Term::var("X")])),
+                ],
+            ),
+        ]);
+        assert!(stratify(&p).is_ok());
+        assert!(loosely_stratified(&p).is_ok());
+    }
+
+    #[test]
+    fn definite_recursion_is_loosely_stratified() {
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("anc", [Term::var("X"), Term::var("Y")]),
+                vec![Literal::pos(atom("par", [Term::var("X"), Term::var("Y")]))],
+            ),
+            Rule::new(
+                atom("anc", [Term::var("X"), Term::var("Y")]),
+                vec![
+                    Literal::pos(atom("par", [Term::var("X"), Term::var("Z")])),
+                    Literal::pos(atom("anc", [Term::var("Z"), Term::var("Y")])),
+                ],
+            ),
+        ]);
+        assert!(loosely_stratified(&p).is_ok());
+    }
+
+    #[test]
+    fn constant_guard_on_negation_chain_blocks_witness() {
+        // p(x, a) :- q(x), !p(x, b).  The only candidate chain needs
+        // p(_, a) to unify with p(_, b): blocked.
+        let p = Program::from_rules(vec![Rule::new(
+            atom("p", [Term::var("X"), Term::sym("a")]),
+            vec![
+                Literal::pos(atom("q", [Term::var("X")])),
+                Literal::neg(atom("p", [Term::var("X"), Term::sym("b")])),
+            ],
+        )]);
+        assert!(loosely_stratified(&p).is_ok());
+    }
+
+    #[test]
+    fn two_rule_negative_cycle_is_detected() {
+        // p(x) :- d(x), !q(x).   q(x) :- d(x), !p(x).
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("p", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("q", [Term::var("X")])),
+                ],
+            ),
+            Rule::new(
+                atom("q", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("p", [Term::var("X")])),
+                ],
+            ),
+        ]);
+        assert!(loosely_stratified(&p).is_err());
+    }
+
+    #[test]
+    fn adorned_graph_has_expected_shape() {
+        let g = AdornedGraph::build(&bry_loose_example());
+        // 1 head + 4 body atoms.
+        assert_eq!(g.vertices.len(), 5);
+        // Arcs only from atoms unifying with the head p(X, a): the head
+        // itself. p(Z, b) does not unify (a/b clash), q/s/r are not heads.
+        let sources: std::collections::HashSet<usize> =
+            g.arcs.iter().map(|a| a.from).collect();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(g.arcs.len(), 4);
+    }
+}

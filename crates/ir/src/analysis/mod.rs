@@ -1,0 +1,14 @@
+//! Static analyses over programs: dependency graphs, SCCs, stratification,
+//! loose stratification, and ground local stratification.
+
+pub mod depgraph;
+pub mod ground;
+pub mod loose;
+pub mod scc;
+pub mod stratify;
+
+pub use depgraph::{DepEdge, DepGraph};
+pub use ground::{active_domain, ground_instances, locally_stratified, NotLocallyStratified};
+pub use loose::{loosely_stratified, AdornedArc, AdornedGraph, LooseWitness};
+pub use scc::{tarjan, SccDecomposition};
+pub use stratify::{stratify, NotStratified, Stratification};

@@ -1,0 +1,169 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+//!
+//! Used to condense the predicate dependency graph: strata and evaluation
+//! order are computed per SCC. The iterative formulation avoids stack
+//! overflow on long dependency chains (deep chain EDBs produce deep rule
+//! graphs in stress tests).
+
+/// The SCC decomposition of a directed graph given as adjacency lists.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// `component[v]` is the SCC id of vertex `v`.
+    pub component: Vec<usize>,
+    /// Components listed in **reverse topological order**: if `c1` has an
+    /// edge into `c2` (c1 depends on c2), then `c2` appears before `c1`.
+    /// This is exactly bottom-up evaluation order.
+    pub components: Vec<Vec<usize>>,
+}
+
+/// Computes SCCs of the graph with `n` vertices and `succs[v]` the successor
+/// list of `v`. Tarjan emits components in reverse topological order, which
+/// we keep (see [`SccDecomposition::components`]).
+pub fn tarjan(n: usize, succs: &dyn Fn(usize) -> Vec<usize>) -> SccDecomposition {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component = vec![UNSET; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (vertex, successor list, next successor position).
+    struct Frame {
+        v: usize,
+        succs: Vec<usize>,
+        next: usize,
+    }
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            v: root,
+            succs: succs(root),
+            next: 0,
+        }];
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            if frame.next < frame.succs.len() {
+                let w = frame.succs[frame.next];
+                frame.next += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame {
+                        v: w,
+                        succs: succs(w),
+                        next: 0,
+                    });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // v is finished.
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component[w] = components.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.v;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scc_of(n: usize, edges: &[(usize, usize)]) -> SccDecomposition {
+        let adj: Vec<Vec<usize>> = {
+            let mut a = vec![Vec::new(); n];
+            for &(u, v) in edges {
+                a[u].push(v);
+            }
+            a
+        };
+        tarjan(n, &|v| adj[v].clone())
+    }
+
+    #[test]
+    fn singleton_components_for_dag() {
+        let d = scc_of(3, &[(0, 1), (1, 2)]);
+        assert_eq!(d.components.len(), 3);
+        // Reverse topological: 2 before 1 before 0.
+        assert_eq!(d.components[0], vec![2]);
+        assert_eq!(d.components[1], vec![1]);
+        assert_eq!(d.components[2], vec![0]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let d = scc_of(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.component, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0 <-> 1 form an SCC; both reach 2; 3 isolated.
+        let d = scc_of(4, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(d.components.len(), 3);
+        assert_eq!(d.component[0], d.component[1]);
+        assert_ne!(d.component[0], d.component[2]);
+        // 2 must come before the {0,1} component (reverse topological).
+        let c2 = d.component[2];
+        let c01 = d.component[0];
+        assert!(c2 < c01);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let d = scc_of(2, &[(0, 0), (0, 1)]);
+        assert_eq!(d.components.len(), 2);
+        assert_ne!(d.component[0], d.component[1]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100_000-vertex chain: a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let d = tarjan(n, &|v| if v + 1 < n { vec![v + 1] } else { vec![] });
+        assert_eq!(d.components.len(), n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = scc_of(0, &[]);
+        assert!(d.components.is_empty());
+        assert!(d.component.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Stratification (Apt–Blair–Walker / Van Gelder).
+//!
+//! A program is *stratified* iff its predicate dependency graph has no cycle
+//! through a negative edge — equivalently, no SCC contains a negative edge.
+//! The strata are the SCCs of the dependency graph in reverse topological
+//! order, merged into numbered layers such that a predicate's stratum is
+//! strictly above the strata of the predicates it depends on negatively and
+//! at or above those it depends on positively.
+
+use crate::atom::Predicate;
+use crate::hash::FxHashMap;
+use crate::literal::Polarity;
+use crate::program::Program;
+
+use super::depgraph::DepGraph;
+use super::scc::tarjan;
+
+/// A successful stratification.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// `strata[i]` is the set of predicates in stratum `i`; stratum 0 must be
+    /// evaluated first.
+    pub strata: Vec<Vec<Predicate>>,
+    stratum_of: FxHashMap<Predicate, usize>,
+}
+
+impl Stratification {
+    /// The stratum index of `p`. Predicates absent from the program (e.g.
+    /// pure EDB predicates never mentioned) default to stratum 0.
+    pub fn stratum_of(&self, p: Predicate) -> usize {
+        self.stratum_of.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// True iff there are no strata (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+}
+
+/// Why a program failed to stratify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotStratified {
+    /// A negative edge `from → to` inside one SCC (witness of the
+    /// negation-through-recursion cycle).
+    pub from: Predicate,
+    pub to: Predicate,
+}
+
+impl std::fmt::Display for NotStratified {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "program is not stratified: {} depends negatively on {} within a recursive cycle",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for NotStratified {}
+
+/// Stratifies `program`, or reports a witness negative edge in a cycle.
+pub fn stratify(program: &Program) -> Result<Stratification, NotStratified> {
+    let g = DepGraph::build(program);
+    let scc = tarjan(g.len(), &|v| {
+        g.succs[v].iter().map(|&(w, _)| w).collect()
+    });
+
+    // Reject negative edges inside an SCC.
+    for (v, outs) in g.succs.iter().enumerate() {
+        for &(w, pol) in outs {
+            if pol == Polarity::Negative && scc.component[v] == scc.component[w] {
+                return Err(NotStratified {
+                    from: g.vertices[v],
+                    to: g.vertices[w],
+                });
+            }
+        }
+    }
+
+    // Assign stratum numbers per component. Components arrive in reverse
+    // topological order (dependencies first), so one pass suffices:
+    //   stratum(c) = max over edges c→d of (stratum(d) + [edge negative]).
+    let ncomp = scc.components.len();
+    let mut comp_stratum = vec![0usize; ncomp];
+    for (c, members) in scc.components.iter().enumerate() {
+        let mut s = 0usize;
+        for &v in members {
+            for &(w, pol) in &g.succs[v] {
+                let d = scc.component[w];
+                if d == c {
+                    continue; // intra-component edges are positive here
+                }
+                let need = comp_stratum[d] + usize::from(pol == Polarity::Negative);
+                s = s.max(need);
+            }
+        }
+        comp_stratum[c] = s;
+    }
+
+    let nstrata = comp_stratum.iter().copied().max().map_or(0, |m| m + 1);
+    let mut strata = vec![Vec::new(); nstrata];
+    let mut stratum_of = FxHashMap::default();
+    for (c, members) in scc.components.iter().enumerate() {
+        for &v in members {
+            let p = g.vertices[v];
+            strata[comp_stratum[c]].push(p);
+            stratum_of.insert(p, comp_stratum[c]);
+        }
+    }
+    // Deterministic order inside a stratum.
+    for layer in &mut strata {
+        layer.sort();
+    }
+
+    Ok(Stratification { strata, stratum_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::literal::Literal;
+    use crate::rule::Rule;
+    use crate::term::Term;
+
+    fn pred(name: &str, arity: usize) -> Predicate {
+        Predicate::new(name, arity)
+    }
+
+    #[test]
+    fn definite_program_is_single_stratum_per_layer() {
+        // anc depends positively on par and itself: everything stratum 0.
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("anc", [Term::var("X"), Term::var("Y")]),
+                vec![Literal::pos(atom("par", [Term::var("X"), Term::var("Y")]))],
+            ),
+            Rule::new(
+                atom("anc", [Term::var("X"), Term::var("Y")]),
+                vec![
+                    Literal::pos(atom("par", [Term::var("X"), Term::var("Z")])),
+                    Literal::pos(atom("anc", [Term::var("Z"), Term::var("Y")])),
+                ],
+            ),
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stratum_of(pred("anc", 2)), 0);
+        assert_eq!(s.stratum_of(pred("par", 2)), 0);
+    }
+
+    #[test]
+    fn negation_pushes_head_to_higher_stratum() {
+        // unreached(X) :- node(X), !reached(X).
+        // reached(X) :- edge(s, X).   (simplified)
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("unreached", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("node", [Term::var("X")])),
+                    Literal::neg(atom("reached", [Term::var("X")])),
+                ],
+            ),
+            Rule::new(
+                atom("reached", [Term::var("X")]),
+                vec![Literal::pos(atom("edge", [Term::sym("s"), Term::var("X")]))],
+            ),
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of(pred("reached", 1)), 0);
+        assert_eq!(s.stratum_of(pred("unreached", 1)), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn win_move_is_not_stratified() {
+        let p = Program::from_rules(vec![Rule::new(
+            atom("win", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("move", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("win", [Term::var("Y")])),
+            ],
+        )]);
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(err.from, pred("win", 1));
+        assert_eq!(err.to, pred("win", 1));
+    }
+
+    #[test]
+    fn mutual_recursion_through_negation_is_rejected() {
+        // p :- !q.  q :- !p.  (classic even/odd deadlock)
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("p", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("q", [Term::var("X")])),
+                ],
+            ),
+            Rule::new(
+                atom("q", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("p", [Term::var("X")])),
+                ],
+            ),
+        ]);
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn chained_negations_produce_increasing_strata() {
+        // s2 :- !s1.  s1 :- !s0.  s0 :- base.
+        let p = Program::from_rules(vec![
+            Rule::new(
+                atom("s2", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("s1", [Term::var("X")])),
+                ],
+            ),
+            Rule::new(
+                atom("s1", [Term::var("X")]),
+                vec![
+                    Literal::pos(atom("d", [Term::var("X")])),
+                    Literal::neg(atom("s0", [Term::var("X")])),
+                ],
+            ),
+            Rule::new(
+                atom("s0", [Term::var("X")]),
+                vec![Literal::pos(atom("base", [Term::var("X")]))],
+            ),
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of(pred("s0", 1)), 0);
+        assert_eq!(s.stratum_of(pred("s1", 1)), 1);
+        assert_eq!(s.stratum_of(pred("s2", 1)), 2);
+    }
+
+    #[test]
+    fn empty_program_stratifies_trivially() {
+        let s = stratify(&Program::new()).unwrap();
+        assert!(s.is_empty());
+    }
+}

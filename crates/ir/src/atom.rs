@@ -1,0 +1,148 @@
+//! Predicates and atoms.
+
+use crate::symbol::Symbol;
+use crate::term::{Const, Term, Var};
+use std::fmt;
+
+/// A predicate identity: name plus arity.
+///
+/// Arity is part of the identity, so `p/1` and `p/2` are distinct predicates
+/// (standard Datalog convention).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    pub name: Symbol,
+    pub arity: usize,
+}
+
+impl Predicate {
+    /// Interns `name` with the given arity.
+    pub fn new(name: &str, arity: usize) -> Predicate {
+        Predicate {
+            name: Symbol::intern(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An atom `p(t1, …, tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pub pred: Symbol,
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom from a predicate name and terms.
+    pub fn new(pred: &str, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: Symbol::intern(pred),
+            terms,
+        }
+    }
+
+    /// The predicate identity (name + arity) of this atom.
+    pub fn predicate(&self) -> Predicate {
+        Predicate {
+            name: self.pred,
+            arity: self.terms.len(),
+        }
+    }
+
+    /// True iff every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_ground())
+    }
+
+    /// Iterates over the variables of the atom, with duplicates, in
+    /// left-to-right order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// The constants of a ground atom, in order. `None` if any argument is a
+    /// variable.
+    pub fn ground_args(&self) -> Option<Vec<Const>> {
+        self.terms.iter().map(|t| t.as_const()).collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred)?;
+        if !self.terms.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Convenience constructor: `atom!("p", [term, …])` equivalents for tests and
+/// examples without the parser.
+pub fn atom(pred: &str, terms: impl IntoIterator<Item = Term>) -> Atom {
+    Atom::new(pred, terms.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_identity_includes_arity() {
+        assert_ne!(Predicate::new("p", 1), Predicate::new("p", 2));
+        assert_eq!(Predicate::new("p", 1), Predicate::new("p", 1));
+        assert_eq!(Predicate::new("p", 2).to_string(), "p/2");
+    }
+
+    #[test]
+    fn groundness() {
+        let g = atom("p", [Term::sym("a"), Term::int(1)]);
+        assert!(g.is_ground());
+        assert_eq!(
+            g.ground_args(),
+            Some(vec![Const::sym("a"), Const::int(1)])
+        );
+        let og = atom("p", [Term::sym("a"), Term::var("X")]);
+        assert!(!og.is_ground());
+        assert_eq!(og.ground_args(), None);
+    }
+
+    #[test]
+    fn vars_in_order_with_duplicates() {
+        let a = atom("p", [Term::var("X"), Term::sym("c"), Term::var("Y"), Term::var("X")]);
+        let vs: Vec<_> = a.vars().collect();
+        assert_eq!(vs, vec![Var::new("X"), Var::new("Y"), Var::new("X")]);
+    }
+
+    #[test]
+    fn display() {
+        let a = atom("edge", [Term::sym("a"), Term::var("X")]);
+        assert_eq!(a.to_string(), "edge(a, X)");
+        let n = atom("halt", []);
+        assert_eq!(n.to_string(), "halt");
+    }
+}

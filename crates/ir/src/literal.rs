@@ -1,0 +1,94 @@
+//! Literals: positive or negated atoms.
+
+use crate::atom::Atom;
+use crate::term::Var;
+use std::fmt;
+
+/// The polarity of a body literal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Polarity {
+    Positive,
+    Negative,
+}
+
+/// A body literal: an atom with a polarity.
+///
+/// Negative literals are interpreted as *negation as failure*: `¬p(t̄)`
+/// succeeds iff `p(t̄)` is not derivable. Safety (range restriction) requires
+/// every variable of a negative literal to occur in some positive literal of
+/// the same rule body, see [`crate::program::Program::validate`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    pub atom: Atom,
+    pub polarity: Polarity,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            polarity: Polarity::Positive,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            polarity: Polarity::Negative,
+        }
+    }
+
+    /// True iff the literal is positive.
+    pub fn is_positive(&self) -> bool {
+        self.polarity == Polarity::Positive
+    }
+
+    /// True iff the literal is negative.
+    pub fn is_negative(&self) -> bool {
+        self.polarity == Polarity::Negative
+    }
+
+    /// The literal's variables, with duplicates, left to right.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.atom.vars()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.polarity {
+            Polarity::Positive => write!(f, "{}", self.atom),
+            Polarity::Negative => write!(f, "!{}", self.atom),
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::term::Term;
+
+    #[test]
+    fn polarity_predicates() {
+        let a = atom("p", [Term::var("X")]);
+        assert!(Literal::pos(a.clone()).is_positive());
+        assert!(!Literal::pos(a.clone()).is_negative());
+        assert!(Literal::neg(a.clone()).is_negative());
+    }
+
+    #[test]
+    fn display_marks_negation() {
+        let a = atom("win", [Term::var("Y")]);
+        assert_eq!(Literal::pos(a.clone()).to_string(), "win(Y)");
+        assert_eq!(Literal::neg(a).to_string(), "!win(Y)");
+    }
+}

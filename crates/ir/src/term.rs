@@ -1,0 +1,212 @@
+//! Terms of the function-free (Datalog) fragment: constants and variables.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A ground constant. Datalog is function-free, so constants are the only
+/// term constructors besides variables.
+///
+/// The `Ord` is the order the `lt`/`leq`/… built-ins compare by: integers
+/// numerically first, then symbols lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Const {
+    /// A symbolic constant, e.g. `adam`.
+    Sym(Symbol),
+    /// An integer constant, e.g. `42`.
+    Int(i64),
+}
+
+impl PartialOrd for Const {
+    fn partial_cmp(&self, other: &Const) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Const {
+    fn cmp(&self, other: &Const) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a.cmp(b),
+            (Const::Sym(a), Const::Sym(b)) => a.cmp(b),
+            (Const::Int(_), Const::Sym(_)) => Ordering::Less,
+            (Const::Sym(_), Const::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl Const {
+    /// Interns `s` as a symbolic constant.
+    pub fn sym(s: &str) -> Const {
+        Const::Sym(Symbol::intern(s))
+    }
+
+    /// Wraps an integer constant.
+    pub fn int(n: i64) -> Const {
+        Const::Int(n)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => write!(f, "{s}"),
+            Const::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Const {
+    fn from(n: i64) -> Const {
+        Const::Int(n)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Const {
+        Const::sym(s)
+    }
+}
+
+/// A logic variable, identified by its (interned) name.
+///
+/// Variable scope is a single rule: `X` in one rule is unrelated to `X` in
+/// another. Rectification (renaming apart) is done explicitly where analyses
+/// need it, see [`crate::rule::Rule::rectified`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Interns `name` as a variable.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::intern(name))
+    }
+
+    /// A fresh variable that cannot collide with any existing one.
+    pub fn fresh(base: &str) -> Var {
+        Var(Symbol::fresh(base))
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A term: either a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Var(Var),
+    Const(Const),
+}
+
+impl Term {
+    /// Interns `name` as a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Interns `s` as a symbolic-constant term.
+    pub fn sym(s: &str) -> Term {
+        Term::Const(Const::sym(s))
+    }
+
+    /// An integer-constant term.
+    pub fn int(n: i64) -> Term {
+        Term::Const(Const::Int(n))
+    }
+
+    /// True iff the term is a constant.
+    pub fn is_ground(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The constant, if ground.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The variable, if not ground.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_equality_goes_through_interner() {
+        assert_eq!(Const::sym("a"), Const::sym("a"));
+        assert_ne!(Const::sym("a"), Const::sym("b"));
+        assert_ne!(Const::sym("1"), Const::int(1));
+    }
+
+    #[test]
+    fn term_classification() {
+        assert!(Term::sym("a").is_ground());
+        assert!(Term::int(3).is_ground());
+        assert!(!Term::var("X").is_ground());
+        assert_eq!(Term::var("X").as_var(), Some(Var::new("X")));
+        assert_eq!(Term::sym("a").as_const(), Some(Const::sym("a")));
+        assert_eq!(Term::var("X").as_const(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::sym("adam").to_string(), "adam");
+        assert_eq!(Term::int(-7).to_string(), "-7");
+    }
+}

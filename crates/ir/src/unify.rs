@@ -1,0 +1,175 @@
+//! Unification and one-sided matching for the function-free fragment.
+//!
+//! Without function symbols there is no occurs-check problem: terms are
+//! constants or variables, and unification reduces to union-find-style
+//! variable aliasing plus constant comparison.
+
+use crate::atom::Atom;
+use crate::subst::Subst;
+use crate::term::Term;
+
+/// Unifies two terms under `s`, extending `s` in place. Returns `false` (with
+/// `s` possibly extended by irrelevant-but-consistent bindings) on clash.
+pub fn unify_terms(a: Term, b: Term, s: &mut Subst) -> bool {
+    let a = s.walk(a);
+    let b = s.walk(b);
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            if Term::Var(v) == t {
+                true
+            } else {
+                s.bind(v, t);
+                true
+            }
+        }
+    }
+}
+
+/// Unifies two atoms under `s`. The atoms must have the same predicate and
+/// arity for unification to succeed.
+pub fn unify_atoms(a: &Atom, b: &Atom, s: &mut Subst) -> bool {
+    if a.pred != b.pred || a.terms.len() != b.terms.len() {
+        return false;
+    }
+    a.terms
+        .iter()
+        .zip(&b.terms)
+        .all(|(&x, &y)| unify_terms(x, y, s))
+}
+
+/// Computes the most general unifier of `a` and `b`, if any.
+pub fn mgu(a: &Atom, b: &Atom) -> Option<Subst> {
+    let mut s = Subst::new();
+    if unify_atoms(a, b, &mut s) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// One-sided matching: extends `s` so that `pattern` instantiated by `s`
+/// equals the ground `ground` atom. Variables in `ground` are not allowed to
+/// be bound (there are none when matching against stored facts).
+pub fn match_atom(pattern: &Atom, ground: &Atom, s: &mut Subst) -> bool {
+    if pattern.pred != ground.pred || pattern.terms.len() != ground.terms.len() {
+        return false;
+    }
+    for (&p, &g) in pattern.terms.iter().zip(&ground.terms) {
+        let p = s.walk(p);
+        match (p, g) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return false;
+                }
+            }
+            (Term::Var(v), g) => s.bind(v, g),
+            (_, Term::Var(_)) => return false,
+        }
+    }
+    true
+}
+
+/// Two substitutions are *compatible* (Bry §5.1) iff there is a unifier more
+/// general than each — equivalently, iff the union of their bindings is
+/// itself consistent as a set of equations.
+pub fn compatible(a: &Subst, b: &Subst) -> Option<Subst> {
+    let mut merged = a.clone();
+    for (v, t) in b.iter() {
+        if !unify_terms(Term::Var(v), t, &mut merged) {
+            return None;
+        }
+    }
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::term::Var;
+
+    #[test]
+    fn unifies_var_with_const() {
+        let a = atom("p", [Term::var("X"), Term::sym("b")]);
+        let b = atom("p", [Term::sym("a"), Term::var("Y")]);
+        let s = mgu(&a, &b).expect("should unify");
+        assert_eq!(s.walk(Term::var("X")), Term::sym("a"));
+        assert_eq!(s.walk(Term::var("Y")), Term::sym("b"));
+    }
+
+    #[test]
+    fn clash_on_distinct_constants() {
+        let a = atom("p", [Term::sym("a")]);
+        let b = atom("p", [Term::sym("b")]);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn clash_on_predicate_or_arity() {
+        let a = atom("p", [Term::var("X")]);
+        assert!(mgu(&a, &atom("q", [Term::var("X")])).is_none());
+        assert!(mgu(&a, &atom("p", [Term::var("X"), Term::var("Y")])).is_none());
+    }
+
+    #[test]
+    fn var_var_aliasing_transmits_bindings() {
+        let a = atom("p", [Term::var("X"), Term::var("X")]);
+        let b = atom("p", [Term::var("Y"), Term::sym("c")]);
+        let s = mgu(&a, &b).expect("should unify");
+        assert_eq!(s.walk(Term::var("X")), Term::sym("c"));
+        assert_eq!(s.walk(Term::var("Y")), Term::sym("c"));
+    }
+
+    #[test]
+    fn shared_var_forces_equal_args() {
+        let a = atom("p", [Term::var("X"), Term::var("X")]);
+        let b = atom("p", [Term::sym("a"), Term::sym("b")]);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn matching_is_one_sided() {
+        let pat = atom("e", [Term::var("X"), Term::var("Y")]);
+        let g = atom("e", [Term::sym("a"), Term::sym("b")]);
+        let mut s = Subst::new();
+        assert!(match_atom(&pat, &g, &mut s));
+        assert_eq!(s.walk(Term::var("X")), Term::sym("a"));
+
+        // A constant in the pattern must equal the fact's constant.
+        let pat2 = atom("e", [Term::sym("z"), Term::var("Y")]);
+        let mut s2 = Subst::new();
+        assert!(!match_atom(&pat2, &g, &mut s2));
+    }
+
+    #[test]
+    fn matching_respects_prior_bindings() {
+        let pat = atom("e", [Term::var("X"), Term::var("X")]);
+        let g = atom("e", [Term::sym("a"), Term::sym("b")]);
+        let mut s = Subst::new();
+        assert!(!match_atom(&pat, &g, &mut s));
+
+        let g2 = atom("e", [Term::sym("a"), Term::sym("a")]);
+        let mut s2 = Subst::new();
+        assert!(match_atom(&pat, &g2, &mut s2));
+    }
+
+    #[test]
+    fn compatibility_of_substitutions() {
+        let mut s1 = Subst::new();
+        s1.bind(Var::new("X"), Term::sym("a"));
+        let mut s2 = Subst::new();
+        s2.bind(Var::new("Y"), Term::sym("b"));
+        assert!(compatible(&s1, &s2).is_some());
+
+        let mut s3 = Subst::new();
+        s3.bind(Var::new("X"), Term::sym("b"));
+        assert!(compatible(&s1, &s3).is_none());
+
+        // X -> Y combined with X -> a forces Y -> a: still compatible.
+        let mut s4 = Subst::new();
+        s4.bind(Var::new("X"), Term::var("Y"));
+        let merged = compatible(&s1, &s4).expect("compatible");
+        assert_eq!(merged.walk(Term::var("Y")), Term::sym("a"));
+    }
+}

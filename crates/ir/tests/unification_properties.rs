@@ -1,0 +1,101 @@
+//! Algebraic properties of unification and substitutions, checked on random
+//! atoms over a small vocabulary.
+
+use alexander_ir::{match_atom, mgu, Atom, Subst, Term};
+use proptest::prelude::*;
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..4u8).prop_map(|i| Term::var(["X", "Y", "Z", "W"][i as usize])),
+        (0..3u8).prop_map(|i| Term::sym(["a", "b", "c"][i as usize])),
+        (0..3i64).prop_map(Term::int),
+    ]
+}
+
+fn atom2() -> impl Strategy<Value = Atom> {
+    proptest::collection::vec(term(), 0..4).prop_map(|ts| Atom::new("p", ts))
+}
+
+fn ground_atom() -> impl Strategy<Value = Atom> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..3u8).prop_map(|i| Term::sym(["a", "b", "c"][i as usize])),
+            (0..3i64).prop_map(Term::int),
+        ],
+        0..4,
+    )
+    .prop_map(|ts| Atom::new("p", ts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// An mgu actually unifies: both sides become syntactically equal.
+    #[test]
+    fn mgu_unifies(a in atom2(), b in atom2()) {
+        if let Some(s) = mgu(&a, &b) {
+            prop_assert_eq!(s.apply_atom(&a), s.apply_atom(&b));
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn mgu_is_symmetric(a in atom2(), b in atom2()) {
+        prop_assert_eq!(mgu(&a, &b).is_some(), mgu(&b, &a).is_some());
+    }
+
+    /// Every atom unifies with itself via a renaming-free unifier.
+    #[test]
+    fn mgu_is_reflexive(a in atom2()) {
+        let s = mgu(&a, &a).expect("self-unification always succeeds");
+        prop_assert_eq!(s.apply_atom(&a), a);
+    }
+
+    /// Applying a substitution twice equals applying it once (walked
+    /// substitutions are idempotent on atoms).
+    #[test]
+    fn substitution_application_is_idempotent(a in atom2(), b in atom2()) {
+        if let Some(s) = mgu(&a, &b) {
+            let once = s.apply_atom(&a);
+            let twice = s.apply_atom(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// One-sided matching succeeds exactly when the pattern subsumes the
+    /// ground atom, and the witness substitution proves it.
+    #[test]
+    fn matching_is_sound(pattern in atom2(), ground in ground_atom()) {
+        let mut s = Subst::new();
+        if match_atom(&pattern, &ground, &mut s) {
+            prop_assert_eq!(s.apply_atom(&pattern), ground);
+        } else {
+            // If matching failed, no unifier can make them equal either
+            // (for a ground right-hand side, matching == unification).
+            prop_assert!(mgu(&pattern, &ground).is_none());
+        }
+    }
+
+    /// Matching against a ground atom never binds anything when the pattern
+    /// is ground too — it is just equality.
+    #[test]
+    fn ground_matching_is_equality(a in ground_atom(), b in ground_atom()) {
+        let mut s = Subst::new();
+        let matched = match_atom(&a, &b, &mut s);
+        prop_assert_eq!(matched, a == b);
+        if matched {
+            prop_assert!(s.is_empty());
+        }
+    }
+
+    /// Rectification preserves matchability in both directions.
+    #[test]
+    fn rectified_rules_unify_the_same(a in atom2(), g in ground_atom()) {
+        let rule = alexander_ir::Rule::new(a.clone(), vec![]);
+        let renamed = rule.rectified();
+        prop_assert_eq!(
+            mgu(&a, &g).is_some(),
+            mgu(&renamed.head, &g).is_some()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # alexander-parser
+//!
+//! Text front-end for the alexander Datalog dialect.
+//!
+//! Syntax summary:
+//!
+//! ```text
+//! % comment                         // comment
+//! parent(adam, abel).               facts (ground atoms)
+//! anc(X, Y) :- parent(X, Y).        rules
+//! win(X) :- move(X, Y), !win(Y).    negation: `!`, `\+` or `not`
+//! ?- anc(adam, X).                  queries
+//! ```
+//!
+//! Variables start with an upper-case letter or `_`; `_` alone is an
+//! anonymous variable, fresh at each occurrence. Constants are lower-case
+//! identifiers, integers, or `'quoted symbols'`.
+//!
+//! ```
+//! let parsed = alexander_parser::parse("p(a). q(X) :- p(X). ?- q(X).").unwrap();
+//! assert_eq!(parsed.program.rules.len(), 1);
+//! assert_eq!(parsed.queries[0].to_string(), "q(X)");
+//! ```
+
+pub mod parser;
+pub mod token;
+
+pub use parser::{parse, parse_atom, parse_rule, ParseError, ParsedProgram};
+pub use token::{lex, LexError, Pos, Spanned, Tok};

@@ -1,0 +1,319 @@
+//! Recursive-descent parser producing [`alexander_ir`] programs.
+
+use crate::token::{lex, Pos, Spanned, Tok};
+use alexander_ir::{Atom, Literal, Program, Rule, Term, Var};
+use std::fmt;
+
+/// Parse errors with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> ParseError {
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+/// The result of parsing a source file: the program (rules + facts) and any
+/// `?- goal.` queries, in source order.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedProgram {
+    pub program: Program,
+    pub queries: Vec<Atom>,
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+    /// Counter for anonymous `_` variables — each occurrence is fresh.
+    anon: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.at]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.peek().pos,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if &self.peek().tok == want {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {}", self.peek().tok))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Var(name) => {
+                self.next();
+                if name == "_" {
+                    self.anon += 1;
+                    Ok(Term::Var(Var::new(&format!("_Anon{}", self.anon))))
+                } else {
+                    Ok(Term::var(&name))
+                }
+            }
+            Tok::Ident(name) => {
+                self.next();
+                Ok(Term::sym(&name))
+            }
+            Tok::Int(n) => {
+                self.next();
+                Ok(Term::int(n))
+            }
+            other => self.err(format!("expected a term, found {other}")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.peek().tok.clone() {
+            Tok::Ident(name) => {
+                self.next();
+                name
+            }
+            other => return self.err(format!("expected a predicate name, found {other}")),
+        };
+        let mut terms = Vec::new();
+        if self.peek().tok == Tok::LParen {
+            self.next();
+            loop {
+                terms.push(self.term()?);
+                match self.peek().tok {
+                    Tok::Comma => {
+                        self.next();
+                    }
+                    Tok::RParen => {
+                        self.next();
+                        break;
+                    }
+                    _ => return self.err("expected `,` or `)` in argument list"),
+                }
+            }
+        }
+        Ok(Atom::new(&name, terms))
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if self.peek().tok == Tok::Neg {
+            self.next();
+            Ok(Literal::neg(self.atom()?))
+        } else {
+            Ok(Literal::pos(self.atom()?))
+        }
+    }
+
+    fn clause(&mut self, out: &mut ParsedProgram) -> Result<(), ParseError> {
+        if self.peek().tok == Tok::Query {
+            self.next();
+            let goal = self.atom()?;
+            self.expect(&Tok::Dot, "`.` after query")?;
+            out.queries.push(goal);
+            return Ok(());
+        }
+        let head = self.atom()?;
+        match self.peek().tok {
+            Tok::Dot => {
+                self.next();
+                if head.is_ground() {
+                    out.program.facts.push(head);
+                } else {
+                    return self.err(format!("fact `{head}` contains variables"));
+                }
+            }
+            Tok::Arrow => {
+                self.next();
+                let mut body = vec![self.literal()?];
+                while self.peek().tok == Tok::Comma {
+                    self.next();
+                    body.push(self.literal()?);
+                }
+                self.expect(&Tok::Dot, "`.` after rule body")?;
+                out.program.rules.push(Rule::new(head, body));
+            }
+            _ => return self.err("expected `.` or `:-` after clause head"),
+        }
+        Ok(())
+    }
+}
+
+/// Parses a program source text.
+///
+/// ```
+/// let parsed = alexander_parser::parse(
+///     "anc(X, Y) :- par(X, Y). \
+///      anc(X, Y) :- par(X, Z), anc(Z, Y). \
+///      par(adam, abel). \
+///      ?- anc(adam, X).",
+/// ).unwrap();
+/// assert_eq!(parsed.program.rules.len(), 2);
+/// assert_eq!(parsed.program.facts.len(), 1);
+/// assert_eq!(parsed.queries.len(), 1);
+/// ```
+pub fn parse(input: &str) -> Result<ParsedProgram, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, at: 0, anon: 0 };
+    let mut out = ParsedProgram::default();
+    while p.peek().tok != Tok::Eof {
+        p.clause(&mut out)?;
+    }
+    Ok(out)
+}
+
+/// Parses a single atom, e.g. a query goal like `anc(adam, X)`.
+pub fn parse_atom(input: &str) -> Result<Atom, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, at: 0, anon: 0 };
+    let a = p.atom()?;
+    if p.peek().tok == Tok::Dot {
+        p.next();
+    }
+    if p.peek().tok != Tok::Eof {
+        return p.err("trailing input after atom");
+    }
+    Ok(a)
+}
+
+/// Parses a single rule, e.g. `p(X) :- q(X), !r(X).`.
+pub fn parse_rule(input: &str) -> Result<Rule, ParseError> {
+    let parsed = parse(input)?;
+    match (&parsed.program.rules[..], &parsed.program.facts[..]) {
+        ([rule], []) => Ok(rule.clone()),
+        ([], [fact]) => Ok(Rule::new(fact.clone(), Vec::new())),
+        _ => Err(ParseError {
+            pos: Pos { line: 1, col: 1 },
+            message: "expected exactly one rule".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_rules_and_queries() {
+        let src = "
+            % the ancestor program
+            par(adam, abel).
+            par(adam, 'Seth').
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+            ?- anc(adam, X).
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.program.facts.len(), 2);
+        assert_eq!(p.program.rules.len(), 2);
+        assert_eq!(p.queries.len(), 1);
+        assert_eq!(p.queries[0].to_string(), "anc(adam, X)");
+        assert!(p.program.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_negation_variants() {
+        let r1 = parse_rule("win(X) :- move(X, Y), !win(Y).").unwrap();
+        let r2 = parse_rule("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let r3 = parse_rule("win(X) :- move(X, Y), \\+win(Y).").unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r2, r3);
+        assert!(r1.body[1].is_negative());
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let p = parse("halt. go :- halt.").unwrap();
+        assert_eq!(p.program.facts[0].to_string(), "halt");
+        assert_eq!(p.program.rules[0].to_string(), "go :- halt.");
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let r = parse_rule("p(X) :- q(X, _), r(X, _).").unwrap();
+        let v1 = r.body[0].atom.terms[1];
+        let v2 = r.body[1].atom.terms[1];
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn integers_in_facts() {
+        let p = parse("age(adam, 930).").unwrap();
+        assert_eq!(p.program.facts[0].to_string(), "age(adam, 930)");
+    }
+
+    #[test]
+    fn non_ground_fact_is_rejected() {
+        let e = parse("par(adam, X).").unwrap_err();
+        assert!(e.message.contains("contains variables"), "{e}");
+    }
+
+    #[test]
+    fn missing_dot_is_reported_with_position() {
+        let e = parse("p(a)\nq(b).").unwrap_err();
+        assert_eq!(e.pos.line, 2);
+    }
+
+    #[test]
+    fn unbalanced_parens() {
+        assert!(parse("p(a.").is_err());
+        assert!(parse("p(a,).").is_err());
+        assert!(parse("p a).").is_err());
+    }
+
+    #[test]
+    fn parse_atom_helper() {
+        let a = parse_atom("anc(adam, X)").unwrap();
+        assert_eq!(a.to_string(), "anc(adam, X)");
+        assert!(parse_atom("anc(adam, X) extra").is_err());
+    }
+
+    #[test]
+    fn parse_rule_accepts_fact_as_bodyless_rule() {
+        let r = parse_rule("p(a).").unwrap();
+        assert!(r.body.is_empty());
+        assert_eq!(r.head.to_string(), "p(a)");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "sg(X, Y) :- flat(X, Y). sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).";
+        let p1 = parse(src).unwrap();
+        let printed = p1.program.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1.program.rules, p2.program.rules);
+    }
+
+    #[test]
+    fn query_with_all_free_variables() {
+        let p = parse("?- anc(X, Y).").unwrap();
+        assert_eq!(p.queries[0].vars().count(), 2);
+    }
+}

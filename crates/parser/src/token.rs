@@ -1,0 +1,327 @@
+//! Lexer for the alexander Datalog dialect.
+//!
+//! Token classes: lower-case identifiers (predicate names and symbolic
+//! constants), upper-case / underscore identifiers (variables), integers,
+//! single-quoted symbols, punctuation (`( ) , . :- ? - !`), and the
+//! negation keywords `!`, `\+` and `not`. Comments run from `%` or `//` to
+//! end of line.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Lower-case identifier: predicate name or symbolic constant.
+    Ident(String),
+    /// Upper-case or `_`-prefixed identifier: variable.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    /// `:-`
+    Arrow,
+    /// `?-`
+    Query,
+    /// `!` or `\+` or the keyword `not`.
+    Neg,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Arrow => write!(f, "`:-`"),
+            Tok::Query => write!(f, "`?-`"),
+            Tok::Neg => write!(f, "negation"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its starting position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Lexer errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `input`. The result always ends with [`Tok::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '%' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    bump!();
+                }
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, pos: start });
+                bump!();
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, pos: start });
+                bump!();
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, pos: start });
+                bump!();
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, pos: start });
+                bump!();
+            }
+            '!' => {
+                out.push(Spanned { tok: Tok::Neg, pos: start });
+                bump!();
+            }
+            '\\' if i + 1 < bytes.len() && bytes[i + 1] == '+' => {
+                out.push(Spanned { tok: Tok::Neg, pos: start });
+                bump!();
+                bump!();
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                out.push(Spanned { tok: Tok::Arrow, pos: start });
+                bump!();
+                bump!();
+            }
+            '?' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                out.push(Spanned { tok: Tok::Query, pos: start });
+                bump!();
+                bump!();
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated quoted symbol".into(),
+                        });
+                    }
+                    if bytes[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    bump!();
+                }
+                out.push(Spanned { tok: Tok::Ident(s), pos: start });
+            }
+            '-' | '0'..='9' => {
+                let negative = c == '-';
+                let mut j = i + if negative { 1 } else { 0 };
+                if negative && (j >= bytes.len() || !bytes[j].is_ascii_digit()) {
+                    return Err(LexError {
+                        pos: start,
+                        message: "expected digits after `-`".into(),
+                    });
+                }
+                let mut n: i64 = 0;
+                let mut any = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|m| m.checked_add((bytes[j] as u8 - b'0') as i64))
+                        .ok_or_else(|| LexError {
+                            pos: start,
+                            message: "integer literal overflows i64".into(),
+                        })?;
+                    j += 1;
+                    any = true;
+                }
+                debug_assert!(any || !negative);
+                while i < j {
+                    bump!();
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(if negative { -n } else { n }),
+                    pos: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    s.push(bytes[i]);
+                    bump!();
+                }
+                let first = s.chars().next().unwrap();
+                let tok = if s == "not" {
+                    Tok::Neg
+                } else if first.is_uppercase() || first == '_' {
+                    Tok::Var(s)
+                } else {
+                    Tok::Ident(s)
+                };
+                out.push(Spanned { tok, pos: start });
+            }
+            other => {
+                return Err(LexError {
+                    pos: start,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: pos!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let ts = toks("anc(X, Y) :- par(X, Y).");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("anc".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::Comma,
+                Tok::Var("Y".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("par".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::Comma,
+                Tok::Var("Y".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negation_spellings() {
+        assert_eq!(toks("!p")[0], Tok::Neg);
+        assert_eq!(toks("\\+p")[0], Tok::Neg);
+        assert_eq!(toks("not p")[0], Tok::Neg);
+        // `notable` is an identifier, not a negation.
+        assert_eq!(toks("notable")[0], Tok::Ident("notable".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = toks("% full line\np. // trailing\nq.");
+        assert_eq!(ts.iter().filter(|t| matches!(t, Tok::Ident(_))).count(), 2);
+    }
+
+    #[test]
+    fn integers_including_negative() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("-7")[0], Tok::Int(-7));
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        assert_eq!(toks("'Hello World'")[0], Tok::Ident("Hello World".into()));
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("p.\n q.").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[2].pos, Pos { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn underscore_variables() {
+        assert_eq!(toks("_")[0], Tok::Var("_".into()));
+        assert_eq!(toks("_X")[0], Tok::Var("_X".into()));
+    }
+
+    #[test]
+    fn query_marker() {
+        assert_eq!(toks("?- p(X).")[0], Tok::Query);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("p @ q").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

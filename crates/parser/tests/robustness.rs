@@ -1,0 +1,55 @@
+//! Parser robustness: arbitrary input must produce `Ok` or a located
+//! `Err` — never a panic — and valid programs must round-trip.
+
+use alexander_parser::{lex, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer totally classifies arbitrary unicode soup.
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(&input);
+    }
+
+    /// Neither does the parser.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse(&input);
+    }
+
+    /// Datalog-shaped noise: random interleavings of plausible tokens.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("p".to_string()),
+                Just("X".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just(":-".to_string()),
+                Just("?-".to_string()),
+                Just("!".to_string()),
+                Just("not".to_string()),
+                Just("42".to_string()),
+                Just("'q'".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Error positions always point inside the input (or just past it).
+    #[test]
+    fn error_positions_are_in_range(input in "[a-zA-Z(),.:?! ]{0,40}") {
+        if let Err(e) = parse(&input) {
+            let lines: Vec<&str> = input.split('\n').collect();
+            prop_assert!(e.pos.line as usize <= lines.len().max(1));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! A database: one relation per predicate.
+
+use crate::relation::{Mask, Relation};
+use crate::tuple::Tuple;
+use alexander_ir::{Atom, FxHashMap, Predicate, Program};
+use std::fmt;
+
+/// A set of named relations. Used for the EDB, for materialised IDB results,
+/// and for the delta stores of semi-naive evaluation.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: FxHashMap<Predicate, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Loads the inline facts of `program` into a fresh database.
+    pub fn from_program(program: &Program) -> Database {
+        let mut db = Database::new();
+        for f in &program.facts {
+            db.insert_atom(f).expect("inline facts are ground");
+        }
+        db
+    }
+
+    /// The relation for `pred`, if it exists.
+    pub fn relation(&self, pred: Predicate) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// The relation for `pred`, created empty on first access.
+    pub fn relation_mut(&mut self, pred: Predicate) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.arity))
+    }
+
+    /// Inserts a tuple for `pred`; returns `true` if new.
+    pub fn insert(&mut self, pred: Predicate, t: Tuple) -> bool {
+        self.relation_mut(pred).insert(t)
+    }
+
+    /// Inserts a ground atom as a fact. Returns `Ok(true)` if new,
+    /// `Ok(false)` if duplicate, `Err` if the atom has variables.
+    pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, NonGround> {
+        let t = Tuple::from_atom(atom).ok_or_else(|| NonGround(atom.to_string()))?;
+        Ok(self.insert(atom.predicate(), t))
+    }
+
+    /// True iff the ground atom is stored. Non-ground atoms are never
+    /// "contained".
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        let Some(t) = Tuple::from_atom(atom) else {
+            return false;
+        };
+        self.relations
+            .get(&atom.predicate())
+            .is_some_and(|r| r.contains(&t))
+    }
+
+    /// Number of tuples for `pred` (0 if absent).
+    pub fn len_of(&self, pred: Predicate) -> usize {
+        self.relations.get(&pred).map_or(0, |r| r.len())
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Iterates over `(predicate, relation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Predicate, &Relation)> + '_ {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// The stored predicates, sorted for deterministic output.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut ps: Vec<Predicate> = self.relations.keys().copied().collect();
+        ps.sort();
+        ps
+    }
+
+    /// All facts of `pred` as ground atoms, in insertion order.
+    pub fn atoms_of(&self, pred: Predicate) -> Vec<Atom> {
+        self.relations
+            .get(&pred)
+            .map(|r| r.iter().map(|t| t.to_atom(pred.name)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Merges every tuple of `other` into `self`; returns the number of new
+    /// tuples.
+    pub fn merge(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (p, r) in other.iter() {
+            let target = self.relation_mut(p);
+            for t in r.iter() {
+                if target.insert(t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Ensures an index on `pred` for `mask` (no-op if the relation is
+    /// absent; it will be created on first insert and indexed then via
+    /// `ensure_index` being called again by the planner).
+    pub fn ensure_index(&mut self, pred: Predicate, mask: Mask) {
+        self.relation_mut(pred).ensure_index(mask);
+    }
+
+    /// Removes a ground atom; returns whether it was present.
+    pub fn remove_atom(&mut self, atom: &Atom) -> bool {
+        let Some(t) = Tuple::from_atom(atom) else {
+            return false;
+        };
+        self.relations
+            .get_mut(&atom.predicate())
+            .is_some_and(|r| r.remove(&t))
+    }
+
+    /// Removes a set of tuples from `pred`'s relation; returns how many were
+    /// present.
+    pub fn remove_tuples(
+        &mut self,
+        pred: Predicate,
+        victims: &alexander_ir::FxHashSet<Tuple>,
+    ) -> usize {
+        self.relations
+            .get_mut(&pred)
+            .map_or(0, |r| r.remove_all(victims))
+    }
+
+    /// Every constant appearing in any stored tuple, deduplicated, in first-
+    /// seen order (the database's active domain).
+    pub fn active_domain(&self) -> Vec<alexander_ir::Const> {
+        let mut seen = alexander_ir::FxHashSet::default();
+        let mut out = Vec::new();
+        for p in self.predicates() {
+            if let Some(r) = self.relations.get(&p) {
+                for t in r.iter() {
+                    for &c in t.values() {
+                        if seen.insert(c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Error: tried to store a non-ground atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonGround(pub String);
+
+impl fmt::Display for NonGround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot store non-ground atom `{}`", self.0)
+    }
+}
+
+impl std::error::Error for NonGround {}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ps = self.predicates();
+        ps.truncate(8);
+        write!(f, "Database({} tuples; ", self.total_tuples())?;
+        for p in ps {
+            write!(f, "{p}:{} ", self.len_of(p))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of_syms;
+    use alexander_ir::{atom, Term};
+
+    #[test]
+    fn insert_and_contains_atoms() {
+        let mut db = Database::new();
+        let a = atom("par", [Term::sym("a"), Term::sym("b")]);
+        assert_eq!(db.insert_atom(&a), Ok(true));
+        assert_eq!(db.insert_atom(&a), Ok(false));
+        assert!(db.contains_atom(&a));
+        assert!(!db.contains_atom(&atom("par", [Term::sym("b"), Term::sym("a")])));
+        assert_eq!(db.len_of(Predicate::new("par", 2)), 1);
+    }
+
+    #[test]
+    fn non_ground_insert_is_an_error() {
+        let mut db = Database::new();
+        let a = atom("par", [Term::sym("a"), Term::var("X")]);
+        assert!(db.insert_atom(&a).is_err());
+        assert!(!db.contains_atom(&a));
+    }
+
+    #[test]
+    fn same_name_different_arity_are_separate() {
+        let mut db = Database::new();
+        db.insert(Predicate::new("p", 1), tuple_of_syms(&["a"]));
+        db.insert(Predicate::new("p", 2), tuple_of_syms(&["a", "b"]));
+        assert_eq!(db.len_of(Predicate::new("p", 1)), 1);
+        assert_eq!(db.len_of(Predicate::new("p", 2)), 1);
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn merge_counts_new_tuples_only() {
+        let mut a = Database::new();
+        a.insert(Predicate::new("e", 1), tuple_of_syms(&["x"]));
+        let mut b = Database::new();
+        b.insert(Predicate::new("e", 1), tuple_of_syms(&["x"]));
+        b.insert(Predicate::new("e", 1), tuple_of_syms(&["y"]));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len_of(Predicate::new("e", 1)), 2);
+    }
+
+    #[test]
+    fn from_program_loads_inline_facts() {
+        let mut p = Program::new();
+        p.facts.push(atom("e", [Term::sym("a"), Term::sym("b")]));
+        p.facts.push(atom("n", [Term::sym("a")]));
+        let db = Database::from_program(&p);
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn active_domain_dedups() {
+        let mut db = Database::new();
+        db.insert(Predicate::new("e", 2), tuple_of_syms(&["a", "b"]));
+        db.insert(Predicate::new("e", 2), tuple_of_syms(&["b", "c"]));
+        let d = db.active_domain();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn atoms_of_roundtrip() {
+        let mut db = Database::new();
+        let a = atom("e", [Term::sym("a"), Term::sym("b")]);
+        db.insert_atom(&a).unwrap();
+        assert_eq!(db.atoms_of(Predicate::new("e", 2)), vec![a]);
+        assert!(db.atoms_of(Predicate::new("zzz", 1)).is_empty());
+    }
+}

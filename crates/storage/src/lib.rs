@@ -1,0 +1,33 @@
+//! # alexander-storage
+//!
+//! Relation storage for the Alexander-templates reproduction: duplicate-free
+//! tuple sets per predicate, with lazily built hash indexes keyed by binding
+//! pattern ([`Mask`]). The evaluators' join loops probe these indexes; the
+//! EDB, the materialised IDB, and the semi-naive deltas are all
+//! [`Database`]s.
+//!
+//! ```
+//! use alexander_ir::Predicate;
+//! use alexander_storage::{Database, Mask, Tuple};
+//! use alexander_ir::Const;
+//!
+//! let edge = Predicate::new("edge", 2);
+//! let mut db = Database::new();
+//! db.insert(edge, Tuple::new(vec![Const::sym("a"), Const::sym("b")]));
+//! db.ensure_index(edge, Mask::of_columns(&[0]));
+//! let rel = db.relation(edge).unwrap();
+//! let key = [Const::sym("a")];
+//! let (hits, indexed) = rel.probe(Mask::of_columns(&[0]), &key);
+//! assert!(indexed);
+//! assert_eq!(hits.count(), 1);
+//! ```
+
+pub mod database;
+pub mod load;
+pub mod relation;
+pub mod tuple;
+
+pub use database::{Database, NonGround};
+pub use load::{load_delimited, load_file, LoadError};
+pub use relation::{Mask, Relation};
+pub use tuple::{tuple_of_syms, Tuple};

@@ -1,0 +1,301 @@
+//! A single stored relation with binding-pattern indexes.
+
+use crate::tuple::Tuple;
+use alexander_ir::{Const, FxHashMap};
+use std::fmt;
+
+/// A binding pattern over argument positions, as a bitmask: bit `i` set means
+/// column `i` is bound (part of the lookup key). Arity is limited to 64.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mask(pub u64);
+
+impl Mask {
+    /// The mask binding exactly `columns`.
+    pub fn of_columns(columns: &[usize]) -> Mask {
+        let mut m = 0u64;
+        for &c in columns {
+            assert!(c < 64, "arity limit is 64");
+            m |= 1 << c;
+        }
+        Mask(m)
+    }
+
+    /// The bound columns, ascending.
+    pub fn columns(self) -> Vec<usize> {
+        (0..64).filter(|&i| self.0 & (1 << i) != 0).collect()
+    }
+
+    /// True iff no column is bound (full scan).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One secondary index: key = constants at the mask's columns, value = ids of
+/// matching tuples.
+type Index = FxHashMap<Vec<Const>, Vec<u32>>;
+
+/// A stored relation: a duplicate-free multiset of ground tuples of a fixed
+/// arity, with lazily built hash indexes per binding pattern.
+///
+/// Tuples are kept both in insertion order (`by_id`, for stable iteration and
+/// delta slicing) and in a hash map (`ids`, for O(1) duplicate detection).
+/// The duplication costs one extra boxed slice per tuple; in exchange,
+/// iteration is cache-friendly and deterministic.
+#[derive(Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    by_id: Vec<Tuple>,
+    ids: FxHashMap<Tuple, u32>,
+    indexes: FxHashMap<Mask, Index>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Inserts `t`; returns `true` if it was new. Panics on arity mismatch.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+        if self.ids.contains_key(&t) {
+            return false;
+        }
+        let id = u32::try_from(self.by_id.len()).expect("relation overflow");
+        // Maintain every already-built index.
+        for (mask, index) in &mut self.indexes {
+            let key = t.project(&mask.columns());
+            index.entry(key).or_default().push(id);
+        }
+        self.ids.insert(t.clone(), id);
+        self.by_id.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.ids.contains_key(t)
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.by_id.iter()
+    }
+
+    /// The tuples inserted at or after position `from` (delta slicing for
+    /// semi-naive evaluation).
+    pub fn since(&self, from: usize) -> &[Tuple] {
+        &self.by_id[from.min(self.by_id.len())..]
+    }
+
+    /// Ensures a hash index for `mask` exists (no-op for the empty mask).
+    pub fn ensure_index(&mut self, mask: Mask) {
+        if mask.is_empty() || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let columns = mask.columns();
+        let mut index: Index = FxHashMap::default();
+        for (id, t) in self.by_id.iter().enumerate() {
+            index
+                .entry(t.project(&columns))
+                .or_default()
+                .push(id as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// True iff an index for `mask` has been built.
+    pub fn has_index(&self, mask: Mask) -> bool {
+        self.indexes.contains_key(&mask)
+    }
+
+    /// Looks up the tuples whose `mask` columns equal `key`. Uses the index
+    /// when present, otherwise falls back to a filtered scan (the second
+    /// element of the returned pair is `true` when the index was used).
+    pub fn probe<'a>(
+        &'a self,
+        mask: Mask,
+        key: &'a [Const],
+    ) -> (Box<dyn Iterator<Item = &'a Tuple> + 'a>, bool) {
+        if mask.is_empty() {
+            return (Box::new(self.by_id.iter()), false);
+        }
+        if let Some(index) = self.indexes.get(&mask) {
+            let hits = index.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
+            return (
+                Box::new(hits.iter().map(move |&id| &self.by_id[id as usize])),
+                true,
+            );
+        }
+        let columns = mask.columns();
+        (
+            Box::new(
+                self.by_id
+                    .iter()
+                    .filter(move |t| t.project(&columns) == key),
+            ),
+            false,
+        )
+    }
+
+    /// All tuples matching `key` under `mask`, materialised (convenience for
+    /// tests).
+    pub fn select(&self, mask: Mask, key: &[Const]) -> Vec<Tuple> {
+        self.probe(mask, key).0.cloned().collect()
+    }
+
+    /// Removes every tuple in `victims`; returns how many were present.
+    ///
+    /// Deletion rebuilds the id table and any existing indexes (they key
+    /// tuple ids by position). Incremental maintenance deletes in batches,
+    /// so one rebuild per batch amortises fine.
+    pub fn remove_all(&mut self, victims: &alexander_ir::FxHashSet<Tuple>) -> usize {
+        let before = self.by_id.len();
+        if victims.is_empty() {
+            return 0;
+        }
+        let masks: Vec<Mask> = self.indexes.keys().copied().collect();
+        self.by_id.retain(|t| !victims.contains(t));
+        self.ids.clear();
+        for (i, t) in self.by_id.iter().enumerate() {
+            self.ids.insert(t.clone(), i as u32);
+        }
+        self.indexes.clear();
+        for m in masks {
+            self.ensure_index(m);
+        }
+        before - self.by_id.len()
+    }
+
+    /// Removes a single tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let mut set = alexander_ir::FxHashSet::default();
+        set.insert(t.clone());
+        self.remove_all(&set) == 1
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(arity={}, {} tuples)", self.arity, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of_syms;
+
+    fn edges() -> Relation {
+        let mut r = Relation::new(2);
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c")] {
+            r.insert(tuple_of_syms(&[a, b]));
+        }
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(tuple_of_syms(&["a", "b"])));
+        assert!(!r.insert(tuple_of_syms(&["a", "b"])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        let mut r = Relation::new(2);
+        r.insert(tuple_of_syms(&["a"]));
+    }
+
+    #[test]
+    fn probe_without_index_scans() {
+        let r = edges();
+        let mask = Mask::of_columns(&[0]);
+        let key = [Const::sym("a")];
+        let (it, indexed) = r.probe(mask, &key);
+        assert!(!indexed);
+        assert_eq!(it.count(), 2);
+    }
+
+    #[test]
+    fn probe_with_index() {
+        let mut r = edges();
+        let mask = Mask::of_columns(&[0]);
+        r.ensure_index(mask);
+        assert!(r.has_index(mask));
+        let key = [Const::sym("a")];
+        let (it, indexed) = r.probe(mask, &key);
+        assert!(indexed);
+        let got: Vec<_> = it.cloned().collect();
+        assert_eq!(got.len(), 2);
+        // Missing key yields nothing.
+        assert_eq!(r.select(mask, &[Const::sym("zzz")]).len(), 0);
+    }
+
+    #[test]
+    fn index_is_maintained_on_insert() {
+        let mut r = edges();
+        let mask = Mask::of_columns(&[1]);
+        r.ensure_index(mask);
+        r.insert(tuple_of_syms(&["d", "c"]));
+        assert_eq!(r.select(mask, &[Const::sym("c")]).len(), 3);
+    }
+
+    #[test]
+    fn empty_mask_probes_everything() {
+        let r = edges();
+        let (it, indexed) = r.probe(Mask(0), &[]);
+        assert!(!indexed);
+        assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn multi_column_mask() {
+        let mut r = edges();
+        let mask = Mask::of_columns(&[0, 1]);
+        r.ensure_index(mask);
+        assert_eq!(
+            r.select(mask, &[Const::sym("a"), Const::sym("c")]).len(),
+            1
+        );
+        assert_eq!(mask.columns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn since_slices_new_tuples() {
+        let mut r = edges();
+        let watermark = r.len();
+        r.insert(tuple_of_syms(&["x", "y"]));
+        assert_eq!(r.since(watermark).len(), 1);
+        assert_eq!(r.since(0).len(), 4);
+        assert_eq!(r.since(999).len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let r = edges();
+        let first = r.iter().next().unwrap();
+        assert_eq!(first, &tuple_of_syms(&["a", "b"]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Ground tuples — the unit of storage.
+
+use alexander_ir::{Atom, Const, Term};
+use std::fmt;
+
+/// A ground tuple of constants.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity.
+/// Equality and hashing reduce to hashing a few `Const` words (interned
+/// symbols are integers).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Const]>);
+
+impl Tuple {
+    /// Builds a tuple from constants.
+    pub fn new(consts: impl Into<Box<[Const]>>) -> Tuple {
+        Tuple(consts.into())
+    }
+
+    /// The tuple of a ground atom's arguments, `None` if the atom has
+    /// variables.
+    pub fn from_atom(atom: &Atom) -> Option<Tuple> {
+        let consts: Option<Box<[Const]>> = atom.terms.iter().map(|t| t.as_const()).collect();
+        consts.map(Tuple)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The constants.
+    pub fn values(&self) -> &[Const] {
+        &self.0
+    }
+
+    /// The constant in column `i`.
+    pub fn get(&self, i: usize) -> Const {
+        self.0[i]
+    }
+
+    /// Projects the tuple onto the given columns (used as index keys).
+    pub fn project(&self, columns: &[usize]) -> Vec<Const> {
+        columns.iter().map(|&c| self.0[c]).collect()
+    }
+
+    /// Rebuilds a ground atom with predicate name `pred`.
+    pub fn to_atom(&self, pred: alexander_ir::Symbol) -> Atom {
+        Atom {
+            pred,
+            terms: self.0.iter().map(|&c| Term::Const(c)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Vec<Const>> for Tuple {
+    fn from(v: Vec<Const>) -> Tuple {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+/// Shorthand for building a tuple of symbolic constants in tests/examples.
+pub fn tuple_of_syms(names: &[&str]) -> Tuple {
+    Tuple::new(
+        names
+            .iter()
+            .map(|n| Const::sym(n))
+            .collect::<Vec<_>>()
+            .into_boxed_slice(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ground_atom() {
+        let a = alexander_ir::atom("par", [Term::sym("a"), Term::int(2)]);
+        let t = Tuple::from_atom(&a).unwrap();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Const::sym("a"));
+        assert_eq!(t.get(1), Const::int(2));
+    }
+
+    #[test]
+    fn from_non_ground_atom_is_none() {
+        let a = alexander_ir::atom("par", [Term::sym("a"), Term::var("X")]);
+        assert!(Tuple::from_atom(&a).is_none());
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple_of_syms(&["a", "b", "c"]);
+        assert_eq!(t.project(&[2, 0]), vec![Const::sym("c"), Const::sym("a")]);
+        assert_eq!(t.project(&[]), Vec::<Const>::new());
+    }
+
+    #[test]
+    fn roundtrip_through_atom() {
+        let t = tuple_of_syms(&["x", "y"]);
+        let a = t.to_atom(alexander_ir::Symbol::intern("edge"));
+        assert_eq!(a.to_string(), "edge(x, y)");
+        assert_eq!(Tuple::from_atom(&a).unwrap(), t);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple_of_syms(&["a", "b"]).to_string(), "(a, b)");
+        assert_eq!(Tuple::new(Vec::new().into_boxed_slice()).to_string(), "()");
+    }
+}

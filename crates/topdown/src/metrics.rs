@@ -1,0 +1,44 @@
+//! Counters for the OLDT engine — the top-down side of the power
+//! comparison.
+
+use std::fmt;
+
+/// Machine-independent counters for an OLDT run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct OldtMetrics {
+    /// Distinct tabled calls (size of the call table).
+    pub calls: u64,
+    /// Distinct answers recorded across all tables.
+    pub answers: u64,
+    /// Resolution operations: clause resolutions, fact matches, answer
+    /// deliveries, and negation checks.
+    pub resolution_steps: u64,
+    /// Consumer registrations (suspensions on a table).
+    pub suspensions: u64,
+}
+
+impl fmt::Display for OldtMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} answers={} steps={} suspensions={}",
+            self.calls, self.answers, self.resolution_steps, self.suspensions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let m = OldtMetrics {
+            calls: 1,
+            answers: 2,
+            resolution_steps: 3,
+            suspensions: 4,
+        };
+        assert_eq!(m.to_string(), "calls=1 answers=2 steps=3 suspensions=4");
+    }
+}

@@ -1,0 +1,479 @@
+//! QSQR — Query-Subquery, recursive variant (Vieille 1986).
+//!
+//! The third member of the goal-directed family the 1989 literature
+//! compares (Alexander templates, magic sets, QSQR/OLDT). Where OLDT
+//! suspends consumers and resumes them answer by answer, QSQR keeps two
+//! global tables per adorned predicate —
+//!
+//! * `input_p^a`: the bound-argument tuples of every subquery issued, and
+//! * `ans_p^a`: the full answers derived for them —
+//!
+//! and processes subqueries *recursively*: meeting an intensional body
+//! literal registers its input and recursively solves it before consuming
+//! its answers. Recursive cycles are broken by an in-progress marker; an
+//! outer loop restarts the whole process until neither table grows. The
+//! restart makes QSQR complete without suspension machinery, at the cost of
+//! re-scanning inputs — visible in its step counts versus OLDT's.
+//!
+//! Its `input` tables must coincide with the magic/call demand sets and
+//! with OLDT's call tables on the same SIP — asserted by the test suite and
+//! experiment E13, the four-way power comparison.
+
+use crate::metrics::OldtMetrics;
+use alexander_ir::{
+    Adornment, Atom, Bf, Builtin, Const, FxHashMap, FxHashSet, Polarity, Predicate, Program,
+    Rule, Subst, Term,
+};
+use alexander_storage::{Database, Tuple};
+use alexander_transform::sip_order;
+use std::fmt;
+
+/// Errors from the QSQR engine.
+#[derive(Clone, Debug)]
+pub enum QsqrError {
+    Invalid(Vec<alexander_ir::ProgramError>),
+    /// Negation requires completed subquery tables; QSQR here supports the
+    /// same fragment as OLDT (stratified programs).
+    NotStratified(alexander_ir::analysis::NotStratified),
+    NonGroundNegation(String),
+}
+
+impl fmt::Display for QsqrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsqrError::Invalid(errs) => {
+                write!(f, "invalid program:")?;
+                for e in errs {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            QsqrError::NotStratified(e) => write!(f, "{e}"),
+            QsqrError::NonGroundNegation(l) => {
+                write!(f, "negative literal `{l}` selected while non-ground")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QsqrError {}
+
+/// The result of a QSQR run.
+#[derive(Clone, Debug)]
+pub struct QsqrResult {
+    /// Ground instances of the query.
+    pub answers: Vec<Atom>,
+    pub metrics: OldtMetrics,
+    /// Size of each input table: `(predicate, adornment) → #subqueries`.
+    pub inputs_by_pred: FxHashMap<(Predicate, String), u64>,
+    /// Size of each answer table.
+    pub answers_by_pred: FxHashMap<(Predicate, String), u64>,
+    /// Number of global restarts until the tables stabilised.
+    pub restarts: u64,
+}
+
+type Key = (Predicate, Adornment);
+
+struct Engine<'a> {
+    rules_by_pred: FxHashMap<Predicate, Vec<Rule>>,
+    edb: &'a Database,
+    idb: FxHashSet<Predicate>,
+    inputs: FxHashMap<Key, FxHashSet<Tuple>>,
+    answers: FxHashMap<Key, FxHashSet<Atom>>,
+    /// Keys currently being solved (cycle breaker).
+    in_progress: FxHashSet<Key>,
+    metrics: OldtMetrics,
+    changed: bool,
+}
+
+fn adornment_of(goal: &Atom, s: &Subst) -> Adornment {
+    Adornment(
+        goal.terms
+            .iter()
+            .map(|&t| {
+                if s.walk(t).is_ground() {
+                    Bf::Bound
+                } else {
+                    Bf::Free
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bound_tuple(goal: &Atom, s: &Subst, ad: &Adornment) -> Tuple {
+    let consts: Vec<Const> = goal
+        .terms
+        .iter()
+        .zip(&ad.0)
+        .filter(|(_, bf)| **bf == Bf::Bound)
+        .map(|(&t, _)| s.walk(t).as_const().expect("bound position is ground"))
+        .collect();
+    Tuple::from(consts)
+}
+
+impl<'a> Engine<'a> {
+    /// Registers a subquery; returns its key.
+    fn register(&mut self, goal: &Atom, s: &Subst) -> Key {
+        let ad = adornment_of(goal, s);
+        let key = (goal.predicate(), ad.clone());
+        let t = bound_tuple(goal, s, &ad);
+        if self.inputs.entry(key.clone()).or_default().insert(t) {
+            self.metrics.calls += 1;
+            self.changed = true;
+        }
+        key
+    }
+
+    /// Solves every registered input of `key` against the rules, recursing
+    /// into subqueries. Idempotent within one restart; cycles fall through
+    /// to the outer restart loop.
+    fn solve(&mut self, key: &Key) {
+        if self.in_progress.contains(key) {
+            return;
+        }
+        self.in_progress.insert(key.clone());
+        // Snapshot the inputs: new ones found while solving are caught by
+        // the restart loop.
+        let inputs: Vec<Tuple> = self
+            .inputs
+            .get(key)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        let rules = self
+            .rules_by_pred
+            .get(&key.0)
+            .cloned()
+            .unwrap_or_default();
+        for input in inputs {
+            for rule in &rules {
+                let fresh = rule.rectified();
+                // Bind the head's bound positions to the input tuple.
+                let mut s = Subst::new();
+                let mut ok = true;
+                let mut bi = 0usize;
+                for (t, bf) in fresh.head.terms.iter().zip(&key.1 .0) {
+                    if *bf == Bf::Bound {
+                        let c = Term::Const(input.get(bi));
+                        bi += 1;
+                        if !alexander_ir::unify_terms(*t, c, &mut s) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                self.metrics.resolution_steps += 1;
+                let bound_vars: FxHashSet<alexander_ir::Var> = fresh
+                    .head
+                    .vars()
+                    .filter(|v| s.walk(Term::Var(*v)).is_ground())
+                    .collect();
+                let goals = sip_order(&fresh.body, &bound_vars);
+                self.body(&fresh.head, &goals, 0, s, key);
+            }
+        }
+        self.in_progress.remove(key);
+    }
+
+    /// Depth-first body evaluation (tuple-at-a-time over set tables).
+    fn body(&mut self, head: &Atom, goals: &[alexander_ir::Literal], i: usize, s: Subst, key: &Key) {
+        if i == goals.len() {
+            let answer = s.apply_atom(head);
+            debug_assert!(answer.is_ground());
+            if self
+                .answers
+                .entry(key.clone())
+                .or_default()
+                .insert(answer)
+            {
+                self.metrics.answers += 1;
+                self.changed = true;
+            }
+            return;
+        }
+        let lit = &goals[i];
+        let goal = s.apply_atom(&lit.atom);
+
+        if let Some(b) = Builtin::of(goal.predicate()) {
+            let args = goal.ground_args().expect("SIP grounds built-ins");
+            self.metrics.resolution_steps += 1;
+            if b.eval(args[0], args[1]) == (lit.polarity == Polarity::Positive) {
+                self.body(head, goals, i + 1, s, key);
+            }
+            return;
+        }
+
+        match (lit.polarity, self.idb.contains(&goal.predicate())) {
+            (Polarity::Positive, false) => {
+                if let Some(rel) = self.edb.relation(goal.predicate()) {
+                    let facts: Vec<Atom> = rel.iter().map(|t| t.to_atom(goal.pred)).collect();
+                    for fact in facts {
+                        self.metrics.resolution_steps += 1;
+                        let mut s2 = s.clone();
+                        if alexander_ir::match_atom(&goal, &fact, &mut s2) {
+                            self.body(head, goals, i + 1, s2, key);
+                        }
+                    }
+                }
+            }
+            (Polarity::Positive, true) => {
+                let sub = self.register(&goal, &s);
+                self.solve(&sub);
+                let answers: Vec<Atom> = self
+                    .answers
+                    .get(&sub)
+                    .map(|a| a.iter().cloned().collect())
+                    .unwrap_or_default();
+                for a in answers {
+                    self.metrics.resolution_steps += 1;
+                    let mut s2 = s.clone();
+                    if alexander_ir::match_atom(&goal, &a, &mut s2) {
+                        self.body(head, goals, i + 1, s2, key);
+                    }
+                }
+            }
+            (Polarity::Negative, false) => {
+                debug_assert!(goal.is_ground());
+                self.metrics.resolution_steps += 1;
+                if !self.edb.contains_atom(&goal) {
+                    self.body(head, goals, i + 1, s, key);
+                }
+            }
+            (Polarity::Negative, true) => {
+                // Stratified: complete the subquery first. The outer restart
+                // loop guarantees completion before the final verdict, and
+                // stratification guarantees the recursion below terminates.
+                debug_assert!(goal.is_ground());
+                let sub = self.register(&goal, &s);
+                self.solve(&sub);
+                self.metrics.resolution_steps += 1;
+                let any = self
+                    .answers
+                    .get(&sub)
+                    .is_some_and(|a| a.iter().any(|x| x == &goal));
+                if !any {
+                    self.body(head, goals, i + 1, s, key);
+                }
+            }
+        }
+    }
+}
+
+/// Answers `query` by recursive QSQR.
+pub fn qsqr_query(
+    program: &Program,
+    edb: &Database,
+    query: &Atom,
+) -> Result<QsqrResult, QsqrError> {
+    program.validate().map_err(QsqrError::Invalid)?;
+    let idb = program.idb_predicates();
+    let has_idb_negation = program.rules.iter().any(|r| {
+        r.body
+            .iter()
+            .any(|l| l.is_negative() && idb.contains(&l.atom.predicate()))
+    });
+    if has_idb_negation {
+        alexander_ir::analysis::stratify(program).map_err(QsqrError::NotStratified)?;
+    }
+
+    let mut full_edb = edb.clone();
+    for f in &program.facts {
+        full_edb
+            .insert_atom(f)
+            .expect("validated facts are ground");
+    }
+    let mut rules_by_pred: FxHashMap<Predicate, Vec<Rule>> = FxHashMap::default();
+    for r in &program.rules {
+        rules_by_pred
+            .entry(r.head.predicate())
+            .or_default()
+            .push(r.clone());
+    }
+
+    let mut engine = Engine {
+        rules_by_pred,
+        edb: &full_edb,
+        idb: idb.clone(),
+        inputs: FxHashMap::default(),
+        answers: FxHashMap::default(),
+        in_progress: FxHashSet::default(),
+        metrics: OldtMetrics::default(),
+        changed: false,
+    };
+
+    let mut restarts = 0u64;
+    let answers: Vec<Atom> = if idb.contains(&query.predicate()) {
+        let s = Subst::new();
+        let seed = engine.register(query, &s);
+        // Restart until neither inputs nor answers grow.
+        loop {
+            restarts += 1;
+            engine.changed = false;
+            let keys: Vec<Key> = engine.inputs.keys().cloned().collect();
+            for k in keys {
+                engine.solve(&k);
+            }
+            if !engine.changed {
+                break;
+            }
+        }
+        engine
+            .answers
+            .get(&seed)
+            .map(|set| {
+                set.iter()
+                    .filter(|a| {
+                        let mut s = Subst::new();
+                        alexander_ir::match_atom(query, a, &mut s)
+                    })
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    } else {
+        full_edb
+            .atoms_of(query.predicate())
+            .into_iter()
+            .filter(|a| {
+                let mut s = Subst::new();
+                alexander_ir::match_atom(query, a, &mut s)
+            })
+            .collect()
+    };
+
+    let mut answers = answers;
+    answers.sort();
+
+    let inputs_by_pred = engine
+        .inputs
+        .iter()
+        .map(|(k, v)| ((k.0, k.1.suffix()), v.len() as u64))
+        .collect();
+    let answers_by_pred = engine
+        .answers
+        .iter()
+        .map(|(k, v)| ((k.0, k.1.suffix()), v.len() as u64))
+        .collect();
+
+    Ok(QsqrResult {
+        answers,
+        metrics: engine.metrics,
+        inputs_by_pred,
+        answers_by_pred,
+        restarts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_parser::{parse, parse_atom};
+
+    fn run(src: &str, q: &str) -> QsqrResult {
+        let parsed = parse(src).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        qsqr_query(&parsed.program, &edb, &parse_atom(q).unwrap()).unwrap()
+    }
+
+    const ANCESTOR: &str = "
+        par(a, b). par(b, c). par(c, d). par(x, y).
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    ";
+
+    #[test]
+    fn bound_free_ancestor() {
+        let r = run(ANCESTOR, "anc(a, X)");
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["anc(a, b)", "anc(a, c)", "anc(a, d)"]);
+        // Demand set = the reachable chain, like OLDT and the templates.
+        let key = (Predicate::new("anc", 2), "bf".to_string());
+        assert_eq!(r.inputs_by_pred[&key], 4);
+    }
+
+    #[test]
+    fn agrees_with_oldt_tables() {
+        let parsed = parse(ANCESTOR).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let q = parse_atom("anc(a, X)").unwrap();
+        let qs = qsqr_query(&parsed.program, &edb, &q).unwrap();
+        let ol = crate::oldt::oldt_query(&parsed.program, &edb, &q).unwrap();
+        assert_eq!(qs.metrics.calls, ol.metrics.calls);
+        assert_eq!(qs.metrics.answers, ol.metrics.answers);
+        let mut a1: Vec<String> = qs.answers.iter().map(|a| a.to_string()).collect();
+        let mut a2: Vec<String> = ol.answers.iter().map(|a| a.to_string()).collect();
+        a1.sort();
+        a2.sort();
+        a2.dedup();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let r = run(
+            "
+            e(a, b). e(b, a).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            ",
+            "tc(a, X)",
+        );
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["tc(a, a)", "tc(a, b)"]);
+        assert!(r.restarts >= 2, "recursion needs at least one restart");
+    }
+
+    #[test]
+    fn nonlinear_same_generation() {
+        let r = run(
+            "
+            up(a, g1). up(b, g1).
+            flat(g1, g1).
+            down(g1, c). down(g1, d).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            ",
+            "sg(a, Y)",
+        );
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["sg(a, c)", "sg(a, d)"]);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let r = run(
+            "
+            edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
+            reach(X) :- edge(s, X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+            ",
+            "unreach(X)",
+        );
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["unreach(s)", "unreach(z)"]);
+    }
+
+    #[test]
+    fn unstratified_negation_is_rejected() {
+        let parsed = parse("move(a, b). win(X) :- move(X, Y), !win(Y).").unwrap();
+        let edb = Database::from_program(&parsed.program);
+        assert!(matches!(
+            qsqr_query(&parsed.program, &edb, &parse_atom("win(a)").unwrap()),
+            Err(QsqrError::NotStratified(_))
+        ));
+    }
+
+    #[test]
+    fn ground_and_free_queries() {
+        let yes = run(ANCESTOR, "anc(a, d)");
+        assert_eq!(yes.answers.len(), 1);
+        let no = run(ANCESTOR, "anc(d, a)");
+        assert!(no.answers.is_empty());
+        let all = run(ANCESTOR, "anc(X, Y)");
+        assert_eq!(all.answers.len(), 7);
+    }
+}

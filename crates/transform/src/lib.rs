@@ -1,0 +1,46 @@
+//! # alexander-transform
+//!
+//! Query-directed program transformations for bottom-up evaluation:
+//!
+//! * [`adorn()`](adorn::adorn) — binding-pattern specialisation with sideways information
+//!   passing (the stage every rewriting starts from);
+//! * [`magic_sets`] — Generalized Magic Sets;
+//! * [`sup_magic_sets`] — Supplementary Magic Sets (prefix sharing);
+//! * [`alexander()`](alexander::alexander) — the Alexander templates method (call / answer /
+//!   continuation predicates), the subject of the reproduced paper.
+//!
+//! All three produce a [`Rewritten`] program whose bottom-up evaluation
+//! answers the original query while visiting only query-relevant facts.
+//! Use [`query_answers`] to read the answers off the saturated database.
+//!
+//! ```
+//! use alexander_parser::{parse, parse_atom};
+//! use alexander_storage::Database;
+//! use alexander_transform::{alexander, query_answers, SipOptions};
+//!
+//! let parsed = parse("
+//!     par(a, b). par(b, c).
+//!     anc(X, Y) :- par(X, Y).
+//!     anc(X, Y) :- par(X, Z), anc(Z, Y).
+//! ").unwrap();
+//! let query = parse_atom("anc(a, X)").unwrap();
+//! let t = alexander(&parsed.program, &query, SipOptions::default()).unwrap();
+//! let edb = Database::from_program(&parsed.program);
+//! let result = alexander_eval::eval_seminaive(&t.program, &edb).unwrap();
+//! let answers = query_answers(&result.db, &t.query);
+//! assert_eq!(answers.len(), 2); // anc(a, b), anc(a, c)
+//! ```
+
+pub mod adorn;
+pub mod alexander;
+pub mod common;
+pub mod magic;
+pub mod normalize;
+pub mod supmagic;
+
+pub use adorn::{adorn, sip_order, AdornError, Adorned, SipOptions};
+pub use alexander::alexander;
+pub use common::{bound_args, query_answers, seed_atom, Rewritten};
+pub use magic::magic_sets;
+pub use normalize::normalize_repeated_vars;
+pub use supmagic::sup_magic_sets;

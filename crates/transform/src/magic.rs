@@ -1,0 +1,226 @@
+//! The Generalized Magic Sets rewriting (Bancilhon–Maier–Sagiv–Ullman 1986,
+//! Beeri–Ramakrishnan 1987).
+//!
+//! For every adorned rule `p^a(t̄) :- L₁, …, Lₙ`:
+//!
+//! * one **modified rule** guards the original body with the magic predicate:
+//!   `p^a(t̄) :- magic_p^a(t̄_b), L₁, …, Lₙ`;
+//! * one **magic rule** per intensional body literal `Lᵢ = q^b(ū)`:
+//!   `magic_q^b(ū_b) :- magic_p^a(t̄_b), L₁, …, Lᵢ₋₁` — "if `p^a` is asked
+//!   with these bindings and the prefix holds, then `q^b` gets asked with
+//!   those bindings".
+//!
+//! The query contributes the **seed** `magic_q₀^a₀(c̄)`. Negative intensional
+//! literals produce magic rules exactly like positive ones (their subquery
+//! must be fully evaluated before the negation can be decided) — this is the
+//! extension to non-Horn programs; the resulting program is generally not
+//! stratified even when the source is, but it remains constructively
+//! consistent (Bry, PODS 1989, Prop. 5.8) and is evaluated with the
+//! conditional fixpoint procedure.
+
+use crate::adorn::{adorn, AdornError, SipOptions};
+use crate::common::{bound_args, prefixed, seed_atom, Rewritten};
+use alexander_ir::{Atom, Literal, Program, Rule};
+
+/// Applies the Generalized Magic Sets rewriting to `program` for `query`.
+pub fn magic_sets(
+    program: &Program,
+    query: &Atom,
+    opts: SipOptions,
+) -> Result<Rewritten, AdornError> {
+    let adorned = adorn(program, query, opts)?;
+    let mut rules: Vec<Rule> = Vec::new();
+
+    for rule in &adorned.program.rules {
+        let head_ap = &adorned.map[&rule.head.pred];
+        let magic_head = Atom {
+            pred: prefixed("magic_", rule.head.pred),
+            terms: bound_args(&rule.head, head_ap),
+        };
+
+        // Magic rules: one per intensional body literal.
+        let mut prefix: Vec<Literal> = vec![Literal::pos(magic_head.clone())];
+        for lit in &rule.body {
+            if let Some(lit_ap) = adorned.map.get(&lit.atom.pred) {
+                let magic_lit = Atom {
+                    pred: prefixed("magic_", lit.atom.pred),
+                    terms: bound_args(&lit.atom, lit_ap),
+                };
+                rules.push(Rule::new(magic_lit, prefix.clone()));
+            }
+            prefix.push(lit.clone());
+        }
+
+        // Modified rule: the guarded original.
+        let mut body = Vec::with_capacity(rule.body.len() + 1);
+        body.push(Literal::pos(magic_head));
+        body.extend(rule.body.iter().cloned());
+        rules.push(Rule::new(rule.head.clone(), body));
+    }
+
+    let seed = seed_atom("magic_", query, &adorned.query_adorned);
+    let call_pred = seed.predicate();
+    let mut program_out = Program::from_rules(rules);
+    program_out.facts.push(seed.clone());
+
+    Ok(Rewritten {
+        seed,
+        query: adorned.query.clone(),
+        answer_pred: adorned.query.predicate(),
+        call_pred,
+        program: program_out,
+        adorned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_eval::{eval_seminaive, eval_conditional};
+    use alexander_ir::Predicate;
+    use alexander_parser::{parse, parse_atom};
+    use alexander_storage::Database;
+
+    fn ancestor_src() -> &'static str {
+        "
+        par(a, b). par(b, c). par(c, d). par(x, y).
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+        "
+    }
+
+    #[test]
+    fn rewriting_shape_for_ancestor_bf() {
+        let p = parse(ancestor_src()).unwrap().program;
+        let q = parse_atom("anc(a, X)").unwrap();
+        let m = magic_sets(&p, &q, SipOptions::default()).unwrap();
+        let printed = m.program.to_string();
+        assert!(printed.contains("magic_anc_bf(a)."), "{printed}");
+        assert!(
+            printed.contains("magic_anc_bf(Z) :- magic_anc_bf(X), par(X, Z)."),
+            "{printed}"
+        );
+        assert!(
+            printed.contains("anc_bf(X, Y) :- magic_anc_bf(X), par(X, Y)."),
+            "{printed}"
+        );
+        assert_eq!(m.call_pred, Predicate::new("magic_anc_bf", 1));
+    }
+
+    #[test]
+    fn magic_answers_match_direct_evaluation() {
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+
+        let edb = Database::from_program(&parsed.program);
+        let direct = eval_seminaive(&parsed.program, &edb).unwrap();
+        let magic = eval_seminaive(&m.program, &edb).unwrap();
+
+        // Direct: all anc facts with first column a.
+        let anc = Predicate::new("anc", 2);
+        let want: Vec<String> = direct
+            .db
+            .atoms_of(anc)
+            .iter()
+            .filter(|a| a.terms[0] == alexander_ir::Term::sym("a"))
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        let got: Vec<String> = crate::common::query_answers(&magic.db, &m.query)
+            .iter()
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        let mut want = want;
+        let mut got = got;
+        want.sort();
+        got.sort();
+        assert_eq!(want, got);
+        assert_eq!(got, ["b", "c", "d"]);
+    }
+
+    #[test]
+    fn magic_avoids_irrelevant_subgraph() {
+        // The x->y edge is unreachable from a: magic evaluation must not
+        // derive any anc fact about it.
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let magic = eval_seminaive(&m.program, &edb).unwrap();
+        for a in magic.db.atoms_of(m.answer_pred) {
+            assert_ne!(a.terms[0].to_string(), "x", "derived irrelevant {a}");
+        }
+        // And it derives strictly fewer IDB facts than the full closure.
+        let direct = eval_seminaive(&parsed.program, &edb).unwrap();
+        assert!(
+            magic.db.len_of(m.answer_pred) < direct.db.len_of(Predicate::new("anc", 2)),
+            "magic should be focused"
+        );
+    }
+
+    #[test]
+    fn all_free_query_degenerates_to_full_evaluation() {
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(X, Y)").unwrap();
+        let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let magic = eval_seminaive(&m.program, &edb).unwrap();
+        let direct = eval_seminaive(&parsed.program, &edb).unwrap();
+        assert_eq!(
+            magic.db.len_of(m.answer_pred),
+            direct.db.len_of(Predicate::new("anc", 2))
+        );
+        // Zero-arity seed.
+        assert_eq!(m.seed.to_string(), "magic_anc_ff");
+    }
+
+    #[test]
+    fn same_generation_bound_query() {
+        let parsed = parse("
+            flat(g1, g2).
+            up(a, g1). up(b, g2).
+            down(g2, b2). down(g1, a2).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        ")
+        .unwrap();
+        let q = parse_atom("sg(a, Y)").unwrap();
+        let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let res = eval_seminaive(&m.program, &edb).unwrap();
+        let answers: Vec<String> = crate::common::query_answers(&res.db, &m.query)
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(answers, ["sg_bf(a, b2)".to_string()]);
+    }
+
+    #[test]
+    fn stratified_source_with_negation_runs_under_conditional_fixpoint() {
+        let parsed = parse("
+            edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
+            reach(X) :- edge(s, X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+        ")
+        .unwrap();
+        let q = parse_atom("unreach(z)").unwrap();
+        let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let res = eval_conditional(&m.program, &edb).unwrap();
+        assert!(res.is_total());
+        let answers = crate::common::query_answers(&res.db, &m.query);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].to_string(), "unreach_b(z)");
+    }
+
+    #[test]
+    fn seed_and_query_are_consistent() {
+        let p = parse(ancestor_src()).unwrap().program;
+        let q = parse_atom("anc(a, X)").unwrap();
+        let m = magic_sets(&p, &q, SipOptions::default()).unwrap();
+        assert_eq!(m.query.to_string(), "anc_bf(a, X)");
+        assert!(m.program.facts.contains(&m.seed));
+        assert!(m.program.validate().is_ok());
+    }
+}

@@ -1,0 +1,151 @@
+//! Rule normalisation: eliminate repeated variables inside intensional body
+//! literals.
+//!
+//! A subgoal like `q(X, X)` carries an *equality constraint* on top of its
+//! binding pattern. The adornment abstraction (and hence every rewriting
+//! built on it) sees only bound/free positions, so the templates issue the
+//! subquery `q^ff` and filter afterwards — while a variant-based tabling
+//! engine (OLDT) tables the finer call `q(_C0, _C0)` and only ever derives
+//! its diagonal. The power correspondence is stated over adornment-abstract
+//! calls; to compare engines on programs with repeated variables, normalise
+//! first: `q(X, X)` becomes `q(X, X')` followed by `eq(X, X')`. Both sides
+//! of the comparison then speak the same call language.
+//!
+//! Negative literals need no rewriting (safety grounds them: their calls
+//! are fully bound and repeated variables change nothing), and extensional
+//! literals are matched directly rather than tabled.
+
+use alexander_ir::{Atom, Builtin, FxHashSet, Literal, Polarity, Program, Rule, Term, Var};
+
+/// Splits repeated variables in positive intensional body literals,
+/// appending `eq` built-ins. Returns the program unchanged (cheaply) if
+/// nothing needed rewriting.
+pub fn normalize_repeated_vars(program: &Program) -> Program {
+    let idb = program.idb_predicates();
+    let rules = program
+        .rules
+        .iter()
+        .map(|rule| {
+            let mut body = Vec::with_capacity(rule.body.len());
+            for lit in &rule.body {
+                let pred = lit.atom.predicate();
+                let is_tabled_call = lit.polarity == Polarity::Positive
+                    && idb.contains(&pred)
+                    && Builtin::of(pred).is_none();
+                if !is_tabled_call {
+                    body.push(lit.clone());
+                    continue;
+                }
+                let mut seen: FxHashSet<Var> = FxHashSet::default();
+                let mut eqs: Vec<Literal> = Vec::new();
+                let terms: Vec<Term> = lit
+                    .atom
+                    .terms
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Const(_) => t,
+                        Term::Var(v) => {
+                            if seen.insert(v) {
+                                t
+                            } else {
+                                let fresh = Var::fresh(v.name().as_str());
+                                eqs.push(Literal::pos(Atom::new(
+                                    "eq",
+                                    vec![Term::Var(v), Term::Var(fresh)],
+                                )));
+                                Term::Var(fresh)
+                            }
+                        }
+                    })
+                    .collect();
+                body.push(Literal {
+                    atom: Atom {
+                        pred: lit.atom.pred,
+                        terms,
+                    },
+                    polarity: lit.polarity,
+                });
+                body.extend(eqs);
+            }
+            Rule::new(rule.head.clone(), body)
+        })
+        .collect();
+    Program {
+        rules,
+        facts: program.facts.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_parser::parse;
+
+    #[test]
+    fn splits_repeated_idb_variables() {
+        let p = parse("
+            p(Y, X) :- q(Y, Z), q(X, X).
+            q(X, Z) :- e(Z, X).
+        ")
+        .unwrap()
+        .program;
+        let n = normalize_repeated_vars(&p);
+        let printed = n.to_string();
+        assert!(printed.contains("eq(X, "), "{printed}");
+        // The q-subgoal no longer repeats X.
+        let rule = &n.rules[0];
+        let q2 = &rule.body[1].atom;
+        assert_ne!(q2.terms[0], q2.terms[1], "{printed}");
+        assert!(n.validate().is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn edb_and_negative_literals_are_untouched() {
+        let p = parse("
+            p(X) :- e(X, X).
+            r(X) :- d(X), !p2(X, X).
+            p2(X, Y) :- e(X, Y).
+        ")
+        .unwrap()
+        .program;
+        let n = normalize_repeated_vars(&p);
+        // e(X, X) is extensional; !p2(X, X) is negative: both stay.
+        assert_eq!(n.rules[0], p.rules[0]);
+        assert_eq!(n.rules[1], p.rules[1]);
+    }
+
+    #[test]
+    fn normalised_program_has_equal_answers() {
+        use alexander_eval::eval_seminaive;
+        use alexander_storage::Database;
+        let parsed = parse("
+            e(a, b). e(c, c).
+            q(X, Z) :- e(Z, X).
+            p(Y, X) :- q(Y, Z), q(X, X).
+        ")
+        .unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let original = eval_seminaive(&parsed.program, &edb).unwrap();
+        let normalized = normalize_repeated_vars(&parsed.program);
+        let renorm = eval_seminaive(&normalized, &edb).unwrap();
+        let p = alexander_ir::Predicate::new("p", 2);
+        let mut a: Vec<String> = original.db.atoms_of(p).iter().map(|x| x.to_string()).collect();
+        let mut b: Vec<String> = renorm.db.atoms_of(p).iter().map(|x| x.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn clean_programs_pass_through_structurally_unchanged() {
+        let p = parse("
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+        ")
+        .unwrap()
+        .program;
+        let n = normalize_repeated_vars(&p);
+        assert_eq!(n.rules, p.rules);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Supplementary Magic Sets rewriting (Beeri–Ramakrishnan 1987).
+//!
+//! Plain magic sets re-evaluates each rule prefix once for the modified rule
+//! and once per magic rule. The supplementary variant materialises each
+//! prefix exactly once in `sup` predicates and chains them:
+//!
+//! ```text
+//! p^a(t̄) :- L₁, …, Lₙ            (adorned, IDB literals at positions j₁ < …)
+//!   ⇒  sup_{r,0}(V₀)   :- magic_p^a(t̄_b), L₁, …, L_{j₁-1}.
+//!      magic_q^b(ū_b)  :- sup_{r,0}(V₀).
+//!      sup_{r,1}(V₁)   :- sup_{r,0}(V₀), q^b(ū), …next EDB segment….
+//!      …
+//!      p^a(t̄)          :- sup_{r,last}(V), …trailing EDB literals….
+//! ```
+//!
+//! `Vᵢ` keeps exactly the variables that are bound at the cut *and* still
+//! needed later (by the remaining body or the head). Structurally this is
+//! the Alexander method with different predicate names — the test suites and
+//! experiment E4 verify that correspondence rather than assuming it.
+
+use crate::adorn::{adorn, AdornError, SipOptions};
+use crate::common::{bound_args, prefixed, seed_atom, Rewritten};
+use alexander_ir::{
+    Atom, FxHashSet, Literal, Polarity, Program, Rule, Symbol, Term, Var,
+};
+
+/// Applies the supplementary magic rewriting to `program` for `query`.
+pub fn sup_magic_sets(
+    program: &Program,
+    query: &Atom,
+    opts: SipOptions,
+) -> Result<Rewritten, AdornError> {
+    let adorned = adorn(program, query, opts)?;
+    let mut rules: Vec<Rule> = Vec::new();
+
+    for (ri, rule) in adorned.program.rules.iter().enumerate() {
+        rewrite_rule(ri, rule, &adorned, &mut rules, &Naming::sup());
+    }
+
+    let seed = seed_atom("magic_", query, &adorned.query_adorned);
+    let call_pred = seed.predicate();
+    let mut program_out = Program::from_rules(rules);
+    program_out.facts.push(seed.clone());
+
+    Ok(Rewritten {
+        seed,
+        query: adorned.query.clone(),
+        answer_pred: adorned.query.predicate(),
+        call_pred,
+        program: program_out,
+        adorned,
+    })
+}
+
+/// Naming scheme for the segmented rewrite, shared conceptually with the
+/// Alexander method (which instantiates it differently in its own module).
+pub(crate) struct Naming {
+    /// Prefix of the demand predicate (`magic_` / `call_`).
+    pub demand: &'static str,
+    /// Prefix of the continuation predicates (`sup` / `cont`).
+    pub cont: &'static str,
+    /// Rename IDB body literals and rule heads to `ans_…` (Alexander) or
+    /// keep the adorned predicate (supplementary magic).
+    pub answers_prefix: Option<&'static str>,
+}
+
+impl Naming {
+    pub(crate) fn sup() -> Naming {
+        Naming {
+            demand: "magic_",
+            cont: "sup",
+            answers_prefix: None,
+        }
+    }
+
+    fn answer_atom(&self, a: &Atom) -> Atom {
+        match self.answers_prefix {
+            None => a.clone(),
+            Some(p) => Atom {
+                pred: prefixed(p, a.pred),
+                terms: a.terms.clone(),
+            },
+        }
+    }
+}
+
+/// Rewrites one adorned rule into its segmented form, appending to `out`.
+pub(crate) fn rewrite_rule(
+    ri: usize,
+    rule: &Rule,
+    adorned: &crate::adorn::Adorned,
+    out: &mut Vec<Rule>,
+    naming: &Naming,
+) {
+    let head_ap = &adorned.map[&rule.head.pred];
+    let demand_head = Atom {
+        pred: prefixed(naming.demand, rule.head.pred),
+        terms: bound_args(&rule.head, head_ap),
+    };
+
+    // Variable order for continuation schemas: first occurrence, head first.
+    let var_order: Vec<Var> = rule.vars();
+
+    // Bound-so-far tracking.
+    let mut bound: FxHashSet<Var> = demand_head.vars().collect();
+    let mut source: Vec<Literal> = vec![Literal::pos(demand_head)];
+    let mut k = 0usize;
+
+    for (j, lit) in rule.body.iter().enumerate() {
+        if let Some(lit_ap) = adorned.map.get(&lit.atom.pred) {
+            // Cut: variables bound here and still needed from literal j on.
+            let needed: FxHashSet<Var> = rule
+                .head
+                .vars()
+                .chain(rule.body[j..].iter().flat_map(|l| l.vars()))
+                .collect();
+            let schema: Vec<Term> = var_order
+                .iter()
+                .filter(|v| bound.contains(v) && needed.contains(v))
+                .map(|&v| Term::Var(v))
+                .collect();
+            let cont = Atom {
+                pred: Symbol::intern(&format!(
+                    "{}_{}_{}_{}",
+                    naming.cont, ri, k, rule.head.pred
+                )),
+                terms: schema,
+            };
+            out.push(Rule::new(cont.clone(), std::mem::take(&mut source)));
+            out.push(Rule::new(
+                Atom {
+                    pred: prefixed(naming.demand, lit.atom.pred),
+                    terms: bound_args(&lit.atom, lit_ap),
+                },
+                vec![Literal::pos(cont.clone())],
+            ));
+            source = vec![
+                Literal::pos(cont),
+                Literal {
+                    atom: naming.answer_atom(&lit.atom),
+                    polarity: lit.polarity,
+                },
+            ];
+            k += 1;
+        } else {
+            source.push(lit.clone());
+        }
+        if lit.polarity == Polarity::Positive {
+            bound.extend(lit.vars());
+        }
+    }
+
+    out.push(Rule::new(naming.answer_atom(&rule.head), source));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_eval::eval_seminaive;
+    use alexander_ir::Predicate;
+    use alexander_parser::{parse, parse_atom};
+    use alexander_storage::Database;
+
+    fn ancestor_src() -> &'static str {
+        "
+        par(a, b). par(b, c). par(c, d). par(x, y).
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+        "
+    }
+
+    #[test]
+    fn shape_for_ancestor_bf() {
+        let p = parse(ancestor_src()).unwrap().program;
+        let q = parse_atom("anc(a, X)").unwrap();
+        let m = sup_magic_sets(&p, &q, SipOptions::default()).unwrap();
+        let printed = m.program.to_string();
+        // The recursive rule is segmented through a sup predicate.
+        assert!(printed.contains("sup_1_0_anc_bf"), "{printed}");
+        assert!(
+            printed.contains("magic_anc_bf(Z) :- sup_1_0_anc_bf"),
+            "{printed}"
+        );
+        assert!(m.program.validate().is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn answers_match_plain_magic() {
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let edb = Database::from_program(&parsed.program);
+
+        let plain = crate::magic::magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let sup = sup_magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let r1 = eval_seminaive(&plain.program, &edb).unwrap();
+        let r2 = eval_seminaive(&sup.program, &edb).unwrap();
+
+        let mut a1: Vec<String> = crate::common::query_answers(&r1.db, &plain.query)
+            .iter()
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        let mut a2: Vec<String> = crate::common::query_answers(&r2.db, &sup.query)
+            .iter()
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
+        assert_eq!(a1, ["b", "c", "d"]);
+    }
+
+    #[test]
+    fn magic_extensions_coincide_with_plain_magic() {
+        // The demand sets (magic extensions) of the two rewritings must be
+        // identical — they encode the same subqueries.
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let plain = crate::magic::magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let sup = sup_magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let r1 = eval_seminaive(&plain.program, &edb).unwrap();
+        let r2 = eval_seminaive(&sup.program, &edb).unwrap();
+        let mut m1: Vec<String> = r1
+            .db
+            .atoms_of(plain.call_pred)
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        let mut m2: Vec<String> = r2
+            .db
+            .atoms_of(sup.call_pred)
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        m1.sort();
+        m2.sort();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn nonlinear_same_generation() {
+        let parsed = parse("
+            flat(g1, g2). flat(g2, g3).
+            up(a, g1). up(b, g2). up(g1, h1). down(h1, g4). flat(h1, h1).
+            down(g2, b2). down(g3, c2).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        ")
+        .unwrap();
+        let q = parse_atom("sg(a, Y)").unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let direct = eval_seminaive(&parsed.program, &edb).unwrap();
+        let sup = sup_magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let r = eval_seminaive(&sup.program, &edb).unwrap();
+        let mut got: Vec<String> = crate::common::query_answers(&r.db, &sup.query)
+            .iter()
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        got.sort();
+        let mut want: Vec<String> = direct
+            .db
+            .atoms_of(Predicate::new("sg", 2))
+            .iter()
+            .filter(|a| a.terms[0] == alexander_ir::Term::sym("a"))
+            .map(|a| a.terms[1].to_string())
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn sup_derives_fewer_or_equal_facts_than_plain_magic() {
+        // Supplementary magic shares prefixes; its total derived-fact count
+        // (including sup tuples) should not exceed plain magic's rule
+        // firings on this workload.
+        let parsed = parse(ancestor_src()).unwrap();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let plain = crate::magic::magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let sup = sup_magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
+        let r1 = eval_seminaive(&plain.program, &edb).unwrap();
+        let r2 = eval_seminaive(&sup.program, &edb).unwrap();
+        assert!(r2.metrics.firings <= r1.metrics.firings * 2);
+        assert!(r2.metrics.new_facts >= r1.metrics.new_facts);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: load a program, ask a query, compare all nine strategies.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+
+fn main() {
+    // Rules and facts in one source string. Facts become the extensional
+    // database; `X`, `Y`, `Z` are variables, lower-case names are constants.
+    let engine = Engine::from_source(
+        "
+        % A tiny genealogy.
+        par(adam, seth).    par(seth, enos).
+        par(enos, kenan).   par(kenan, mahalalel).
+        par(adam, abel).
+
+        % Ancestor is the transitive closure of parent.
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+        ",
+    )
+    .expect("the program is valid");
+
+    // A bound query: whose ancestor is seth?
+    let query = parse_atom("anc(seth, X)").expect("parses");
+
+    println!("query: {query}\n");
+    for strategy in Strategy::ALL {
+        match engine.query(&query, strategy) {
+            Ok(result) => {
+                let answers: Vec<String> =
+                    result.answers.iter().map(|a| a.to_string()).collect();
+                println!("{:<12} -> {}", strategy.name(), answers.join(", "));
+                println!("{:<12}    {}", "", result.report);
+            }
+            Err(e) => println!("{:<12} -> error: {e}", strategy.name()),
+        }
+    }
+
+    // The goal-directed strategies report their demand set: how many
+    // subqueries the evaluation actually issued.
+    let alexander = engine.query(&query, Strategy::Alexander).unwrap();
+    println!(
+        "\nAlexander templates issued {} subqueries to answer {query}.",
+        alexander.report.calls.unwrap()
+    );
+}

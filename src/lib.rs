@@ -1,0 +1,18 @@
+//! Umbrella crate for the Alexander-templates reproduction.
+//!
+//! Re-exports the public facade so the examples and integration tests in
+//! this repository root can use one import path. Library users should depend
+//! on [`alexander_core`] directly.
+
+pub use alexander_core::*;
+
+/// Convenience re-exports of the component crates for integration tests.
+pub mod crates {
+    pub use alexander_eval as eval;
+    pub use alexander_ir as ir;
+    pub use alexander_parser as parser;
+    pub use alexander_storage as storage;
+    pub use alexander_topdown as topdown;
+    pub use alexander_transform as transform;
+    pub use alexander_workload as workload;
+}

@@ -1,0 +1,149 @@
+//! Built-in comparison predicates, end to end: the same `lt`/`neq`/… atoms
+//! must work under every strategy, inside recursion, under rewritings, and
+//! in the conditional fixpoint.
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+
+#[test]
+fn filtering_with_lt_under_all_strategies() {
+    let engine = Engine::from_source(
+        "
+        score(alice, 10). score(bob, 25). score(carol, 40).
+        low(P) :- score(P, S), lt(S, 30).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("low(X)").unwrap();
+    for s in Strategy::ALL {
+        let r = engine.query(&q, s).unwrap();
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["low(alice)", "low(bob)"], "strategy {s}");
+    }
+}
+
+#[test]
+fn neq_breaks_symmetric_pairs() {
+    // Distinct-pair join: classic use of disequality.
+    let engine = Engine::from_source(
+        "
+        in_room(a). in_room(b). in_room(c).
+        pair(X, Y) :- in_room(X), in_room(Y), neq(X, Y).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("pair(X, Y)").unwrap();
+    for s in [Strategy::SemiNaive, Strategy::Oldt, Strategy::Magic, Strategy::Alexander] {
+        let r = engine.query(&q, s).unwrap();
+        assert_eq!(r.answers.len(), 6, "strategy {s}"); // 3×3 minus diagonal
+    }
+}
+
+#[test]
+fn builtins_inside_recursion() {
+    // Ascending paths: only follow edges to strictly larger labels.
+    let engine = Engine::from_source(
+        "
+        label(a, 1). label(b, 2). label(c, 3). label(d, 1).
+        edge(a, b). edge(b, c). edge(c, d). edge(b, d).
+        up(X, Y) :- edge(X, Y), label(X, LX), label(Y, LY), lt(LX, LY).
+        upreach(X, Y) :- up(X, Y).
+        upreach(X, Y) :- up(X, Z), upreach(Z, Y).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("upreach(a, X)").unwrap();
+    for s in Strategy::ALL {
+        let r = engine.query(&q, s).unwrap();
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        // a->b (1<2), b->c (2<3); c->d and b->d go down.
+        assert_eq!(got, ["upreach(a, b)", "upreach(a, c)"], "strategy {s}");
+    }
+}
+
+#[test]
+fn negated_builtins() {
+    let engine = Engine::from_source(
+        "
+        v(1). v(2). v(3).
+        not_above(X, Y) :- v(X), v(Y), !gt(X, Y).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("not_above(2, Y)").unwrap();
+    for s in [Strategy::SemiNaive, Strategy::Oldt, Strategy::ConditionalFixpoint] {
+        let r = engine.query(&q, s).unwrap();
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        assert_eq!(got, ["not_above(2, 2)", "not_above(2, 3)"], "strategy {s}");
+    }
+}
+
+#[test]
+fn builtins_combined_with_real_negation() {
+    // Tournament: a player is dominated if someone strictly younger beat
+    // them; champions are undominated. Mixes lt and negation-as-failure.
+    let engine = Engine::from_source(
+        "
+        age(ann, 20). age(ben, 25). age(cy, 30).
+        beat(ann, ben). beat(ben, cy). beat(cy, ann).
+        upset(X) :- beat(Y, X), age(Y, AY), age(X, AX), lt(AY, AX).
+        unupset(X) :- age(X, A), !upset(X).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("unupset(X)").unwrap();
+    for s in [Strategy::Stratified, Strategy::ConditionalFixpoint, Strategy::Oldt] {
+        let r = engine.query(&q, s).unwrap();
+        let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        // ben lost to younger ann; cy lost to younger ben; ann lost to
+        // *older* cy, so ann is not upset.
+        assert_eq!(got, ["unupset(ann)"], "strategy {s}");
+    }
+}
+
+#[test]
+fn unsafe_builtin_vars_are_rejected() {
+    // lt cannot generate bindings: W appears only in the comparison.
+    let err = Engine::from_source("p(X) :- v(X), lt(X, W).");
+    assert!(err.is_err());
+}
+
+#[test]
+fn builtin_heads_are_rejected() {
+    assert!(Engine::from_source("lt(X, Y) :- e(X, Y).").is_err());
+    assert!(Engine::from_source("neq(a, b).").is_err());
+}
+
+#[test]
+fn builtins_written_before_their_bindings_are_reordered() {
+    // The comparison appears first textually; evaluation must defer it.
+    let engine = Engine::from_source(
+        "
+        v(1). v(5).
+        big(X) :- gt(X, 3), v(X).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("big(X)").unwrap();
+    for s in [Strategy::SemiNaive, Strategy::Oldt] {
+        let r = engine.query(&q, s).unwrap();
+        assert_eq!(r.answers.len(), 1, "strategy {s}");
+        assert_eq!(r.answers[0].to_string(), "big(5)");
+    }
+}
+
+#[test]
+fn symbol_and_cross_sort_comparisons() {
+    let engine = Engine::from_source(
+        "
+        item(apple). item(pear). item(7).
+        small(X) :- item(X), lt(X, banana).
+        ",
+    )
+    .unwrap();
+    let q = parse_atom("small(X)").unwrap();
+    let r = engine.query(&q, Strategy::SemiNaive).unwrap();
+    let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+    // Integers sort before symbols; "apple" < "banana" < "pear".
+    assert_eq!(got, ["small(7)", "small(apple)"]);
+}

@@ -1,0 +1,144 @@
+//! Hard cases for the conditional fixpoint: multiple delayed negations per
+//! rule, condition propagation through deep positive chains, subsumption
+//! between conditional and unconditional derivations, and residue
+//! minimality.
+
+use alexander_eval::eval_conditional;
+use alexander_ir::Predicate;
+use alexander_parser::parse;
+use alexander_storage::Database;
+
+fn run(src: &str) -> alexander_eval::ConditionalResult {
+    let parsed = parse(src).unwrap();
+    let edb = Database::from_program(&parsed.program);
+    eval_conditional(&parsed.program, &edb).unwrap()
+}
+
+fn atoms(r: &alexander_eval::ConditionalResult, pred: &str, arity: usize) -> Vec<String> {
+    let mut v: Vec<String> = r
+        .db
+        .atoms_of(Predicate::new(pred, arity))
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn two_negations_in_one_rule() {
+    // ok(X) holds iff X is flagged by neither scanner; both scanners are
+    // themselves derived (delayed).
+    let r = run("
+        item(a). item(b). item(c).
+        raw1(b). raw2(c).
+        flag1(X) :- raw1(X).
+        flag2(X) :- raw2(X).
+        ok(X) :- item(X), !flag1(X), !flag2(X).
+    ");
+    assert!(r.is_total());
+    assert_eq!(atoms(&r, "ok", 1), ["ok(a)"]);
+}
+
+#[test]
+fn conditions_survive_three_levels_of_positive_chaining() {
+    // d depends on c depends on b depends on the conditional a.
+    let r = run("
+        move(x, y).
+        a(X) :- move(X, Y), !a(Y).
+        b(X) :- a(X).
+        c(X) :- b(X).
+        d(X) :- c(X).
+    ");
+    assert!(r.is_total());
+    // a(y): y has no move -> false; a(x) <- !a(y) -> true; chain follows.
+    assert_eq!(atoms(&r, "d", 1), ["d(x)"]);
+}
+
+#[test]
+fn unconditional_derivation_subsumes_conditional_one() {
+    // p(a) is derivable unconditionally (via base) AND conditionally (via
+    // the negation rule). The unconditional one must win: p(a) is a fact
+    // even though blocked(a) eventually holds.
+    let r = run("
+        base(a). src(a). mark(a).
+        blocked(X) :- mark(X).
+        p(X) :- base(X).
+        p(X) :- src(X), !blocked(X).
+    ");
+    assert!(r.is_total());
+    assert_eq!(atoms(&r, "p", 1), ["p(a)"]);
+    assert_eq!(atoms(&r, "blocked", 1), ["blocked(a)"]);
+}
+
+#[test]
+fn undefined_core_does_not_leak_into_decided_dependents() {
+    // q copies win; only the cyclic positions' q-atoms stay undefined.
+    let r = run("
+        move(a, b). move(b, a). move(c, d).
+        win(X) :- move(X, Y), !win(Y).
+        q(X) :- win(X).
+    ");
+    assert!(!r.is_total());
+    let undef: Vec<String> = r.undefined.iter().map(|a| a.to_string()).collect();
+    // win(a), win(b) undefined; their q-shadows too. win(c) decided.
+    assert!(undef.contains(&"win(a)".to_string()), "{undef:?}");
+    assert!(undef.contains(&"q(a)".to_string()), "{undef:?}");
+    assert!(!undef.contains(&"win(c)".to_string()), "{undef:?}");
+    assert_eq!(atoms(&r, "win", 1), ["win(c)"]);
+    assert_eq!(atoms(&r, "q", 1), ["q(c)"]);
+}
+
+#[test]
+fn negation_of_an_undefined_atom_is_undefined() {
+    // lose(X) needs !win(X); on the cycle win is undefined, so lose is too.
+    let r = run("
+        move(a, b). move(b, a).
+        pos(a). pos(b).
+        win(X) :- move(X, Y), !win(Y).
+        lose(X) :- pos(X), !win(X).
+    ");
+    let undef: Vec<String> = r.undefined.iter().map(|a| a.to_string()).collect();
+    assert!(undef.contains(&"lose(a)".to_string()), "{undef:?}");
+    assert!(undef.contains(&"lose(b)".to_string()), "{undef:?}");
+    assert!(atoms(&r, "lose", 1).is_empty());
+}
+
+#[test]
+fn double_negation_chain_resolves() {
+    // even/odd via double negation on a chain — a classic dynamically
+    // stratified shape.
+    let r = run("
+        succ(n0, n1). succ(n1, n2). succ(n2, n3).
+        odd(Y) :- succ(X, Y), !odd(X).
+    ");
+    assert!(r.is_total());
+    // odd(n0): no predecessor -> no rule -> false. odd(n1) <- !odd(n0): true.
+    // odd(n2) <- !odd(n1): false. odd(n3) <- !odd(n2): true.
+    assert_eq!(atoms(&r, "odd", 1), ["odd(n1)", "odd(n3)"]);
+}
+
+#[test]
+fn conditional_statement_metrics_are_populated() {
+    let r = run("
+        move(a, b).
+        win(X) :- move(X, Y), !win(Y).
+    ");
+    assert!(r.metrics.conditional_statements >= 1);
+    assert!(r.metrics.iterations >= 1);
+}
+
+#[test]
+fn disconnected_components_are_independent() {
+    // One decided component, one undefined component, one purely positive.
+    let r = run("
+        move(a, b).
+        move(x, y). move(y, x).
+        e(p, q).
+        win(X) :- move(X, Y), !win(Y).
+        tc(X, Y) :- e(X, Y).
+    ");
+    assert_eq!(atoms(&r, "win", 1), ["win(a)"]);
+    assert_eq!(atoms(&r, "tc", 2), ["tc(p, q)"]);
+    assert_eq!(r.undefined.len(), 2); // win(x), win(y)
+}

@@ -1,0 +1,73 @@
+//! The conditional fixpoint against ground truth: on win–move, its decided
+//! atoms must be exactly the retrograde solver's won/lost labelling, and its
+//! undefined residue exactly the draws (the well-founded model).
+
+use alexander_bench::retrograde;
+use alexander_eval::eval_conditional;
+use alexander_ir::Predicate;
+use alexander_storage::Database;
+use alexander_workload as workload;
+use proptest::prelude::*;
+
+fn check_game(edb: &Database, label: &str) {
+    let program = workload::win_move();
+    let result = eval_conditional(&program, edb).expect("win-move is safe");
+    let truth = retrograde::solve(edb, Predicate::new("move", 2));
+
+    let won: std::collections::BTreeSet<String> = result
+        .db
+        .atoms_of(Predicate::new("win", 1))
+        .iter()
+        .map(|a| a.terms[0].to_string())
+        .collect();
+    let won_truth: std::collections::BTreeSet<String> =
+        truth.won.iter().map(|c| c.to_string()).collect();
+    assert_eq!(won, won_truth, "{label}: won sets differ");
+
+    let drawn: std::collections::BTreeSet<String> = result
+        .undefined
+        .iter()
+        .map(|a| a.terms[0].to_string())
+        .collect();
+    let drawn_truth: std::collections::BTreeSet<String> =
+        truth.drawn.iter().map(|c| c.to_string()).collect();
+    assert_eq!(drawn, drawn_truth, "{label}: drawn sets differ");
+}
+
+#[test]
+fn fixed_shapes() {
+    check_game(&workload::chain("move", 15), "chain(15)");
+    check_game(&workload::cycle("move", 9), "cycle(9)");
+    check_game(&workload::tree("move", 2, 4).0, "tree(2,4)");
+    check_game(&workload::grid("move", 4), "grid(4)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random digraphs of any shape: the conditional fixpoint always matches
+    /// retrograde analysis, including the undefined core.
+    #[test]
+    fn random_games_match_retrograde(
+        nodes in 2usize..24,
+        extra_edges in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let edges = nodes + extra_edges;
+        let edb = workload::random_graph("move", nodes, edges, seed);
+        check_game(&edb, &format!("random({nodes},{edges},{seed})"));
+    }
+
+    /// Acyclic games are always fully decided.
+    #[test]
+    fn dag_games_have_no_residue(
+        nodes in 2usize..24,
+        extra_edges in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        let edb = workload::random_dag("move", nodes, nodes + extra_edges, seed);
+        let result = eval_conditional(&workload::win_move(), &edb).unwrap();
+        prop_assert!(result.is_total(), "DAG left residue: {:?}", result.undefined);
+        check_game(&edb, "dag");
+    }
+}

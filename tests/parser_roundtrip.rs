@@ -1,0 +1,84 @@
+//! Property test: pretty-printing then re-parsing any generated program is
+//! the identity (on rules and facts).
+
+use alexander_ir::{Atom, Literal, Polarity, Program, Rule, Term};
+use alexander_parser::parse;
+use proptest::prelude::*;
+
+/// Strategy: a lower-case identifier suitable as a predicate/constant name.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("reserved word", |s| s != "not")
+}
+
+/// Strategy: a variable name.
+fn varname() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,4}".prop_map(|s| s)
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        varname().prop_map(|v| Term::var(&v)),
+        ident().prop_map(|c| Term::sym(&c)),
+        (-1000i64..1000).prop_map(Term::int),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (ident(), proptest::collection::vec(term(), 0..4))
+        .prop_map(|(p, ts)| Atom::new(&p, ts))
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    (atom_strategy(), proptest::bool::ANY).prop_map(|(a, neg)| Literal {
+        atom: a,
+        polarity: if neg { Polarity::Negative } else { Polarity::Positive },
+    })
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    (atom_strategy(), proptest::collection::vec(literal(), 1..4))
+        .prop_map(|(h, b)| Rule::new(h, b))
+}
+
+fn ground_atom() -> impl Strategy<Value = Atom> {
+    (
+        ident(),
+        proptest::collection::vec(
+            prop_oneof![
+                ident().prop_map(|c| Term::sym(&c)),
+                (-1000i64..1000).prop_map(Term::int)
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(p, ts)| Atom::new(&p, ts))
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(rule(), 0..6),
+        proptest::collection::vec(ground_atom(), 0..6),
+    )
+        .prop_map(|(rules, facts)| Program { rules, facts })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(p in program()) {
+        let printed = p.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--\n{printed}"));
+        prop_assert_eq!(&reparsed.program.rules, &p.rules, "rules differ\n{}", printed);
+        prop_assert_eq!(&reparsed.program.facts, &p.facts, "facts differ\n{}", printed);
+    }
+
+    #[test]
+    fn printed_queries_reparse(a in atom_strategy()) {
+        let text = format!("?- {a}.");
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(parsed.queries.len(), 1);
+        prop_assert_eq!(&parsed.queries[0], &a);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests over *randomly generated programs* (not just random data):
+//! evaluator agreement on definite programs, and the stratification
+//! hierarchy theorems from the analysis layer.
+
+use alexander_eval::{eval_conditional, eval_naive, eval_seminaive, eval_stratified};
+use alexander_ir::analysis::{locally_stratified, loosely_stratified, stratify};
+use alexander_ir::{Atom, Literal, Polarity, Predicate, Program, Rule, Term};
+use alexander_storage::Database;
+use alexander_topdown::oldt_query;
+use proptest::prelude::*;
+
+const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
+const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
+
+/// A random *safe* rule: body literals are generated first; the head only
+/// uses variables bound by positive body literals (or constants), and
+/// negative literals only use bound variables, so every rule is
+/// range-restricted by construction.
+fn safe_rule(
+    idb: &'static [(&'static str, usize)],
+    edb: &'static [(&'static str, usize)],
+    allow_negation: bool,
+) -> impl Strategy<Value = Rule> {
+    let term = prop_oneof![
+        (0..CONSTS.len()).prop_map(|i| Term::sym(CONSTS[i])),
+        (0..VARS.len()).prop_map(|i| Term::var(VARS[i])),
+    ];
+    let body_atom = (0..(idb.len() + edb.len()), proptest::collection::vec(term, 2))
+        .prop_map(move |(pi, ts)| {
+            let (name, arity) = if pi < idb.len() {
+                idb[pi]
+            } else {
+                edb[pi - idb.len()]
+            };
+            Atom::new(name, ts.into_iter().take(arity).collect())
+        });
+    let lit = (body_atom, proptest::bool::ANY).prop_map(move |(a, neg)| Literal {
+        atom: a,
+        polarity: if neg && allow_negation {
+            Polarity::Negative
+        } else {
+            Polarity::Positive
+        },
+    });
+    (
+        0..idb.len(),
+        proptest::collection::vec(lit, 1..4),
+        proptest::collection::vec(0..(CONSTS.len() + VARS.len()), 2),
+    )
+        .prop_map(move |(hi, mut body, head_picks)| {
+            // Variables bound by positive body literals.
+            let bound: Vec<_> = body
+                .iter()
+                .filter(|l| l.is_positive())
+                .flat_map(|l| l.vars())
+                .collect();
+            // Repair negative literals: replace unbound variables by a
+            // constant (keeps the rule safe without discarding the case).
+            for l in &mut body {
+                if l.is_negative() {
+                    for t in &mut l.atom.terms {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                *t = Term::sym(CONSTS[0]);
+                            }
+                        }
+                    }
+                }
+            }
+            let (name, arity) = idb[hi];
+            let head_terms: Vec<Term> = head_picks
+                .into_iter()
+                .take(arity)
+                .map(|p| {
+                    if p < CONSTS.len() {
+                        Term::sym(CONSTS[p])
+                    } else if let Some(v) = bound.get(p - CONSTS.len()) {
+                        Term::Var(*v)
+                    } else if let Some(v) = bound.first() {
+                        Term::Var(*v)
+                    } else {
+                        Term::sym(CONSTS[1])
+                    }
+                })
+                .collect();
+            // Pad arity if the picks vector was short.
+            let mut head_terms = head_terms;
+            while head_terms.len() < arity {
+                head_terms.push(Term::sym(CONSTS[2]));
+            }
+            Rule::new(Atom::new(name, head_terms), body)
+        })
+}
+
+const IDB: &[(&str, usize)] = &[("p", 2), ("q", 1), ("r", 2)];
+const EDB: &[(&str, usize)] = &[("e", 2), ("f", 1)];
+
+fn definite_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(safe_rule(IDB, EDB, false), 1..6).prop_map(Program::from_rules)
+}
+
+fn negation_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(safe_rule(IDB, EDB, true), 1..6).prop_map(Program::from_rules)
+}
+
+fn random_edb() -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::vec((0..CONSTS.len(), 0..CONSTS.len()), 0..8),
+        proptest::collection::vec(0..CONSTS.len(), 0..4),
+    )
+        .prop_map(|(es, fs)| {
+            let mut db = Database::new();
+            for (a, b) in es {
+                db.insert(
+                    Predicate::new("e", 2),
+                    alexander_storage::Tuple::new(vec![
+                        alexander_ir::Const::sym(CONSTS[a]),
+                        alexander_ir::Const::sym(CONSTS[b]),
+                    ]),
+                );
+            }
+            for a in fs {
+                db.insert(
+                    Predicate::new("f", 1),
+                    alexander_storage::Tuple::new(vec![alexander_ir::Const::sym(CONSTS[a])]),
+                );
+            }
+            db
+        })
+}
+
+fn db_snapshot(db: &Database) -> Vec<String> {
+    let mut out: Vec<String> = db
+        .predicates()
+        .into_iter()
+        .flat_map(|p| db.atoms_of(p))
+        .map(|a| a.to_string())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four bottom-up evaluators compute the same model on definite
+    /// programs.
+    #[test]
+    fn evaluators_agree_on_definite_programs(
+        program in definite_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let naive = eval_naive(&program, &edb).unwrap();
+        let semi = eval_seminaive(&program, &edb).unwrap();
+        let strat = eval_stratified(&program, &edb).unwrap();
+        let cond = eval_conditional(&program, &edb).unwrap();
+        prop_assert!(cond.is_total());
+        let want = db_snapshot(&naive.db);
+        prop_assert_eq!(&db_snapshot(&semi.db), &want, "seminaive differs");
+        prop_assert_eq!(&db_snapshot(&strat.db), &want, "stratified differs");
+        prop_assert_eq!(&db_snapshot(&cond.db), &want, "conditional differs");
+    }
+
+    /// OLDT answers every query exactly like the materialised model.
+    #[test]
+    fn oldt_agrees_with_bottom_up_on_definite_programs(
+        program in definite_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let semi = eval_seminaive(&program, &edb).unwrap();
+        for (name, arity) in IDB {
+            let pred = Predicate::new(name, *arity);
+            if !program.is_idb(pred) {
+                continue;
+            }
+            let query = Atom::new(
+                name,
+                (0..*arity).map(|i| Term::var(VARS[i])).collect(),
+            );
+            let oldt = oldt_query(&program, &edb, &query).unwrap();
+            let mut got: Vec<String> = oldt.answers.iter().map(|a| a.to_string()).collect();
+            got.sort();
+            got.dedup();
+            let mut want: Vec<String> = semi
+                .db
+                .atoms_of(pred)
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "predicate {}", pred);
+        }
+    }
+
+    /// Bry's hierarchy, one direction each:
+    /// stratified ⇒ loosely stratified ⇒ locally stratified (over any EDB).
+    #[test]
+    fn stratification_hierarchy(
+        program in negation_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let strat = stratify(&program).is_ok();
+        let loose = loosely_stratified(&program).is_ok();
+        if strat {
+            prop_assert!(loose, "stratified program failed the loose test:\n{}", program);
+        }
+        if loose {
+            // Fold the EDB into inline facts for the ground check.
+            let mut with_facts = program.clone();
+            for p in edb.predicates() {
+                with_facts.facts.extend(edb.atoms_of(p));
+            }
+            prop_assert!(
+                locally_stratified(&with_facts, &[]).is_ok(),
+                "loosely stratified program failed the ground check:\n{}",
+                program
+            );
+        }
+    }
+
+    /// The conditional fixpoint agrees with stratified evaluation whenever
+    /// the program stratifies.
+    #[test]
+    fn conditional_matches_stratified_when_stratified(
+        program in negation_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        prop_assume!(stratify(&program).is_ok());
+        let strat = eval_stratified(&program, &edb).unwrap();
+        let cond = eval_conditional(&program, &edb).unwrap();
+        prop_assert!(cond.is_total(), "stratified program left residue");
+        prop_assert_eq!(db_snapshot(&strat.db), db_snapshot(&cond.db));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests over the rewritings: on random EDBs and random query
+//! bindings, magic sets / supplementary magic / Alexander templates answer
+//! exactly like direct evaluation, and the three rewritings' demand and
+//! answer extensions coincide.
+
+use alexander_eval::eval_seminaive;
+use alexander_ir::{Atom, Program, Symbol, Term};
+use alexander_storage::Database;
+use alexander_transform::{
+    alexander, magic_sets, query_answers, sup_magic_sets, Rewritten, SipOptions,
+};
+use alexander_workload as workload;
+use proptest::prelude::*;
+
+/// Direct answers: evaluate the whole program and filter by the query.
+fn direct_answers(program: &Program, edb: &Database, query: &Atom) -> Vec<String> {
+    let full = eval_seminaive(program, edb).expect("direct evaluation runs");
+    let mut out: Vec<String> = full
+        .db
+        .atoms_of(query.predicate())
+        .into_iter()
+        .filter(|a| {
+            let mut s = alexander_ir::Subst::new();
+            alexander_ir::match_atom(query, a, &mut s)
+        })
+        .map(|a| a.terms.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Rewritten answers via `rw.query` pattern matching.
+fn rewritten_answers(rw: &Rewritten, edb: &Database) -> Vec<String> {
+    let res = eval_seminaive(&rw.program, edb).expect("rewritten evaluation runs");
+    let mut out: Vec<String> = query_answers(&res.db, &rw.query)
+        .into_iter()
+        .map(|a| a.terms.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn check_rewritings(program: &Program, edb: &Database, query: &Atom, label: &str) {
+    let opts = SipOptions::default();
+    let want = direct_answers(program, edb, query);
+    let m = magic_sets(program, query, opts).unwrap();
+    let s = sup_magic_sets(program, query, opts).unwrap();
+    let a = alexander(program, query, opts).unwrap();
+    assert_eq!(rewritten_answers(&m, edb), want, "{label}: magic differs");
+    assert_eq!(rewritten_answers(&s, edb), want, "{label}: supmagic differs");
+    assert_eq!(rewritten_answers(&a, edb), want, "{label}: alexander differs");
+
+    // Demand sets coincide across the three rewritings.
+    let rm = eval_seminaive(&m.program, edb).unwrap();
+    let rs = eval_seminaive(&s.program, edb).unwrap();
+    let ra = eval_seminaive(&a.program, edb).unwrap();
+    assert_eq!(
+        rm.db.len_of(m.call_pred),
+        rs.db.len_of(s.call_pred),
+        "{label}: magic vs supmagic demand"
+    );
+    assert_eq!(
+        rs.db.len_of(s.call_pred),
+        ra.db.len_of(a.call_pred),
+        "{label}: supmagic vs alexander demand"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn tc_on_random_graphs(
+        nodes in 2usize..20,
+        extra in 0usize..40,
+        seed in 0u64..500,
+        start in 0usize..20,
+    ) {
+        let edb = workload::random_graph("e", nodes, nodes + extra, seed);
+        let query = Atom {
+            pred: Symbol::intern("tc"),
+            terms: vec![Term::Const(workload::node(start % nodes)), Term::var("Y")],
+        };
+        check_rewritings(&workload::transitive_closure(), &edb, &query, "tc");
+    }
+
+    #[test]
+    fn nonlinear_tc_on_random_graphs(
+        nodes in 2usize..14,
+        extra in 0usize..25,
+        seed in 0u64..500,
+    ) {
+        let edb = workload::random_graph("e", nodes, nodes + extra, seed);
+        let query = Atom {
+            pred: Symbol::intern("tc"),
+            terms: vec![Term::Const(workload::node(0)), Term::var("Y")],
+        };
+        check_rewritings(
+            &workload::transitive_closure_nonlinear(),
+            &edb,
+            &query,
+            "nonlinear",
+        );
+    }
+
+    #[test]
+    fn second_argument_bound(
+        nodes in 2usize..16,
+        extra in 0usize..30,
+        seed in 0u64..500,
+        target in 0usize..16,
+    ) {
+        let edb = workload::random_graph("e", nodes, nodes + extra, seed);
+        let query = Atom {
+            pred: Symbol::intern("tc"),
+            terms: vec![Term::var("X"), Term::Const(workload::node(target % nodes))],
+        };
+        check_rewritings(&workload::transitive_closure(), &edb, &query, "tc fb");
+    }
+
+    #[test]
+    fn ground_queries(
+        nodes in 2usize..16,
+        extra in 0usize..30,
+        seed in 0u64..500,
+        a in 0usize..16,
+        b in 0usize..16,
+    ) {
+        let edb = workload::random_graph("e", nodes, nodes + extra, seed);
+        let query = Atom {
+            pred: Symbol::intern("tc"),
+            terms: vec![
+                Term::Const(workload::node(a % nodes)),
+                Term::Const(workload::node(b % nodes)),
+            ],
+        };
+        check_rewritings(&workload::transitive_closure(), &edb, &query, "tc bb");
+    }
+}
+
+#[test]
+fn same_generation_fixed_battery() {
+    for depth in [2usize, 3, 4] {
+        let (edb, seed) = workload::sg_tree(depth);
+        let query = Atom {
+            pred: Symbol::intern("sg"),
+            terms: vec![Term::Const(seed), Term::var("Y")],
+        };
+        check_rewritings(
+            &workload::same_generation(),
+            &edb,
+            &query,
+            &format!("sg({depth})"),
+        );
+    }
+}
