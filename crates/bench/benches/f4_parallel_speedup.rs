@@ -1,0 +1,53 @@
+//! Criterion bench for F4: parallel semi-naive wall-clock vs thread count.
+//!
+//! One benchmark per (workload, strategy, threads) point; the companion
+//! experiment table (`harness f4`) reports speedup and facts/sec from the
+//! same sweep.
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_parallel_speedup");
+    g.sample_size(10);
+
+    let chain = workload::chain("par", 300);
+    let (tree, _) = workload::tree("par", 2, 8);
+    let crossover = workload::chain("par", 200);
+    let cases: [(&str, &alexander_storage::Database, &str, Strategy); 5] = [
+        ("chain/alexander", &chain, "anc(n0, X)", Strategy::Alexander),
+        (
+            "chain/supmagic",
+            &chain,
+            "anc(n0, X)",
+            Strategy::SupplementaryMagic,
+        ),
+        ("chain/seminaive", &chain, "anc(n0, X)", Strategy::SemiNaive),
+        ("tree/alexander", &tree, "anc(n0, X)", Strategy::Alexander),
+        (
+            "crossover/seminaive",
+            &crossover,
+            "anc(X, Y)",
+            Strategy::SemiNaive,
+        ),
+    ];
+
+    for (name, edb, query, strategy) in cases {
+        let q = parse_atom(query).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let engine = Engine::new(workload::ancestor(), edb.clone())
+                .unwrap()
+                .with_threads(threads);
+            g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, _| {
+                b.iter(|| black_box(engine.query(&q, strategy).unwrap().answers.len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,20 +3,48 @@
 //! Usage:
 //!
 //! ```text
-//! harness               # run all experiments, print markdown
-//! harness e3 e4         # run selected experiments
-//! harness --list        # list experiment ids
-//! harness --json        # print JSON instead of markdown
+//! harness                    # run all experiments, print markdown
+//! harness e3 e4              # run selected experiments
+//! harness --list             # list experiment ids
+//! harness --json             # print JSON instead of markdown
+//! harness f4 --out BENCH_F4.json   # also write the JSON tables to a file
 //! ```
+//!
+//! By convention, perf-tracking runs are written to `BENCH_<id>.json` at the
+//! repository root and committed, so the performance trajectory accumulates
+//! across PRs.
 
-use alexander_bench::experiments;
+use alexander_bench::{experiments, table};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let list = args.iter().any(|a| a == "--list");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut out_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" | "--list" => {}
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--out needs a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag `{a}`");
+                std::process::exit(2);
+            }
+            a => ids.push(a.to_string()),
+        }
+        i += 1;
+    }
 
     if list {
         for id in experiments::IDS {
@@ -30,7 +58,7 @@ fn main() {
         experiments::all()
     } else {
         let mut out = Vec::new();
-        for id in ids {
+        for id in &ids {
             match experiments::by_id(id) {
                 Some(t) => out.push(t),
                 None => {
@@ -42,11 +70,19 @@ fn main() {
         out
     };
 
+    if let Some(path) = &out_path {
+        let payload = table::tables_to_json(&tables);
+        std::fs::write(path, payload + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     if json {
-        serde_json::to_writer_pretty(&mut lock, &tables).expect("write json");
-        writeln!(lock).ok();
+        writeln!(lock, "{}", table::tables_to_json(&tables)).expect("write json");
     } else {
         for t in &tables {
             writeln!(lock, "{t}").expect("write table");

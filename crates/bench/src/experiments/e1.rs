@@ -35,7 +35,11 @@ pub fn run_sized(n: usize) -> Table {
 
     let mut t = Table::new(
         "E1",
-        &format!("ancestor(n{}, X) on a {n}-edge chain plus an irrelevant {}-edge island", n / 2, n / 2),
+        &format!(
+            "ancestor(n{}, X) on a {n}-edge chain plus an irrelevant {}-edge island",
+            n / 2,
+            n / 2
+        ),
         "Bound-argument query. The goal-directed strategies (magic, supmagic, \
          alexander, oldt) touch only the suffix of the chain reachable from \
          the query constant; plain bottom-up materialises the full closure \
@@ -67,10 +71,7 @@ mod tests {
     fn goal_directed_materialises_fewer_facts() {
         let t = run_sized(40);
         let facts = |name: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[2]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
                 .parse()
                 .unwrap()
         };

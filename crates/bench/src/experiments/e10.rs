@@ -10,11 +10,23 @@ fn case(name: &str, n: usize, use_indexes: bool) -> Vec<String> {
     let edb = workload::chain("par", n);
     let program = workload::ancestor();
     let (res, elapsed) = timed(|| {
-        eval_seminaive_opts(&program, &edb, EvalOptions { use_indexes }).expect("runs")
+        eval_seminaive_opts(
+            &program,
+            &edb,
+            EvalOptions {
+                use_indexes,
+                ..EvalOptions::default()
+            },
+        )
+        .expect("runs")
     });
     vec![
         name.to_string(),
-        if use_indexes { "on".into() } else { "off".into() },
+        if use_indexes {
+            "on".into()
+        } else {
+            "off".into()
+        },
         res.metrics.probes.to_string(),
         res.metrics.tuples_considered.to_string(),
         res.metrics.new_facts.to_string(),
@@ -73,7 +85,10 @@ mod tests {
         let t = run();
         let on: u64 = t.rows[0][3].parse().unwrap();
         let off: u64 = t.rows[1][3].parse().unwrap();
-        assert!(off > on * 5, "indexes should prune candidates: {on} vs {off}");
+        assert!(
+            off > on * 5,
+            "indexes should prune candidates: {on} vs {off}"
+        );
         // Same derived facts either way.
         assert_eq!(t.rows[0][4], t.rows[1][4]);
     }

@@ -33,7 +33,11 @@ fn row(
             format!("{}+ (cut off)", sld.metrics.resolution_steps)
         },
         oldt.metrics.resolution_steps.to_string(),
-        if sld.complete { "yes".into() } else { "NO".into() },
+        if sld.complete {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
         ms(t_sld),
         ms(t_oldt),
     ]
@@ -109,10 +113,7 @@ mod tests {
         let t = run();
         // On sg trees both complete, but SLD steps grow much faster.
         let steps = |name: &str, col: usize| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[col]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[col]
                 .trim_end_matches("+ (cut off)")
                 .parse()
                 .unwrap()

@@ -80,7 +80,11 @@ pub fn run() -> Table {
                 row.oldt_calls.to_string(),
                 row.alexander_answers.to_string(),
                 row.oldt_answers.to_string(),
-                if row.matches() { "yes".into() } else { "NO".into() },
+                if row.matches() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -8,12 +8,7 @@ use alexander_storage::Database;
 use alexander_transform::{alexander, magic_sets, sup_magic_sets, Rewritten, SipOptions};
 use alexander_workload as workload;
 
-fn rewrite_row(
-    name: &str,
-    style: &str,
-    rw: &Rewritten,
-    edb: &Database,
-) -> Vec<String> {
+fn rewrite_row(name: &str, style: &str, rw: &Rewritten, edb: &Database) -> Vec<String> {
     let (res, elapsed) = timed(|| eval_seminaive(&rw.program, edb).expect("rewritten runs"));
     vec![
         name.to_string(),
@@ -55,13 +50,18 @@ pub fn run() -> Table {
             workload::chain("par", 200),
             alexander_parser::parse_atom("anc(n0, X)").unwrap(),
         ),
-        ("sg tree(7)", workload::same_generation(), workload::sg_tree(7).0, {
-            let (_, seed) = workload::sg_tree(7);
-            Atom {
-                pred: Symbol::intern("sg"),
-                terms: vec![Term::Const(seed), Term::var("Y")],
-            }
-        }),
+        (
+            "sg tree(7)",
+            workload::same_generation(),
+            workload::sg_tree(7).0,
+            {
+                let (_, seed) = workload::sg_tree(7);
+                Atom {
+                    pred: Symbol::intern("sg"),
+                    terms: vec![Term::Const(seed), Term::var("Y")],
+                }
+            },
+        ),
         (
             "tc grid(8)",
             workload::transitive_closure(),

@@ -48,10 +48,7 @@ mod tests {
     fn rewritings_materialise_more_facts_on_free_queries() {
         let t = run_sized(60);
         let facts = |name: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[2]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
                 .parse()
                 .unwrap()
         };

@@ -60,8 +60,14 @@ pub fn run() -> Table {
     );
 
     t.row(game_row("chain(20)", &workload::chain("move", 20)));
-    t.row(game_row("dag(50, 120, seed 5)", &workload::random_dag("move", 50, 120, 5)));
-    t.row(game_row("dag(100, 250, seed 6)", &workload::random_dag("move", 100, 250, 6)));
+    t.row(game_row(
+        "dag(50, 120, seed 5)",
+        &workload::random_dag("move", 50, 120, 5),
+    ));
+    t.row(game_row(
+        "dag(100, 250, seed 6)",
+        &workload::random_dag("move", 100, 250, 6),
+    ));
     t.row(game_row("cycle(12)", &workload::cycle("move", 12)));
     t.row(game_row(
         "random(40, 90, seed 7)",
@@ -86,10 +92,7 @@ mod tests {
     fn dags_are_fully_decided_and_cycles_are_not() {
         let t = run();
         let drawn = |name: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].starts_with(name))
-                .unwrap()[4]
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[4]
                 .parse()
                 .unwrap()
         };

@@ -31,7 +31,11 @@ fn analyse(name: &str, program: &Program, edb_src: &str) -> Vec<String> {
 }
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 pub fn run() -> Table {

@@ -63,8 +63,7 @@ fn case(name: &str, db: &Database, target: usize) -> Vec<String> {
     let program = source_program();
     let query = parse_atom(&format!("s(n{target})")).unwrap();
 
-    let (direct, t_direct) =
-        timed(|| eval_stratified(&program, db).expect("source is stratified"));
+    let (direct, t_direct) = timed(|| eval_stratified(&program, db).expect("source is stratified"));
     let direct_yes = direct.db.contains_atom(&query);
 
     let rw = magic_sets(&program, &query, SipOptions::default()).unwrap();
@@ -85,7 +84,11 @@ fn case(name: &str, db: &Database, target: usize) -> Vec<String> {
 }
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 pub fn run() -> Table {

@@ -66,8 +66,20 @@ pub fn run() -> Table {
 
     t.row(case("sg permuted tree(6)", &permuted, &edb, &query, true));
     t.row(case("sg permuted tree(6)", &permuted, &edb, &query, false));
-    t.row(case("sg textbook tree(6)", &well_ordered, &edb, &query, true));
-    t.row(case("sg textbook tree(6)", &well_ordered, &edb, &query, false));
+    t.row(case(
+        "sg textbook tree(6)",
+        &well_ordered,
+        &edb,
+        &query,
+        true,
+    ));
+    t.row(case(
+        "sg textbook tree(6)",
+        &well_ordered,
+        &edb,
+        &query,
+        false,
+    ));
     t
 }
 

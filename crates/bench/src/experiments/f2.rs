@@ -30,7 +30,14 @@ pub fn run_with(depths: &[usize]) -> Table {
          square of the generation width while the goal-directed strategies \
          follow only the seed's ancestor path and its generations. Expected \
          shape: widening gap as depth grows, goal-directed series clustered.",
-        &["depth", "strategy", "answers", "facts", "inferences", "time_ms"],
+        &[
+            "depth",
+            "strategy",
+            "answers",
+            "facts",
+            "inferences",
+            "time_ms",
+        ],
     );
 
     for &depth in depths {
@@ -84,10 +91,7 @@ mod tests {
     fn goal_directed_beats_full_on_facts() {
         let t = run_with(&[5]);
         let facts = |name: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[1] == name)
-                .unwrap()[3]
+            t.rows.iter().find(|r| r[1] == name).unwrap()[3]
                 .parse()
                 .unwrap()
         };

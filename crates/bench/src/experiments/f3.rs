@@ -40,7 +40,10 @@ pub fn run_with(sizes: &[usize]) -> Table {
     for &n in sizes {
         for (kind, edb) in [
             ("dag", workload::random_dag("move", n, n * 5 / 2, n as u64)),
-            ("cyclic", workload::random_graph("move", n, n * 5 / 2, n as u64)),
+            (
+                "cyclic",
+                workload::random_graph("move", n, n * 5 / 2, n as u64),
+            ),
         ] {
             let (res, d) = timed(|| eval_conditional(&program, &edb).expect("runs"));
             let truth = retrograde::solve(&edb, Predicate::new("move", 2));

@@ -1,0 +1,153 @@
+//! F4 (Figure 4): parallel semi-naive speedup vs worker-thread count.
+//!
+//! Sweeps `EvalOptions::threads` over chain, tree and crossover workloads
+//! for the Alexander and supplementary-magic rewritings (plus the plain
+//! semi-naive full closure, whose chain case materialises ~100k facts at
+//! the default size). Every point re-checks the exactness invariant: the
+//! parallel rounds return the same answer count, materialised-fact count
+//! and inference counters as the single-threaded baseline.
+
+use crate::table::{ms, timed, Table};
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use alexander_workload as workload;
+
+/// Thread counts swept (series of the figure).
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+pub fn run() -> Table {
+    // chain(450) puts the semi-naive full closure at 450·451/2 ≈ 101k facts.
+    run_with(450, 9, 250)
+}
+
+/// Parameterised sweep (tests use small sizes).
+pub fn run_with(chain_n: usize, tree_depth: usize, crossover_n: usize) -> Table {
+    let mut t = Table::new(
+        "F4",
+        "figure: parallel semi-naive speedup vs threads (chain / tree / crossover)",
+        "Each fixpoint round freezes (total, delta), fans the delta-rewriting \
+         variants over scoped workers, and merges worker buffers single- \
+         threaded; answers and all inference counters are identical to the \
+         sequential run at every thread count (asserted per point). Speedup \
+         is wall-clock time at 1 thread over time at N threads; facts/sec is \
+         materialised facts over wall-clock time. On a single-core host the \
+         sweep degenerates to measuring fan-out overhead (speedup ≤ 1); \
+         multi-core hosts should see the chain/crossover cases scale until \
+         the per-round merge dominates.",
+        &[
+            "workload",
+            "strategy",
+            "threads",
+            "answers",
+            "facts",
+            "speedup",
+            "facts_per_sec",
+            "time_ms",
+        ],
+    );
+
+    let chain = workload::chain("par", chain_n);
+    let (tree, _) = workload::tree("par", 2, tree_depth);
+    let crossover = workload::chain("par", crossover_n);
+    let cases: Vec<(String, &alexander_storage::Database, &str, Strategy)> = vec![
+        (
+            format!("chain({chain_n})"),
+            &chain,
+            "anc(n0, X)",
+            Strategy::Alexander,
+        ),
+        (
+            format!("chain({chain_n})"),
+            &chain,
+            "anc(n0, X)",
+            Strategy::SupplementaryMagic,
+        ),
+        (
+            format!("chain({chain_n})"),
+            &chain,
+            "anc(n0, X)",
+            Strategy::SemiNaive,
+        ),
+        (
+            format!("tree(2,{tree_depth})"),
+            &tree,
+            "anc(n0, X)",
+            Strategy::Alexander,
+        ),
+        (
+            format!("tree(2,{tree_depth})"),
+            &tree,
+            "anc(n0, X)",
+            Strategy::SupplementaryMagic,
+        ),
+        (
+            format!("crossover({crossover_n})"),
+            &crossover,
+            "anc(X, Y)",
+            Strategy::Alexander,
+        ),
+        (
+            format!("crossover({crossover_n})"),
+            &crossover,
+            "anc(X, Y)",
+            Strategy::SemiNaive,
+        ),
+    ];
+
+    for (name, edb, query, strategy) in cases {
+        let q = parse_atom(query).unwrap();
+        let mut baseline: Option<(std::time::Duration, alexander_core::Report)> = None;
+        for threads in THREADS {
+            let engine = Engine::new(workload::ancestor(), (*edb).clone())
+                .unwrap()
+                .with_threads(threads);
+            let (r, d) = timed(|| engine.query(&q, strategy).unwrap());
+            if let Some((_, base)) = &baseline {
+                // Exactness invariant: parallelism never changes the result.
+                assert_eq!(base.eval, r.report.eval, "{name}/{strategy} @ {threads}");
+                assert_eq!(
+                    base.facts_materialised, r.report.facts_materialised,
+                    "{name}/{strategy} @ {threads}"
+                );
+            }
+            let t1 = baseline.as_ref().map(|(d1, _)| *d1).unwrap_or_else(|| {
+                baseline = Some((d, r.report.clone()));
+                d
+            });
+            let speedup = t1.as_secs_f64() / d.as_secs_f64().max(1e-9);
+            let fps = r.report.facts_materialised as f64 / d.as_secs_f64().max(1e-9);
+            t.row(vec![
+                name.clone(),
+                strategy.name().to_string(),
+                threads.to_string(),
+                r.answers.len().to_string(),
+                r.report.facts_materialised.to_string(),
+                format!("{speedup:.2}"),
+                format!("{fps:.0}"),
+                ms(d),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_thread_count_reports_identical_facts() {
+        let t = run_with(40, 4, 30);
+        // Rows come in blocks of THREADS.len() per (workload, strategy); the
+        // run itself asserts metric equality, so here just check the facts
+        // column is constant within each block and speedup at 1 thread is 1.
+        for block in t.rows.chunks(THREADS.len()) {
+            let facts = &block[0][4];
+            for row in block {
+                assert_eq!(&row[4], facts, "{row:?}");
+            }
+            assert_eq!(block[0][2], "1");
+            assert_eq!(block[0][5], "1.00");
+        }
+    }
+}

@@ -5,6 +5,10 @@
 //! stays under a minute; a `--release` run is what EXPERIMENTS.md records.
 
 pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -13,13 +17,10 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
-pub mod e10;
-pub mod e11;
-pub mod e12;
-pub mod e13;
 pub mod f1;
 pub mod f2;
 pub mod f3;
+pub mod f4;
 
 use crate::table::{ms, timed, Table};
 use alexander_core::{Engine, Strategy};
@@ -44,6 +45,7 @@ pub fn all() -> Vec<Table> {
         f1::run(),
         f2::run(),
         f3::run(),
+        f4::run(),
     ]
 }
 
@@ -66,15 +68,16 @@ pub fn by_id(id: &str) -> Option<Table> {
         "f1" => f1::run,
         "f2" => f2::run,
         "f3" => f3::run,
+        "f4" => f4::run,
         _ => return None,
     };
     Some(run())
 }
 
 /// All experiment ids, in report order.
-pub const IDS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1",
-    "f2", "f3",
+pub const IDS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2",
+    "f3", "f4",
 ];
 
 /// The per-strategy row every comparison table shares: run the query, report

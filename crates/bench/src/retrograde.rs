@@ -36,8 +36,10 @@ pub fn solve(db: &Database, move_pred: Predicate) -> GameLabels {
     let mut labels = GameLabels::default();
     // Remaining out-degree: when it hits zero and the position is unlabelled,
     // every move leads to WON, so the position is LOST.
-    let mut outdeg: FxHashMap<Const, usize> =
-        positions.iter().map(|&p| (p, succs.get(&p).map_or(0, |v| v.len()))).collect();
+    let mut outdeg: FxHashMap<Const, usize> = positions
+        .iter()
+        .map(|&p| (p, succs.get(&p).map_or(0, |v| v.len())))
+        .collect();
 
     let mut queue: Vec<Const> = positions
         .iter()

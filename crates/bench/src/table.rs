@@ -4,11 +4,10 @@
 //! GitHub-flavoured markdown (for EXPERIMENTS.md) and optionally as JSON
 //! (for diffing runs).
 
-use serde::Serialize;
 use std::fmt;
 
 /// One experiment's result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id, e.g. `"E1"` or `"F2"`.
     pub id: String,
@@ -24,12 +23,7 @@ pub struct Table {
 
 impl Table {
     /// Starts a table with the given id/title/columns.
-    pub fn new(
-        id: &str,
-        title: &str,
-        note: &str,
-        columns: &[&str],
-    ) -> Table {
+    pub fn new(id: &str, title: &str, note: &str, columns: &[&str]) -> Table {
         Table {
             id: id.to_string(),
             title: title.to_string(),
@@ -49,6 +43,74 @@ impl Table {
         );
         self.rows.push(cells);
     }
+
+    /// Renders the table as a pretty-printed JSON object. Hand-rolled because
+    /// the build environment has no registry access for serde; every value in
+    /// a table is a string, so the format is trivial.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"note\": {},\n", json_str(&self.note)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json_str_array(&self.columns)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_str_array(row));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Renders a run's tables as a JSON array (the `--json`/`--out` format).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&t.to_json());
+    }
+    if !tables.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 impl fmt::Display for Table {
@@ -116,6 +178,18 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = Table::new("E0", "demo", "", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests() {
+        let mut t = Table::new("F0", "json \"demo\"", "line\nbreak", &["k", "v"]);
+        t.row(vec!["a\\b".into(), "1".into()]);
+        let json = tables_to_json(&[t]);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"json \\\"demo\\\"\""));
+        assert!(json.contains("\"line\\nbreak\""));
+        assert!(json.contains("[\"a\\\\b\", \"1\"]"));
+        assert!(json.ends_with(']'));
     }
 
     #[test]

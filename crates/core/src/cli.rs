@@ -27,6 +27,8 @@ pub struct CliOptions {
     pub analyze: bool,
     /// `pred/arity=path.csv` specs to bulk-load into the EDB.
     pub loads: Vec<String>,
+    /// Worker threads for bottom-up fixpoint rounds (`None` = sequential).
+    pub threads: Option<usize>,
 }
 
 /// Usage text.
@@ -36,6 +38,8 @@ usage: alexander <file.dl | -> [options]
   -s, --strategy S    naive | seminaive | stratified | conditional |
                       magic | supmagic | alexander | oldt   (default: alexander)
       --load P/N=FILE bulk-load relation P (arity N) from a CSV/TSV file
+      --threads N     worker threads per bottom-up fixpoint round (default 1);
+                      answers and counters are identical at any thread count
       --stats         print instrumentation counters per query
       --proof         print a constructive proof tree per answer
       --analyze       print stratification analysis and exit
@@ -65,6 +69,17 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
                 i += 1;
                 let l = args.get(i).ok_or("missing argument to --load")?;
                 opts.loads.push(l.clone());
+            }
+            "--threads" => {
+                i += 1;
+                let t = args.get(i).ok_or("missing argument to --threads")?;
+                let n: usize = t
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got `{t}`"))?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer, got `0`".into());
+                }
+                opts.threads = Some(n);
             }
             "--stats" => opts.stats = true,
             "--proof" => opts.proof = true,
@@ -125,7 +140,10 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
         writeln!(out, "loaded {n} tuples into {pred} from {path}").unwrap();
     }
 
-    let engine = Engine::new(parsed.program, edb).map_err(|e| e.to_string())?;
+    let mut engine = Engine::new(parsed.program, edb).map_err(|e| e.to_string())?;
+    if let Some(threads) = opts.threads {
+        engine = engine.with_threads(threads);
+    }
 
     let queries: Vec<Atom> = if opts.queries.is_empty() {
         file_queries
@@ -294,9 +312,13 @@ mod tests {
     fn bulk_loading_via_load_flag() {
         let dir = std::env::temp_dir();
         let path = dir.join("alexander_cli_load.csv");
-        std::fs::write(&path, "adam,seth
+        std::fs::write(
+            &path,
+            "adam,seth
 seth,enos
-").unwrap();
+",
+        )
+        .unwrap();
         let opts = CliOptions {
             queries: vec!["anc(adam, X)".into()],
             loads: vec![format!("par/2={}", path.display())],
@@ -326,16 +348,55 @@ seth,enos
 
     #[test]
     fn parse_args_roundtrip() {
-        let args: Vec<String> = ["prog.dl", "-q", "p(X)", "-s", "oldt", "--stats"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "prog.dl",
+            "-q",
+            "p(X)",
+            "-s",
+            "oldt",
+            "--stats",
+            "--threads",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let (path, opts) = parse_args(&args).unwrap();
         assert_eq!(path.as_deref(), Some("prog.dl"));
         assert_eq!(opts.queries, ["p(X)"]);
         assert_eq!(opts.strategy.as_deref(), Some("oldt"));
         assert!(opts.stats);
+        assert_eq!(opts.threads, Some(4));
         assert!(parse_args(&["--bogus".to_string()]).is_err());
         assert!(parse_args(&["--help".to_string()]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_validated_and_applied() {
+        for bad in [
+            vec!["prog.dl".to_string(), "--threads".to_string()],
+            vec![
+                "prog.dl".to_string(),
+                "--threads".to_string(),
+                "zero".to_string(),
+            ],
+            vec![
+                "prog.dl".to_string(),
+                "--threads".to_string(),
+                "0".to_string(),
+            ],
+        ] {
+            assert!(parse_args(&bad).is_err(), "{bad:?}");
+        }
+        let opts = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            strategy: Some("seminaive".into()),
+            stats: true,
+            threads: Some(4),
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("anc(adam, enos)"), "{out}");
+        assert!(out.contains("threads=4"), "{out}");
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::strategy::{QueryResult, Report, Strategy};
 use alexander_eval::{
-    eval_conditional, eval_naive, eval_seminaive, eval_stratified, EvalError,
+    eval_conditional_opts, eval_naive_opts, eval_seminaive_opts, eval_stratified_opts, EvalError,
+    EvalOptions,
 };
 use alexander_ir::{match_atom, Atom, Polarity, Predicate, Program, Subst};
 use alexander_parser::{parse, ParseError};
@@ -85,6 +86,7 @@ pub struct Engine {
     program: Program,
     edb: Database,
     sip: SipOptions,
+    opts: EvalOptions,
 }
 
 impl Engine {
@@ -104,6 +106,7 @@ impl Engine {
             program,
             edb,
             sip: SipOptions::default(),
+            opts: EvalOptions::default(),
         })
     }
 
@@ -119,6 +122,24 @@ impl Engine {
         self
     }
 
+    /// Overrides the evaluator options used by the bottom-up strategies.
+    pub fn with_eval_options(mut self, opts: EvalOptions) -> Engine {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the worker-thread count for the bottom-up fixpoint rounds
+    /// (1 = sequential; answers and metrics are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// The evaluator options bottom-up strategies run with.
+    pub fn eval_options(&self) -> EvalOptions {
+        self.opts
+    }
+
     /// The loaded rules.
     pub fn program(&self) -> &Program {
         &self.program
@@ -131,11 +152,11 @@ impl Engine {
 
     /// Adds a fact to the EDB; returns whether it was new.
     pub fn insert_fact(&mut self, atom: &Atom) -> Result<bool, EngineError> {
-        self.edb
-            .insert_atom(atom)
-            .map_err(|e| EngineError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
+        self.edb.insert_atom(atom).map_err(|e| {
+            EngineError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
                 fact: e.0,
-            }]))
+            }])
+        })
     }
 
     /// Answers `query` under `strategy`. Answers are ground instances of the
@@ -153,31 +174,25 @@ impl Engine {
 
         match strategy {
             Strategy::Naive => {
-                let r = eval_naive(&self.program, &self.edb)?;
+                let r = eval_naive_opts(&self.program, &self.edb, self.opts)?;
                 Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
             }
             Strategy::SemiNaive => {
-                let r = eval_seminaive(&self.program, &self.edb)?;
+                let r = eval_seminaive_opts(&self.program, &self.edb, self.opts)?;
                 Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
             }
             Strategy::Stratified => {
-                let r = eval_stratified(&self.program, &self.edb)?;
+                let r = eval_stratified_opts(&self.program, &self.edb, self.opts)?;
                 Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
             }
             Strategy::ConditionalFixpoint => {
-                let r = eval_conditional(&self.program, &self.edb)?;
-                let undefined_matching: Vec<Atom> =
-                    filter_matching(r.undefined.clone(), query);
+                let r = eval_conditional_opts(&self.program, &self.edb, self.opts)?;
+                let undefined_matching: Vec<Atom> = filter_matching(r.undefined.clone(), query);
                 if !undefined_matching.is_empty() {
                     return Err(EngineError::UndefinedAnswers(undefined_matching));
                 }
-                let mut out = self.direct_result(
-                    query,
-                    strategy,
-                    r.db,
-                    r.metrics,
-                    self.program.rules.len(),
-                );
+                let mut out =
+                    self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len());
                 out.report.undefined = r.undefined;
                 Ok(out)
             }
@@ -243,6 +258,7 @@ impl Engine {
                 eval: Some(metrics),
                 facts_materialised: (db.total_tuples() - self.edb.total_tuples()) as u64,
                 rules_evaluated: rules,
+                threads: self.opts.threads.max(1),
                 ..Report::default()
             },
         }
@@ -265,10 +281,10 @@ impl Engine {
                 .all(|l| l.polarity == Polarity::Positive || !idb.contains(&l.atom.predicate()))
         });
         let (db, metrics, undefined) = if semipositive {
-            let r = eval_seminaive(&rw.program, &self.edb)?;
+            let r = eval_seminaive_opts(&rw.program, &self.edb, self.opts)?;
             (r.db, r.metrics, Vec::new())
         } else {
-            let r = eval_conditional(&rw.program, &self.edb)?;
+            let r = eval_conditional_opts(&rw.program, &self.edb, self.opts)?;
             (r.db, r.metrics, r.undefined)
         };
 
@@ -296,6 +312,7 @@ impl Engine {
                 calls: Some(calls),
                 undefined,
                 rules_evaluated: rw.program.rules.len(),
+                threads: self.opts.threads.max(1),
                 ..Report::default()
             },
         })
@@ -372,8 +389,12 @@ mod tests {
     fn rewriting_strategies_report_calls() {
         let e = engine();
         let q = parse_atom("anc(a, X)").unwrap();
-        for s in [Strategy::Magic, Strategy::SupplementaryMagic, Strategy::Alexander, Strategy::Oldt]
-        {
+        for s in [
+            Strategy::Magic,
+            Strategy::SupplementaryMagic,
+            Strategy::Alexander,
+            Strategy::Oldt,
+        ] {
             let r = e.query(&q, s).unwrap();
             assert_eq!(r.report.calls, Some(4), "strategy {s}"); // a, b, c, d
         }
@@ -418,16 +439,22 @@ mod tests {
 
     #[test]
     fn stratified_negation_via_engine() {
-        let e = Engine::from_source("
+        let e = Engine::from_source(
+            "
             edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
             source(s).
             reach(X) :- source(S), edge(S, X).
             reach(Y) :- reach(X), edge(X, Y).
             unreach(X) :- node(X), !reach(X).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("unreach(X)").unwrap();
-        for s in [Strategy::Stratified, Strategy::ConditionalFixpoint, Strategy::Oldt] {
+        for s in [
+            Strategy::Stratified,
+            Strategy::ConditionalFixpoint,
+            Strategy::Oldt,
+        ] {
             let r = e.query(&q, s).unwrap();
             let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
             assert_eq!(got, ["unreach(s)", "unreach(z)"], "strategy {s}");
@@ -436,20 +463,50 @@ mod tests {
 
     #[test]
     fn win_move_conditional_and_undefined_detection() {
-        let e = Engine::from_source("
+        let e = Engine::from_source(
+            "
             move(a, b). move(b, c). move(d, d2). move(d2, d).
             win(X) :- move(X, Y), !win(Y).
-        ")
+        ",
+        )
         .unwrap();
         // Decided part of the game works:
         let r = e
-            .query(&parse_atom("win(b)").unwrap(), Strategy::ConditionalFixpoint)
+            .query(
+                &parse_atom("win(b)").unwrap(),
+                Strategy::ConditionalFixpoint,
+            )
             .unwrap();
         assert_eq!(r.answers.len(), 1);
         assert!(!r.report.undefined.is_empty()); // the d-cycle is undefined
-        // Asking about the undefined cycle is an error, not a silent no.
-        let err = e.query(&parse_atom("win(d)").unwrap(), Strategy::ConditionalFixpoint);
+                                                 // Asking about the undefined cycle is an error, not a silent no.
+        let err = e.query(
+            &parse_atom("win(d)").unwrap(),
+            Strategy::ConditionalFixpoint,
+        );
         assert!(matches!(err, Err(EngineError::UndefinedAnswers(_))));
+    }
+
+    #[test]
+    fn threads_change_neither_answers_nor_metrics() {
+        let q = parse_atom("anc(a, X)").unwrap();
+        let seq = engine();
+        for threads in [2, 4, 8] {
+            let par = Engine::from_source(ANCESTOR).unwrap().with_threads(threads);
+            for s in [
+                Strategy::SemiNaive,
+                Strategy::Stratified,
+                Strategy::Magic,
+                Strategy::SupplementaryMagic,
+                Strategy::Alexander,
+            ] {
+                let a = seq.query(&q, s).unwrap();
+                let b = par.query(&q, s).unwrap();
+                assert_eq!(a.answers, b.answers, "{s} @ {threads} threads");
+                assert_eq!(a.report.eval, b.report.eval, "{s} @ {threads} threads");
+                assert_eq!(b.report.threads, threads);
+            }
+        }
     }
 
     #[test]
@@ -471,10 +528,12 @@ mod tests {
 
     #[test]
     fn repeated_variable_query() {
-        let e = Engine::from_source("
+        let e = Engine::from_source(
+            "
             e(a, a). e(a, b).
             p(X, Y) :- e(X, Y).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("p(X, X)").unwrap();
         for s in [Strategy::SemiNaive, Strategy::Oldt] {

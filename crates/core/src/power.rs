@@ -220,7 +220,10 @@ mod tests {
         let program = workload::same_generation();
         let q = Atom {
             pred: alexander_ir::Symbol::intern("sg"),
-            terms: vec![alexander_ir::Term::Const(seed), alexander_ir::Term::var("Y")],
+            terms: vec![
+                alexander_ir::Term::Const(seed),
+                alexander_ir::Term::var("Y"),
+            ],
         };
         let c = check_power_correspondence(&program, &edb, &q).unwrap();
         assert!(c.holds(), "{c}");

@@ -82,6 +82,9 @@ pub struct Report {
     pub undefined: Vec<Atom>,
     /// Number of rules actually evaluated (after rewriting).
     pub rules_evaluated: usize,
+    /// Worker threads the bottom-up fixpoint ran with (0 when no bottom-up
+    /// evaluation happened, e.g. pure OLDT runs or EDB lookups).
+    pub threads: usize,
 }
 
 impl fmt::Display for Report {
@@ -98,6 +101,9 @@ impl fmt::Display for Report {
         }
         if !self.undefined.is_empty() {
             write!(f, " undefined={}", self.undefined.len())?;
+        }
+        if self.threads > 1 {
+            write!(f, " threads={}", self.threads)?;
         }
         Ok(())
     }
@@ -131,5 +137,19 @@ mod tests {
             ..Report::default()
         };
         assert!(r.to_string().contains("calls=7"));
+    }
+
+    #[test]
+    fn report_display_mentions_threads_only_when_parallel() {
+        let seq = Report {
+            threads: 1,
+            ..Report::default()
+        };
+        assert!(!seq.to_string().contains("threads"));
+        let par = Report {
+            threads: 4,
+            ..Report::default()
+        };
+        assert!(par.to_string().contains("threads=4"));
     }
 }

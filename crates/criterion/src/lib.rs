@@ -1,0 +1,173 @@
+//! A self-contained wall-clock microbenchmark runner exposing the subset of
+//! the `criterion` API the `benches/` files use. The build environment has no
+//! access to crates.io, so external crates are vendored as minimal shims.
+//!
+//! Unlike upstream criterion there is no statistical analysis or HTML report:
+//! each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! prints the per-iteration median, min, and max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterised (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    #[allow(dead_code)]
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.full, &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: let caches and lazy indexes settle.
+        let mut warmup = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut warmup);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        println!(
+            "{label:<40} median {}  min {}  max {}",
+            fmt_time(median),
+            fmt_time(samples[0]),
+            fmt_time(samples[samples.len() - 1]),
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-sample timing handle: `b.iter(|| work())`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>8.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>8.3} ms", secs * 1e3)
+    } else {
+        format!("{:>8.3} µs", secs * 1e6)
+    }
+}
+
+/// Defines the runner function for a set of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &7usize, |b, i| {
+            b.iter(|| i * 2)
+        });
+        g.finish();
+        // Warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).contains("s"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2e-6).contains("µs"));
+    }
+}

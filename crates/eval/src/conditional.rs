@@ -84,6 +84,17 @@ impl Statements {
 
 /// Runs the conditional fixpoint procedure on `program` over `edb`.
 pub fn eval_conditional(program: &Program, edb: &Database) -> Result<ConditionalResult, EvalError> {
+    eval_conditional_opts(program, edb, crate::naive::EvalOptions::default())
+}
+
+/// [`eval_conditional`] with explicit options. The options (indexes, thread
+/// count) govern the semi-naive run of the definite core; the conditional
+/// phases themselves are sequential.
+pub fn eval_conditional_opts(
+    program: &Program,
+    edb: &Database,
+    opts: crate::naive::EvalOptions,
+) -> Result<ConditionalResult, EvalError> {
     program.validate().map_err(EvalError::Invalid)?;
     let mut static_db = seed_database(program, edb);
     let idb = program.idb_predicates();
@@ -126,13 +137,7 @@ pub fn eval_conditional(program: &Program, edb: &Database) -> Result<Conditional
         .filter(|r| !tainted.contains(&r.head.predicate()))
         .cloned()
         .collect();
-    crate::seminaive::run_rules(
-        &definite_rules,
-        &mut static_db,
-        &mut metrics,
-        crate::naive::EvalOptions::default(),
-        None,
-    )?;
+    crate::seminaive::run_rules(&definite_rules, &mut static_db, &mut metrics, opts, None)?;
 
     // Compile the remaining (tainted) rules. Negative literals over static
     // predicates (EDB and the definite core) are checked inline against the
@@ -253,7 +258,11 @@ pub fn eval_conditional(program: &Program, edb: &Database) -> Result<Conditional
         let provable: FxHashSet<Atom> = facts
             .iter()
             .cloned()
-            .chain(sets.iter().filter(|(_, s)| !s.is_empty()).map(|(h, _)| h.clone()))
+            .chain(
+                sets.iter()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(h, _)| h.clone()),
+            )
             .collect();
         for (head, condsets) in sets.iter_mut() {
             let before = condsets.len();
@@ -397,12 +406,11 @@ mod tests {
             s(X) :- win(X).
         ");
         assert!(r.is_total());
-        let names: Vec<String> = r
-            .db
-            .atoms_of(Predicate::new("s", 1))
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let names: Vec<String> =
+            r.db.atoms_of(Predicate::new("s", 1))
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
         assert_eq!(names, vec!["s(b)".to_string()]);
     }
 
@@ -427,6 +435,10 @@ mod tests {
         let p = Predicate::new("p", 2);
         // p(e, b) is not derivable (no rule makes a `b` head), so !p(e, b)
         // holds and p(c, a) follows from q(c, d), s(e, c).
-        assert!(r.db.relation(p).unwrap().contains(&tuple_of_syms(&["c", "a"])));
+        assert!(r
+            .db
+            .relation(p)
+            .unwrap()
+            .contains(&tuple_of_syms(&["c", "a"])));
     }
 }

@@ -57,7 +57,13 @@ impl IncrementalEngine {
             edb_preds.insert(f.predicate());
         }
         // Initial materialisation.
-        crate::seminaive::run_rules(&program.rules, &mut total, &mut metrics, Default::default(), None)?;
+        crate::seminaive::run_rules(
+            &program.rules,
+            &mut total,
+            &mut metrics,
+            Default::default(),
+            None,
+        )?;
         Ok(IncrementalEngine {
             program,
             compiled,
@@ -174,9 +180,7 @@ impl IncrementalEngine {
                     };
                     let doomed_ref = &doomed;
                     join_rule(rule, &input, &mut self.metrics, &mut |t| {
-                        let seen = doomed_ref
-                            .get(&head)
-                            .is_some_and(|s| s.contains(&t));
+                        let seen = doomed_ref.get(&head).is_some_and(|s| s.contains(&t));
                         if seen {
                             false
                         } else {
@@ -299,14 +303,19 @@ mod tests {
     fn deletion_with_alternative_paths_rederives() {
         // Diamond: n0->n1->n3 and n0->n2->n3. Deleting one branch must keep
         // tc(n0, n3) via the other.
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(n0, n1). e(n1, n3). e(n0, n2). e(n2, n3).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let edb = Database::from_program(&parsed.program);
-        let program = Program { rules: parsed.program.rules, facts: Vec::new() };
+        let program = Program {
+            rules: parsed.program.rules,
+            facts: Vec::new(),
+        };
         let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
         let victim = parse_atom("e(n1, n3)").unwrap();
         let (over, re) = inc.delete(&victim).unwrap();
@@ -378,7 +387,10 @@ mod tests {
     fn non_definite_programs_are_rejected() {
         let parsed = parse("move(a, b). win(X) :- move(X, Y), !win(Y).").unwrap();
         let edb = Database::from_program(&parsed.program);
-        let program = Program { rules: parsed.program.rules, facts: Vec::new() };
+        let program = Program {
+            rules: parsed.program.rules,
+            facts: Vec::new(),
+        };
         assert!(IncrementalEngine::new(program, edb).is_err());
     }
 

@@ -158,6 +158,9 @@ pub fn join_rule(
     });
 }
 
+/// The callback [`join_rule_bindings`] hands each satisfying assignment to.
+pub type EmitBindings<'a> = dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics) + 'a;
+
 /// Like [`join_rule`], but hands the raw binding array to `emit` on every
 /// satisfying assignment, so callers can reconstruct body instances (the
 /// conditional-fixpoint procedure needs the ground premises, not just the
@@ -166,7 +169,7 @@ pub fn join_rule_bindings(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
     metrics: &mut EvalMetrics,
-    emit: &mut dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics),
+    emit: &mut EmitBindings<'_>,
 ) {
     let mut bind: Vec<Option<Const>> = vec![None; rule.nvars];
     let neg_db = input.negatives.unwrap_or(input.total);
@@ -180,7 +183,7 @@ fn descend(
     depth: usize,
     bind: &mut Vec<Option<Const>>,
     metrics: &mut EvalMetrics,
-    emit: &mut dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics),
+    emit: &mut EmitBindings<'_>,
 ) {
     if depth == rule.body.len() {
         emit(rule, bind, metrics);
@@ -348,7 +351,11 @@ mod tests {
         let mut m = EvalMetrics::default();
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |t| {
                 out.push(t);
@@ -377,7 +384,11 @@ mod tests {
         let mut m = EvalMetrics::default();
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |t| {
                 out.push(t);
@@ -400,7 +411,11 @@ mod tests {
         let mut out = Vec::new();
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |t| {
                 out.push(t);
@@ -412,7 +427,11 @@ mod tests {
         let mut out2 = Vec::new();
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |t| {
                 out2.push(t);
@@ -439,7 +458,11 @@ mod tests {
         let mut out = Vec::new();
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |t| {
                 out.push(t);
@@ -495,7 +518,11 @@ mod tests {
         let mut n = 0;
         join_rule(
             &c,
-            &JoinInput { total: &db, delta: None, negatives: None },
+            &JoinInput {
+                total: &db,
+                delta: None,
+                negatives: None,
+            },
             &mut m,
             &mut |_| {
                 n += 1;

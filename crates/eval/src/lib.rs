@@ -16,6 +16,11 @@
 //! All evaluators return machine-independent [`EvalMetrics`] counters; the
 //! benchmark tables of the reproduction are built from these.
 //!
+//! The semi-naive engine (and everything layered on it) can parallelise each
+//! fixpoint round across worker threads via [`EvalOptions::threads`]; the
+//! resulting relations *and* metrics are identical to a sequential run at
+//! any thread count (see [`seminaive`] for the round protocol).
+//!
 //! ```
 //! use alexander_parser::parse;
 //! use alexander_storage::Database;
@@ -42,7 +47,7 @@ pub mod provenance;
 pub mod seminaive;
 pub mod stratified;
 
-pub use conditional::{eval_conditional, ConditionalResult, Conditions};
+pub use conditional::{eval_conditional, eval_conditional_opts, ConditionalResult, Conditions};
 pub use error::EvalError;
 pub use incremental::IncrementalEngine;
 pub use join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};

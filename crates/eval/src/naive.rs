@@ -8,16 +8,34 @@ use alexander_ir::{Polarity, Program};
 use alexander_storage::Database;
 
 /// Evaluator knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Build hash indexes for the masks rules probe. Turning this off forces
     /// every probe into a filtered scan (ablation E10).
     pub use_indexes: bool,
+    /// Worker threads for the per-round rule fan-out in semi-naive
+    /// evaluation (and everything layered on it: stratified strata,
+    /// conditional phase 0). `0` or `1` means sequential; metrics are exact
+    /// and identical to the sequential run at any thread count.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> EvalOptions {
-        EvalOptions { use_indexes: true }
+        EvalOptions {
+            use_indexes: true,
+            threads: 1,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// `Default` with the given thread count.
+    pub fn with_threads(threads: usize) -> EvalOptions {
+        EvalOptions {
+            threads,
+            ..EvalOptions::default()
+        }
     }
 }
 
@@ -162,11 +180,13 @@ mod tests {
 
     #[test]
     fn negated_idb_is_rejected() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             p(X) :- q(X).
             r(X) :- q(X), !p(X).
             q(a).
-        ")
+        ",
+        )
         .unwrap();
         let err = eval_naive(&parsed.program, &Database::new()).unwrap_err();
         assert!(matches!(err, EvalError::NegatedIdb(_)));
@@ -181,17 +201,22 @@ mod tests {
 
     #[test]
     fn without_indexes_same_answers() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let with = eval_naive(&parsed.program, &Database::new()).unwrap();
         let without = eval_naive_opts(
             &parsed.program,
             &Database::new(),
-            EvalOptions { use_indexes: false },
+            EvalOptions {
+                use_indexes: false,
+                ..EvalOptions::default()
+            },
         )
         .unwrap();
         let tc = alexander_ir::Predicate::new("tc", 2);

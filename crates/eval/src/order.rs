@@ -37,31 +37,25 @@ impl std::error::Error for Unorderable {}
 pub fn order_for_evaluation(rule: &Rule) -> Result<Rule, Unorderable> {
     // Deferred literals are tests, not generators: negations and built-in
     // comparisons. Both need their variables ground before running.
-    let deferred = |l: &&Literal| {
-        l.is_negative() || alexander_ir::Builtin::of(l.atom.predicate()).is_some()
-    };
+    let deferred =
+        |l: &&Literal| l.is_negative() || alexander_ir::Builtin::of(l.atom.predicate()).is_some();
     let mut pending_neg: Vec<&Literal> = rule.body.iter().filter(deferred).collect();
-    let positives: Vec<&Literal> = rule
-        .body
-        .iter()
-        .filter(|l| !deferred(l))
-        .collect();
+    let positives: Vec<&Literal> = rule.body.iter().filter(|l| !deferred(l)).collect();
 
     let mut bound: FxHashSet<Var> = FxHashSet::default();
     let mut out: Vec<Literal> = Vec::with_capacity(rule.body.len());
 
-    let flush_ready = |bound: &FxHashSet<Var>,
-                           pending: &mut Vec<&Literal>,
-                           out: &mut Vec<Literal>| {
-        pending.retain(|l| {
-            if l.vars().all(|v| bound.contains(&v)) {
-                out.push((*l).clone());
-                false
-            } else {
-                true
-            }
-        });
-    };
+    let flush_ready =
+        |bound: &FxHashSet<Var>, pending: &mut Vec<&Literal>, out: &mut Vec<Literal>| {
+            pending.retain(|l| {
+                if l.vars().all(|v| bound.contains(&v)) {
+                    out.push((*l).clone());
+                    false
+                } else {
+                    true
+                }
+            });
+        };
 
     flush_ready(&bound, &mut pending_neg, &mut out);
     for l in positives {

@@ -1,17 +1,18 @@
 //! Parallel naive evaluation: within each fixpoint round, rules are joined
-//! concurrently over the (immutable) current database using crossbeam's
+//! concurrently over the (immutable) current database using `std::thread`
 //! scoped threads, and the per-rule results are merged afterwards.
 //!
 //! This exists as an ablation point: round-level parallelism is the natural
 //! "free" parallelisation of bottom-up Datalog, and the benchmark harness
-//! compares it against the sequential evaluators. The deltas of semi-naive
-//! evaluation parallelise the same way; naive keeps the ablation simple.
+//! compares it against the sequential evaluators. The parallel *semi-naive*
+//! evaluator lives in [`crate::seminaive`] and shares the same freeze →
+//! fan-out → merge round structure.
 
 use crate::error::EvalError;
 use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalResult};
-use alexander_ir::Program;
+use alexander_ir::{FxHashSet, Predicate, Program};
 use alexander_storage::{Database, Tuple};
 
 /// Runs naive evaluation with `threads` worker threads per round.
@@ -38,50 +39,58 @@ pub fn eval_naive_parallel(
         }
 
         // Chunk the rules across workers; each worker derives candidate
-        // tuples against the frozen database.
+        // tuples against the frozen database, deduplicating through a
+        // worker-local seen-set so its own counters match what a sequential
+        // pass over the same rules would report.
         let chunk = rules.len().div_ceil(threads);
         let db_ref = &db;
-        let results: Vec<(EvalMetrics, Vec<(alexander_ir::Predicate, Tuple)>)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = rules
-                    .chunks(chunk.max(1))
-                    .map(|chunk_rules| {
-                        scope.spawn(move |_| {
-                            let mut local_metrics = EvalMetrics::default();
-                            let mut derived = Vec::new();
-                            for rule in chunk_rules {
-                                let head = rule.head.pred;
-                                let input = JoinInput {
-                                    total: db_ref,
-                                    delta: None,
-                                    negatives: None,
-                                };
-                                join_rule(rule, &input, &mut local_metrics, &mut |t| {
-                                    let new = !db_ref
-                                        .relation(head)
-                                        .is_some_and(|r| r.contains(&t));
-                                    if new {
-                                        derived.push((head, t));
-                                    }
-                                    new
-                                });
-                            }
-                            (local_metrics, derived)
-                        })
+        let results: Vec<(EvalMetrics, Vec<(Predicate, Tuple)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rules
+                .chunks(chunk.max(1))
+                .map(|chunk_rules| {
+                    scope.spawn(move || {
+                        let mut local_metrics = EvalMetrics::default();
+                        let mut derived: Vec<(Predicate, Tuple)> = Vec::new();
+                        let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
+                        for rule in chunk_rules {
+                            let head = rule.head.pred;
+                            let input = JoinInput {
+                                total: db_ref,
+                                delta: None,
+                                negatives: None,
+                            };
+                            join_rule(rule, &input, &mut local_metrics, &mut |t| {
+                                if db_ref.relation(head).is_some_and(|r| r.contains(&t)) {
+                                    return false;
+                                }
+                                let new = seen.insert((head, t.clone()));
+                                if new {
+                                    derived.push((head, t));
+                                }
+                                new
+                            });
+                        }
+                        (local_metrics, derived)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker threads do not panic");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
 
         let mut grew = false;
         for (m, derived) in results {
             metrics += m;
-            // Duplicate counting across workers differs slightly from the
-            // sequential evaluator (two workers may both derive a fact that
-            // is new w.r.t. the frozen database); the insert below dedups.
             for (p, t) in derived {
-                grew |= db.insert(p, t);
+                if db.insert(p, t) {
+                    grew = true;
+                } else {
+                    // Two workers derived the same fresh fact: the sequential
+                    // evaluator would have counted the second derivation as a
+                    // duplicate, so reclassify it at merge time. Metrics stay
+                    // exactly equal to the sequential run.
+                    metrics.new_facts -= 1;
+                    metrics.duplicate_facts += 1;
+                }
             }
         }
         if !grew {
@@ -100,13 +109,15 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_answers() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c). e(c, d). e(d, e5).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
             inv(Y, X) :- e(X, Y).
             two(X, Y) :- e(X, Z), e(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let seq = eval_naive(&parsed.program, &Database::new()).unwrap();
         for threads in [1, 2, 4] {
@@ -118,7 +129,28 @@ mod tests {
             ] {
                 assert_eq!(seq.db.len_of(p), par.db.len_of(p), "{p} @ {threads}");
             }
+            assert_eq!(seq.metrics, par.metrics, "metrics @ {threads} threads");
         }
+    }
+
+    #[test]
+    fn cross_worker_duplicates_are_reclassified() {
+        // Both rules derive same(X, X) from the same EDB; with 2 workers they
+        // land in different chunks, so every fact is derived fresh by both
+        // workers and the merge must reclassify one derivation as a duplicate.
+        let parsed = parse(
+            "
+            n(a). n(b). n(c).
+            same(X, X) :- n(X).
+            same(Y, Y) :- n(Y).
+        ",
+        )
+        .unwrap();
+        let seq = eval_naive(&parsed.program, &Database::new()).unwrap();
+        let par = eval_naive_parallel(&parsed.program, &Database::new(), 2).unwrap();
+        assert_eq!(seq.db.len_of(Predicate::new("same", 2)), 3);
+        assert_eq!(seq.metrics, par.metrics);
+        assert!(par.metrics.duplicate_facts >= 3, "{}", par.metrics);
     }
 
     #[test]

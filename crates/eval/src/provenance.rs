@@ -276,11 +276,13 @@ mod tests {
 
     #[test]
     fn proof_tree_of_a_chain_derivation() {
-        let (program, edb) = setup("
+        let (program, edb) = setup(
+            "
             par(a, b). par(b, c). par(c, d).
             anc(X, Y) :- par(X, Y).
             anc(X, Y) :- par(X, Z), anc(Z, Y).
-        ");
+        ",
+        );
         let (result, prov) = eval_with_provenance(&program, &edb).unwrap();
         assert_eq!(result.db.len_of(alexander_ir::Predicate::new("anc", 2)), 6);
 
@@ -307,16 +309,20 @@ mod tests {
     fn non_facts_have_no_proof() {
         let (program, edb) = setup("par(a, b). anc(X, Y) :- par(X, Y).");
         let (_, prov) = eval_with_provenance(&program, &edb).unwrap();
-        assert!(prov.proof(&parse_atom("anc(b, a)").unwrap(), &edb).is_none());
+        assert!(prov
+            .proof(&parse_atom("anc(b, a)").unwrap(), &edb)
+            .is_none());
     }
 
     #[test]
     fn negative_dependencies_are_reported() {
-        let (program, edb) = setup("
+        let (program, edb) = setup(
+            "
             node(a). node(b). bad(b).
             blocked(X) :- bad(X).
             good(X) :- node(X), !blocked(X).
-        ");
+        ",
+        );
         let (_, prov) = eval_with_provenance(&program, &edb).unwrap();
         let proof = prov
             .proof(&parse_atom("good(a)").unwrap(), &edb)
@@ -332,26 +338,34 @@ mod tests {
 
     #[test]
     fn justification_records_the_rule_index() {
-        let (program, edb) = setup("
+        let (program, edb) = setup(
+            "
             par(a, b). par(b, c).
             anc(X, Y) :- par(X, Y).
             anc(X, Y) :- par(X, Z), anc(Z, Y).
-        ");
+        ",
+        );
         let (_, prov) = eval_with_provenance(&program, &edb).unwrap();
-        let base = prov.justification(&parse_atom("anc(a, b)").unwrap()).unwrap();
+        let base = prov
+            .justification(&parse_atom("anc(a, b)").unwrap())
+            .unwrap();
         assert_eq!(base.rule, 0);
-        let step = prov.justification(&parse_atom("anc(a, c)").unwrap()).unwrap();
+        let step = prov
+            .justification(&parse_atom("anc(a, c)").unwrap())
+            .unwrap();
         assert_eq!(step.rule, 1);
         assert_eq!(step.premises.len(), 2);
     }
 
     #[test]
     fn provenance_agrees_with_plain_evaluation() {
-        let (program, edb) = setup("
+        let (program, edb) = setup(
+            "
             e(a, b). e(b, c). e(c, a). e(c, d).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
-        ");
+        ",
+        );
         let (with, prov) = eval_with_provenance(&program, &edb).unwrap();
         let plain = crate::seminaive::eval_seminaive(&program, &edb).unwrap();
         let tc = alexander_ir::Predicate::new("tc", 2);
@@ -359,27 +373,28 @@ mod tests {
         // Every derived fact has a proof, and the proofs are well-founded
         // even on the cyclic graph.
         for a in with.db.atoms_of(tc) {
-            let p = prov.proof(&a, &edb).unwrap_or_else(|| panic!("no proof for {a}"));
+            let p = prov
+                .proof(&a, &edb)
+                .unwrap_or_else(|| panic!("no proof for {a}"));
             assert!(p.height() <= 50, "suspiciously deep proof for {a}");
         }
     }
 
     #[test]
     fn proofs_in_higher_strata_reach_into_lower_ones() {
-        let (program, edb) = setup("
+        let (program, edb) = setup(
+            "
             edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
             source(s).
             reach(X) :- source(S), edge(S, X).
             reach(Y) :- reach(X), edge(X, Y).
             unreach(X) :- node(X), !reach(X).
-        ");
+        ",
+        );
         let (_, prov) = eval_with_provenance(&program, &edb).unwrap();
         let proof = prov
             .proof(&parse_atom("unreach(z)").unwrap(), &edb)
             .expect("z is unreachable");
-        assert_eq!(
-            proof.negative_dependencies()[0].to_string(),
-            "reach(z)"
-        );
+        assert_eq!(proof.negative_dependencies()[0].to_string(), "reach(z)");
     }
 }

@@ -1,13 +1,27 @@
 //! Semi-naive bottom-up evaluation: each round only joins rule bodies
 //! against the facts discovered in the previous round (the *delta*),
 //! eliminating the bulk of naive evaluation's re-derivations.
+//!
+//! ## Parallel rounds
+//!
+//! With `EvalOptions::threads > 1` each round fans its work items out over
+//! scoped worker threads. The round's `(total, delta)` pair is frozen (see
+//! [`alexander_storage::Database::freeze`]) before the fan-out, so workers
+//! share plain `&Database` views with no interior mutation; all indexes are
+//! built up front by the single-threaded prelude. A work item is one
+//! delta-rewriting variant — a `(rule, delta position)` pair — so even a
+//! program with fewer rules than threads still splits across workers. Each
+//! worker deduplicates its derivations against the frozen total *and* a
+//! worker-local seen-set, then a single-threaded merge builds the next delta
+//! in task order, reclassifying cross-worker duplicates so the metrics are
+//! bit-identical to a sequential run at any thread count.
 
 use crate::error::EvalError;
 use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
 use alexander_ir::{FxHashSet, Polarity, Predicate, Program, Rule};
-use alexander_storage::Database;
+use alexander_storage::{Database, Tuple};
 
 /// Runs semi-naive evaluation of a semipositive `program` over `edb`.
 pub fn eval_seminaive(program: &Program, edb: &Database) -> Result<EvalResult, EvalError> {
@@ -49,7 +63,9 @@ pub(crate) fn run_rules(
         .collect::<Result<_, _>>()?;
     let derived: FxHashSet<Predicate> = compiled.iter().map(|r| r.head.pred).collect();
 
-    // Round 0: full join over the seed database.
+    let threads = opts.threads.max(1);
+
+    // Round 0: full join over the seed database, one work item per rule.
     metrics.iterations += 1;
     if opts.use_indexes {
         for r in &compiled {
@@ -57,25 +73,20 @@ pub(crate) fn run_rules(
         }
     }
     let mut delta = Database::new();
-    for rule in &compiled {
-        let head_pred = rule.head.pred;
-        let input = JoinInput {
-            total: db,
-            delta: None,
-            negatives,
-        };
-        join_rule(rule, &input, metrics, &mut |t| {
-            if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                false
-            } else {
-                delta.insert(head_pred, t)
-            }
-        });
-    }
+    let tasks: Vec<RoundTask<'_>> = compiled
+        .iter()
+        .map(|rule| RoundTask {
+            rule,
+            delta_pos: None,
+        })
+        .collect();
+    run_round_tasks(&tasks, db, None, negatives, threads, metrics, &mut delta);
     db.merge(&delta);
 
     // Delta rounds: every derived-predicate literal takes a turn as the
-    // delta position.
+    // delta position. Each (rule, position) pair is one work item — the
+    // delta-rewriting variants of a rule split across workers even when the
+    // program has fewer rules than threads.
     while delta.total_tuples() > 0 {
         metrics.iterations += 1;
         if opts.use_indexes {
@@ -85,33 +96,135 @@ pub(crate) fn run_rules(
             }
         }
         let mut next = Database::new();
+        let mut tasks: Vec<RoundTask<'_>> = Vec::new();
         for rule in &compiled {
-            let head_pred = rule.head.pred;
             for (i, lit) in rule.body.iter().enumerate() {
-                if lit.polarity != Polarity::Positive || !derived.contains(&lit.atom.pred) {
-                    continue;
+                if lit.polarity == Polarity::Positive
+                    && derived.contains(&lit.atom.pred)
+                    && delta.len_of(lit.atom.pred) > 0
+                {
+                    tasks.push(RoundTask {
+                        rule,
+                        delta_pos: Some(i),
+                    });
                 }
-                if delta.len_of(lit.atom.pred) == 0 {
-                    continue;
-                }
-                let input = JoinInput {
-                    total: db,
-                    delta: Some((i, &delta)),
-                    negatives,
-                };
-                join_rule(rule, &input, metrics, &mut |t| {
-                    if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                        false
-                    } else {
-                        next.insert(head_pred, t)
-                    }
-                });
             }
         }
+        run_round_tasks(
+            &tasks,
+            db,
+            Some(&delta),
+            negatives,
+            threads,
+            metrics,
+            &mut next,
+        );
         db.merge(&next);
         delta = next;
     }
     Ok(())
+}
+
+/// One unit of per-round work: a compiled rule, optionally specialised to a
+/// delta position (one delta-rewriting variant).
+struct RoundTask<'a> {
+    rule: &'a CompiledRule,
+    delta_pos: Option<usize>,
+}
+
+/// Executes one round's work items, inserting fresh derivations into `next`.
+///
+/// `db` (and `delta`, when present) are not mutated for the duration: with
+/// more than one thread they are frozen and the items fan out over scoped
+/// workers; otherwise the items run in order on the calling thread. Either
+/// way the facts in `next` and every metrics counter come out identical —
+/// `new_facts` counts the distinct facts absent from `db`, which is a
+/// property of the round's input, not of task scheduling.
+#[allow(clippy::too_many_arguments)]
+fn run_round_tasks(
+    tasks: &[RoundTask<'_>],
+    db: &Database,
+    delta: Option<&Database>,
+    negatives: Option<&Database>,
+    threads: usize,
+    metrics: &mut EvalMetrics,
+    next: &mut Database,
+) {
+    let delta_of = |pos: Option<usize>| {
+        pos.map(|i| (i, delta.expect("delta tasks only occur in delta rounds")))
+    };
+    if threads <= 1 || tasks.len() <= 1 {
+        for task in tasks {
+            let head_pred = task.rule.head.pred;
+            let input = JoinInput {
+                total: db,
+                delta: delta_of(task.delta_pos),
+                negatives,
+            };
+            join_rule(task.rule, &input, metrics, &mut |t| {
+                if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                    false
+                } else {
+                    next.insert(head_pred, t)
+                }
+            });
+        }
+        return;
+    }
+
+    let frozen = db.freeze();
+    let chunk = tasks.len().div_ceil(threads);
+    let results: Vec<(EvalMetrics, Vec<(Predicate, Tuple)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk)
+            .map(|chunk_tasks| {
+                scope.spawn(move || {
+                    let mut local = EvalMetrics::default();
+                    let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
+                    let mut buf: Vec<(Predicate, Tuple)> = Vec::new();
+                    for task in chunk_tasks {
+                        let head_pred = task.rule.head.pred;
+                        let input = JoinInput {
+                            total: frozen.db(),
+                            delta: delta_of(task.delta_pos),
+                            negatives,
+                        };
+                        join_rule(task.rule, &input, &mut local, &mut |t| {
+                            if frozen.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                                return false;
+                            }
+                            // Worker-local dedup; cross-worker collisions are
+                            // reclassified at merge time.
+                            let new = seen.insert((head_pred, t.clone()));
+                            if new {
+                                buf.push((head_pred, t));
+                            }
+                            new
+                        });
+                    }
+                    (local, buf)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("round worker panicked"))
+            .collect()
+    });
+
+    // Single-threaded merge, in task order so `next`'s insertion order (and
+    // hence all downstream iteration) matches the sequential run. A fact two
+    // workers both derived was provisionally counted new by each; demote the
+    // later copies so the totals equal the sequential classification.
+    for (local, buf) in results {
+        *metrics += local;
+        for (p, t) in buf {
+            if !next.insert(p, t) {
+                metrics.new_facts -= 1;
+                metrics.duplicate_facts += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,11 +269,13 @@ mod tests {
     #[test]
     fn nonlinear_rules_use_delta_at_each_position() {
         // Nonlinear transitive closure: tc(X,Y) :- tc(X,Z), tc(Z,Y).
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c). e(c, d).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- tc(X, Z), tc(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 6);
@@ -173,11 +288,13 @@ mod tests {
 
     #[test]
     fn same_generation_nonrecursive_base() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             up(a, b). up(c, b). flat(b, b2). up(x, b). down(b2, y).
             sg(X, Y) :- flat(X, Y).
             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
         let sg = Predicate::new("sg", 2);
@@ -187,11 +304,13 @@ mod tests {
 
     #[test]
     fn cyclic_graph_terminates() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, a).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 4); // aa ab ba bb
@@ -200,18 +319,49 @@ mod tests {
     #[test]
     fn mutually_recursive_predicates() {
         // Even/odd distance from a.
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c). e(c, d).
             even(a).
             odd(Y) :- even(X), e(X, Y).
             even(Y) :- odd(X), e(X, Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_seminaive(&parsed.program, &Database::new()).unwrap();
         let even = Predicate::new("even", 1);
         let odd = Predicate::new("odd", 1);
         assert_eq!(r.db.len_of(even), 2); // a, c
         assert_eq!(r.db.len_of(odd), 2); // b, d
+    }
+
+    #[test]
+    fn thread_count_changes_neither_relations_nor_metrics() {
+        // Nonlinear same-generation: multiple rules and delta positions per
+        // round, so work genuinely splits across workers.
+        let parsed = parse(
+            "
+            up(a, b). up(c, b). flat(b, b2). up(x, b). down(b2, y).
+            e(a, b). e(b, c). e(c, d).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let edb = Database::new();
+        let seq = eval_seminaive(&parsed.program, &edb).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                eval_seminaive_opts(&parsed.program, &edb, EvalOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(seq.metrics, par.metrics, "metrics @ {threads} threads");
+            assert_eq!(seq.db.predicates(), par.db.predicates());
+            for p in seq.db.predicates() {
+                assert_eq!(seq.db.atoms_of(p), par.db.atoms_of(p), "{p} @ {threads}");
+            }
+        }
     }
 
     #[test]

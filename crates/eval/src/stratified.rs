@@ -75,12 +75,14 @@ mod tests {
 
     #[test]
     fn reach_unreach_two_strata() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
             reach(X) :- edge(s, X).
             reach(Y) :- reach(X), edge(X, Y).
             unreach(X) :- node(X), !reach(X).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_stratified(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.strata, 2);
@@ -95,10 +97,12 @@ mod tests {
 
     #[test]
     fn win_move_is_rejected() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             move(a, b).
             win(X) :- move(X, Y), !win(Y).
-        ")
+        ",
+        )
         .unwrap();
         assert!(matches!(
             eval_stratified(&parsed.program, &Database::new()),
@@ -108,12 +112,14 @@ mod tests {
 
     #[test]
     fn three_strata_chain() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             base(a). base(b). mark(a).
             s0(X) :- base(X), mark(X).
             s1(X) :- base(X), !s0(X).
             s2(X) :- base(X), !s1(X).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_stratified(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.strata, 3);
@@ -129,11 +135,13 @@ mod tests {
 
     #[test]
     fn definite_program_is_one_stratum() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c).
             tc(X, Y) :- e(X, Y).
             tc(X, Y) :- e(X, Z), tc(Z, Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_stratified(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.strata, 1);
@@ -144,31 +152,30 @@ mod tests {
     fn recursion_with_lower_stratum_negation() {
         // Paths avoiding blocked nodes; blocked is derived in stratum 0... via
         // negation it sits below `safe`.
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(b, c). e(c, d). bad(c).
             blocked(X) :- bad(X).
             safe(a).
             safe(Y) :- safe(X), e(X, Y), !blocked(Y).
-        ")
+        ",
+        )
         .unwrap();
         let r = eval_stratified(&parsed.program, &Database::new()).unwrap();
         let safe = Predicate::new("safe", 1);
-        let names: Vec<String> = r
-            .db
-            .atoms_of(safe)
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let names: Vec<String> = r.db.atoms_of(safe).iter().map(|a| a.to_string()).collect();
         assert_eq!(names.len(), 2); // a, b — c blocked, d unreachable
         assert!(names.contains(&"safe(b)".to_string()));
     }
 
     #[test]
     fn agrees_with_seminaive_on_semipositive() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             n(a). n(b). f(b).
             g(X) :- n(X), !f(X).
-        ")
+        ",
+        )
         .unwrap();
         let strat = eval_stratified(&parsed.program, &Database::new()).unwrap();
         let semi = crate::seminaive::eval_seminaive(&parsed.program, &Database::new()).unwrap();

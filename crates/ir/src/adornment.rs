@@ -44,6 +44,7 @@ impl Adornment {
 
     /// Parses `"bf"`-style strings. Panics on characters other than `b`/`f`
     /// (programmer error in tests/benches).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Adornment {
         Adornment(
             s.chars()

@@ -137,10 +137,12 @@ mod tests {
         assert_eq!(g.len(), 2);
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges.len(), 2);
-        assert!(edges.iter().any(|e| e.to == Predicate::new("move", 2)
-            && e.polarity == Polarity::Positive));
-        assert!(edges.iter().any(|e| e.to == Predicate::new("win", 1)
-            && e.polarity == Polarity::Negative));
+        assert!(edges
+            .iter()
+            .any(|e| e.to == Predicate::new("move", 2) && e.polarity == Polarity::Positive));
+        assert!(edges
+            .iter()
+            .any(|e| e.to == Predicate::new("win", 1) && e.polarity == Polarity::Negative));
     }
 
     #[test]

@@ -69,7 +69,12 @@ pub fn active_domain(program: &Program, extra: &[Const]) -> Vec<Const> {
         }
     };
     for r in &program.rules {
-        for t in r.head.terms.iter().chain(r.body.iter().flat_map(|l| l.atom.terms.iter())) {
+        for t in r
+            .head
+            .terms
+            .iter()
+            .chain(r.body.iter().flat_map(|l| l.atom.terms.iter()))
+        {
             if let Term::Const(c) = t {
                 push(*c);
             }
@@ -116,9 +121,9 @@ pub fn locally_stratified(
     let mut index: FxHashMap<Atom, usize> = FxHashMap::default();
     let mut succs: Vec<Vec<(usize, Polarity)>> = Vec::new();
     let add = |a: Atom,
-                   vertices: &mut Vec<Atom>,
-                   index: &mut FxHashMap<Atom, usize>,
-                   succs: &mut Vec<Vec<(usize, Polarity)>>| {
+               vertices: &mut Vec<Atom>,
+               index: &mut FxHashMap<Atom, usize>,
+               succs: &mut Vec<Vec<(usize, Polarity)>>| {
         if let Some(&i) = index.get(&a) {
             return i;
         }

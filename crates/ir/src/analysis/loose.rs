@@ -365,8 +365,7 @@ mod tests {
         assert_eq!(g.vertices.len(), 5);
         // Arcs only from atoms unifying with the head p(X, a): the head
         // itself. p(Z, b) does not unify (a/b clash), q/s/r are not heads.
-        let sources: std::collections::HashSet<usize> =
-            g.arcs.iter().map(|a| a.from).collect();
+        let sources: std::collections::HashSet<usize> = g.arcs.iter().map(|a| a.from).collect();
         assert_eq!(sources.len(), 1);
         assert_eq!(g.arcs.len(), 4);
     }

@@ -66,9 +66,7 @@ impl std::error::Error for NotStratified {}
 /// Stratifies `program`, or reports a witness negative edge in a cycle.
 pub fn stratify(program: &Program) -> Result<Stratification, NotStratified> {
     let g = DepGraph::build(program);
-    let scc = tarjan(g.len(), &|v| {
-        g.succs[v].iter().map(|&(w, _)| w).collect()
-    });
+    let scc = tarjan(g.len(), &|v| g.succs[v].iter().map(|&(w, _)| w).collect());
 
     // Reject negative edges inside an SCC.
     for (v, outs) in g.succs.iter().enumerate() {

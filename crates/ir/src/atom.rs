@@ -122,10 +122,7 @@ mod tests {
     fn groundness() {
         let g = atom("p", [Term::sym("a"), Term::int(1)]);
         assert!(g.is_ground());
-        assert_eq!(
-            g.ground_args(),
-            Some(vec![Const::sym("a"), Const::int(1)])
-        );
+        assert_eq!(g.ground_args(), Some(vec![Const::sym("a"), Const::int(1)]));
         let og = atom("p", [Term::sym("a"), Term::var("X")]);
         assert!(!og.is_ground());
         assert_eq!(og.ground_args(), None);
@@ -133,7 +130,15 @@ mod tests {
 
     #[test]
     fn vars_in_order_with_duplicates() {
-        let a = atom("p", [Term::var("X"), Term::sym("c"), Term::var("Y"), Term::var("X")]);
+        let a = atom(
+            "p",
+            [
+                Term::var("X"),
+                Term::sym("c"),
+                Term::var("Y"),
+                Term::var("X"),
+            ],
+        );
         let vs: Vec<_> = a.vars().collect();
         assert_eq!(vs, vec![Var::new("X"), Var::new("Y"), Var::new("X")]);
     }

@@ -24,7 +24,10 @@ pub enum ProgramError {
     /// An inline fact contains a variable.
     NonGroundFact { fact: String },
     /// A predicate is used with two different arities.
-    ArityMismatch { pred: String, arities: (usize, usize) },
+    ArityMismatch {
+        pred: String,
+        arities: (usize, usize),
+    },
     /// A rule head is an EDB predicate (one that also appears as an inline
     /// fact or is declared extensional by the caller).
     EdbHead { pred: String, rule: String },
@@ -43,13 +46,23 @@ impl fmt::Display for ProgramError {
                 write!(f, "non-ground fact `{fact}`")
             }
             ProgramError::ArityMismatch { pred, arities } => {
-                write!(f, "predicate `{pred}` used with arities {} and {}", arities.0, arities.1)
+                write!(
+                    f,
+                    "predicate `{pred}` used with arities {} and {}",
+                    arities.0, arities.1
+                )
             }
             ProgramError::EdbHead { pred, rule } => {
-                write!(f, "EDB predicate `{pred}` appears as a rule head in `{rule}`")
+                write!(
+                    f,
+                    "EDB predicate `{pred}` appears as a rule head in `{rule}`"
+                )
             }
             ProgramError::BuiltinHead { rule } => {
-                write!(f, "built-in comparison predicate cannot be defined: `{rule}`")
+                write!(
+                    f,
+                    "built-in comparison predicate cannot be defined: `{rule}`"
+                )
             }
         }
     }
@@ -71,7 +84,10 @@ impl Program {
 
     /// Builds a program from rules only.
     pub fn from_rules(rules: Vec<Rule>) -> Program {
-        Program { rules, facts: Vec::new() }
+        Program {
+            rules,
+            facts: Vec::new(),
+        }
     }
 
     /// The *intensional* predicates: those defined by some rule head.
@@ -115,7 +131,9 @@ impl Program {
 
     /// Rules whose head predicate is `pred`.
     pub fn rules_for(&self, pred: Predicate) -> impl Iterator<Item = &Rule> + '_ {
-        self.rules.iter().filter(move |r| r.head.predicate() == pred)
+        self.rules
+            .iter()
+            .filter(move |r| r.head.predicate() == pred)
     }
 
     /// Validates safety, groundness of inline facts, arity consistency, and
@@ -162,10 +180,14 @@ impl Program {
         }
         for fa in &self.facts {
             if !fa.is_ground() {
-                errors.push(ProgramError::NonGroundFact { fact: fa.to_string() });
+                errors.push(ProgramError::NonGroundFact {
+                    fact: fa.to_string(),
+                });
             }
             if crate::builtin::Builtin::of(fa.predicate()).is_some() {
-                errors.push(ProgramError::BuiltinHead { rule: fa.to_string() });
+                errors.push(ProgramError::BuiltinHead {
+                    rule: fa.to_string(),
+                });
             }
         }
 
@@ -308,7 +330,9 @@ mod tests {
         let mut edb = FxHashSet::default();
         edb.insert(Predicate::new("anc", 2));
         let errs = p.validate_with_edb(&edb).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ProgramError::EdbHead { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ProgramError::EdbHead { .. })));
     }
 
     #[test]

@@ -5,15 +5,14 @@
 //! [`Symbol`]. Equality and hashing on symbols are integer operations, which
 //! is what makes tuple joins cheap.
 //!
-//! The interner is a process-wide singleton guarded by an RwLock from
-//! `parking_lot`. Interning happens at parse/transform time; evaluation hot
-//! loops only compare ids and never take the lock (resolution back to `&str`
-//! is only done when printing).
+//! The interner is a process-wide singleton guarded by a `std::sync::RwLock`.
+//! Interning happens at parse/transform time; evaluation hot loops only
+//! compare ids and never take the lock (resolution back to `&str` is only
+//! done when printing).
 
 use crate::hash::FxHashMap;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 ///
@@ -73,15 +72,15 @@ impl Symbol {
     /// Interns `s`, returning its symbol. Idempotent.
     pub fn intern(s: &str) -> Symbol {
         // Fast path: read lock only.
-        if let Some(&id) = interner().read().ids.get(s) {
+        if let Some(&id) = interner().read().unwrap().ids.get(s) {
             return Symbol(id);
         }
-        interner().write().intern(s)
+        interner().write().unwrap().intern(s)
     }
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().read().names[self.0 as usize]
+        interner().read().unwrap().names[self.0 as usize]
     }
 
     /// The raw id, useful as a dense array index in analyses.
@@ -93,7 +92,7 @@ impl Symbol {
     /// interned so far, based on `base` (used for generated variables and
     /// rewritten predicate names).
     pub fn fresh(base: &str) -> Symbol {
-        let mut guard = interner().write();
+        let mut guard = interner().write().unwrap();
         let mut n = guard.names.len();
         loop {
             let candidate = format!("{base}#{n}");

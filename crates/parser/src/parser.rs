@@ -181,7 +181,11 @@ impl Parser {
 /// ```
 pub fn parse(input: &str) -> Result<ParsedProgram, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, at: 0, anon: 0 };
+    let mut p = Parser {
+        toks,
+        at: 0,
+        anon: 0,
+    };
     let mut out = ParsedProgram::default();
     while p.peek().tok != Tok::Eof {
         p.clause(&mut out)?;
@@ -192,7 +196,11 @@ pub fn parse(input: &str) -> Result<ParsedProgram, ParseError> {
 /// Parses a single atom, e.g. a query goal like `anc(adam, X)`.
 pub fn parse_atom(input: &str) -> Result<Atom, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, at: 0, anon: 0 };
+    let mut p = Parser {
+        toks,
+        at: 0,
+        anon: 0,
+    };
     let a = p.atom()?;
     if p.peek().tok == Tok::Dot {
         p.next();

@@ -124,37 +124,61 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: start,
+                });
                 bump!();
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: start,
+                });
                 bump!();
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: start,
+                });
                 bump!();
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: start,
+                });
                 bump!();
             }
             '!' => {
-                out.push(Spanned { tok: Tok::Neg, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Neg,
+                    pos: start,
+                });
                 bump!();
             }
             '\\' if i + 1 < bytes.len() && bytes[i + 1] == '+' => {
-                out.push(Spanned { tok: Tok::Neg, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Neg,
+                    pos: start,
+                });
                 bump!();
                 bump!();
             }
             ':' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
-                out.push(Spanned { tok: Tok::Arrow, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    pos: start,
+                });
                 bump!();
                 bump!();
             }
             '?' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
-                out.push(Spanned { tok: Tok::Query, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Query,
+                    pos: start,
+                });
                 bump!();
                 bump!();
             }
@@ -175,7 +199,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     s.push(bytes[i]);
                     bump!();
                 }
-                out.push(Spanned { tok: Tok::Ident(s), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    pos: start,
+                });
             }
             '-' | '0'..='9' => {
                 let negative = c == '-';
@@ -232,7 +259,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, pos: pos!() });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
     Ok(out)
 }
 

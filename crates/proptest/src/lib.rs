@@ -1,0 +1,680 @@
+//! A self-contained property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses. The build environment has no access to
+//! crates.io, so external crates are vendored as minimal shims.
+//!
+//! Differences from upstream proptest, deliberate for a shim:
+//! - No shrinking: a failing case reports its deterministic seed instead of a
+//!   minimised input. Re-running the same test binary replays the same cases.
+//! - `prop_filter` retries locally inside `generate` rather than rejecting the
+//!   whole case; `prop_assume!` still rejects at the case level.
+//! - String strategies support the small regex subset actually used in the
+//!   test suites (literals, escapes, `.`, `[...]` classes with ranges, and the
+//!   `*` `+` `?` `{m}` `{m,n}` quantifiers).
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic per-case random source: seeded from a hash of the test
+    /// name plus the attempt counter, so every run of the binary replays the
+    /// same sequence of cases.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(seed_base: u64, attempt: u64) -> TestRng {
+            TestRng {
+                inner: StdRng::seed_from_u64(
+                    seed_base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Outcome of a single case body: a hard failure or a discarded case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property: runs `config.cases` passing cases, discarding
+    /// rejected ones (with a global attempt cap so a too-strict `prop_assume!`
+    /// fails loudly instead of spinning).
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed_base = fnv1a(name);
+        let mut passed: u32 = 0;
+        let mut attempt: u64 = 0;
+        let max_attempts = config.cases as u64 * 16 + 1024;
+        while passed < config.cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest '{}': too many rejected cases ({} passed of {} wanted after {} attempts)",
+                    name, passed, config.cases, attempt
+                );
+            }
+            let mut rng = TestRng::deterministic(seed_base, attempt);
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest '{}' failed at case seed {:#x}/{}: {}",
+                    name,
+                    seed_base,
+                    attempt - 1,
+                    msg
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A generator of values of `Self::Value`. Unlike upstream, generation is
+    /// direct (no value tree / shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Integer ranges are strategies directly: `0..10usize`, `-5i64..5`, ...
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    /// A `&'static str` is a strategy generating strings matching it as a
+    /// regex (subset — see the crate docs).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Length specification for `vec`: an exact size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Uniform2<S>(S);
+
+    pub fn uniform2<S: Strategy>(element: S) -> Uniform2<S> {
+        Uniform2(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 2] {
+            [self.0.generate(rng), self.0.generate(rng)]
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// A uniform boolean.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool()
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    enum CharSet {
+        Any,
+        Lit(char),
+        /// Inclusive ranges; a single char is a degenerate range.
+        Class(Vec<(char, char)>),
+    }
+
+    enum Quant {
+        One,
+        Star,
+        Plus,
+        Opt,
+        Exact(usize),
+        Between(usize, usize),
+    }
+
+    fn parse(pattern: &str) -> Vec<(CharSet, Quant)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Any
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).expect("dangling escape in pattern");
+                    i += 1;
+                    CharSet::Lit(c)
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            ranges.push((lo, hi));
+                            i += 2;
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class");
+                    i += 1; // skip ']'
+                    CharSet::Class(ranges)
+                }
+                c => {
+                    i += 1;
+                    CharSet::Lit(c)
+                }
+            };
+            let quant = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    Quant::Star
+                }
+                Some('+') => {
+                    i += 1;
+                    Quant::Plus
+                }
+                Some('?') => {
+                    i += 1;
+                    Quant::Opt
+                }
+                Some('{') => {
+                    i += 1;
+                    let mut m = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        m = m * 10 + chars[i] as usize - '0' as usize;
+                        i += 1;
+                    }
+                    if chars[i] == ',' {
+                        i += 1;
+                        let mut n = 0usize;
+                        while chars[i].is_ascii_digit() {
+                            n = n * 10 + chars[i] as usize - '0' as usize;
+                            i += 1;
+                        }
+                        assert_eq!(chars[i], '}', "malformed {{m,n}} quantifier");
+                        i += 1;
+                        Quant::Between(m, n)
+                    } else {
+                        assert_eq!(chars[i], '}', "malformed {{m}} quantifier");
+                        i += 1;
+                        Quant::Exact(m)
+                    }
+                }
+                _ => Quant::One,
+            };
+            out.push((set, quant));
+        }
+        out
+    }
+
+    /// Characters occasionally emitted by `.` beyond printable ASCII, to keep
+    /// robustness tests honest about unicode and control characters.
+    const SPICE: &[char] = &[
+        '\n', '\t', '\r', '"', '\\', '\u{0}', '\u{7f}', 'é', 'λ', '中', '😀',
+    ];
+
+    fn gen_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Lit(c) => *c,
+            CharSet::Any => {
+                if rng.random_range(0u32..10) < 9 {
+                    char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap()
+                } else {
+                    SPICE[rng.random_range(0..SPICE.len())]
+                }
+            }
+            CharSet::Class(ranges) => {
+                let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                char::from_u32(rng.random_range(lo as u32..hi as u32 + 1)).unwrap_or(lo)
+            }
+        }
+    }
+
+    /// Generates a string matching `pattern` (regex subset).
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let elements = parse(pattern);
+        let mut out = String::new();
+        for (set, quant) in &elements {
+            let count = match quant {
+                Quant::One => 1,
+                Quant::Star => rng.random_range(0usize..8),
+                Quant::Plus => rng.random_range(1usize..9),
+                Quant::Opt => rng.random_range(0usize..2),
+                Quant::Exact(m) => *m,
+                Quant::Between(m, n) => {
+                    if m == n {
+                        *m
+                    } else {
+                        rng.random_range(*m..*n + 1)
+                    }
+                }
+            };
+            for _ in 0..count {
+                out.push(gen_char(set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+/// Supports the upstream form: an optional `#![proptest_config(expr)]` header
+/// followed by attributed `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut *__rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Uniform choice between strategy alternatives yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                if !(*__a == *__b) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                            __a, __b
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                if !(*__a == *__b) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                            __a, __b, format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = TestRng::deterministic(1, 0);
+        for case in 0..200u64 {
+            let mut rng2 = TestRng::deterministic(2, case);
+            let ident = crate::string::generate_matching("[a-z][a-z0-9_]{0,6}", &mut rng2);
+            assert!(!ident.is_empty() && ident.len() <= 7, "{ident:?}");
+            assert!(ident.chars().next().unwrap().is_ascii_lowercase());
+            let noise = crate::string::generate_matching("[a-zA-Z(),.:?! ]{0,40}", &mut rng);
+            assert!(noise.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter_compose() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), 3u8..10];
+        let filtered = strat.prop_filter("no twos", |v| *v != 2);
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic(3, case);
+            let v = filtered.generate(&mut rng);
+            assert!(v != 2 && v < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            xs in crate::collection::vec(0usize..5, 1..4),
+            pair in crate::array::uniform2(0u8..6),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((1..4).contains(&xs.len()));
+            prop_assert!(pair[0] < 6 && pair[1] < 6);
+            prop_assume!(flag || xs.len() < 4);
+            prop_assert_eq!(xs.len(), xs.iter().filter(|v| **v < 5).count());
+        }
+    }
+}

@@ -136,6 +136,14 @@ impl Database {
             .map_or(0, |r| r.remove_all(victims))
     }
 
+    /// An explicitly read-only view of this database for the duration of a
+    /// parallel round. The view is `Copy` and hands out only `&`-access, so
+    /// worker threads can share it freely; the type guarantees no interior
+    /// mutation happens while workers are joining against it.
+    pub fn freeze(&self) -> Frozen<'_> {
+        Frozen { db: self }
+    }
+
     /// Every constant appearing in any stored tuple, deduplicated, in first-
     /// seen order (the database's active domain).
     pub fn active_domain(&self) -> Vec<alexander_ir::Const> {
@@ -153,6 +161,30 @@ impl Database {
             }
         }
         out
+    }
+}
+
+/// A frozen, shareable snapshot of a [`Database`] taken for one evaluation
+/// round. All reads go through `Deref<Target = Database>`; there is no path
+/// to a `&mut Database`, which makes "workers only read the round's total"
+/// a compile-time property rather than a convention.
+#[derive(Clone, Copy)]
+pub struct Frozen<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Frozen<'a> {
+    /// The underlying shared reference (for APIs that take `&Database`).
+    pub fn db(self) -> &'a Database {
+        self.db
+    }
+}
+
+impl std::ops::Deref for Frozen<'_> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        self.db
     }
 }
 
@@ -242,6 +274,17 @@ mod tests {
         db.insert(Predicate::new("e", 2), tuple_of_syms(&["b", "c"]));
         let d = db.active_domain();
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn frozen_view_reads_like_the_database() {
+        let mut db = Database::new();
+        db.insert(Predicate::new("e", 2), tuple_of_syms(&["a", "b"]));
+        let frozen = db.freeze();
+        let again = frozen; // Copy: multiple workers can hold it.
+        assert_eq!(frozen.total_tuples(), 1);
+        assert_eq!(again.len_of(Predicate::new("e", 2)), 1);
+        assert!(frozen.db().relation(Predicate::new("e", 2)).is_some());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod load;
 pub mod relation;
 pub mod tuple;
 
-pub use database::{Database, NonGround};
+pub use database::{Database, Frozen, NonGround};
 pub use load::{load_delimited, load_file, LoadError};
 pub use relation::{Mask, Relation};
 pub use tuple::{tuple_of_syms, Tuple};

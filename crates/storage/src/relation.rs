@@ -32,8 +32,14 @@ impl Mask {
 }
 
 /// One secondary index: key = constants at the mask's columns, value = ids of
-/// matching tuples.
-type Index = FxHashMap<Vec<Const>, Vec<u32>>;
+/// matching tuples. The mask's column list is precomputed once so the
+/// per-insert maintenance loop and every probe key projection run without
+/// re-deriving (or allocating) it.
+#[derive(Clone, Default)]
+struct Index {
+    columns: Vec<usize>,
+    map: FxHashMap<Vec<Const>, Vec<u32>>,
+}
 
 /// A stored relation: a duplicate-free multiset of ground tuples of a fixed
 /// arity, with lazily built hash indexes per binding pattern.
@@ -42,6 +48,12 @@ type Index = FxHashMap<Vec<Const>, Vec<u32>>;
 /// delta slicing) and in a hash map (`ids`, for O(1) duplicate detection).
 /// The duplication costs one extra boxed slice per tuple; in exchange,
 /// iteration is cache-friendly and deterministic.
+///
+/// **Incremental-index invariant:** once an index is built (via
+/// [`Relation::ensure_index`]), every subsequent [`Relation::insert`] updates
+/// it in place — O(1) per (tuple, index) — so a semi-naive round pays index
+/// cost proportional to its *delta*, never to the whole relation. Bulk
+/// deletion ([`Relation::remove_all`]) is the one rebuild point.
 #[derive(Clone, Default)]
 pub struct Relation {
     arity: usize,
@@ -81,10 +93,12 @@ impl Relation {
             return false;
         }
         let id = u32::try_from(self.by_id.len()).expect("relation overflow");
-        // Maintain every already-built index.
-        for (mask, index) in &mut self.indexes {
-            let key = t.project(&mask.columns());
-            index.entry(key).or_default().push(id);
+        // Maintain every already-built index incrementally: one projection
+        // and one hash probe per index, O(|delta|) per round rather than the
+        // O(|relation|) a lazy rebuild would cost.
+        for index in self.indexes.values_mut() {
+            let key = t.project(&index.columns);
+            index.map.entry(key).or_default().push(id);
         }
         self.ids.insert(t.clone(), id);
         self.by_id.push(t);
@@ -113,14 +127,11 @@ impl Relation {
             return;
         }
         let columns = mask.columns();
-        let mut index: Index = FxHashMap::default();
+        let mut map: FxHashMap<Vec<Const>, Vec<u32>> = FxHashMap::default();
         for (id, t) in self.by_id.iter().enumerate() {
-            index
-                .entry(t.project(&columns))
-                .or_default()
-                .push(id as u32);
+            map.entry(t.project(&columns)).or_default().push(id as u32);
         }
-        self.indexes.insert(mask, index);
+        self.indexes.insert(mask, Index { columns, map });
     }
 
     /// True iff an index for `mask` has been built.
@@ -140,7 +151,7 @@ impl Relation {
             return (Box::new(self.by_id.iter()), false);
         }
         if let Some(index) = self.indexes.get(&mask) {
-            let hits = index.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
+            let hits = index.map.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
             return (
                 Box::new(hits.iter().map(move |&id| &self.by_id[id as usize])),
                 true,
@@ -275,10 +286,7 @@ mod tests {
         let mut r = edges();
         let mask = Mask::of_columns(&[0, 1]);
         r.ensure_index(mask);
-        assert_eq!(
-            r.select(mask, &[Const::sym("a"), Const::sym("c")]).len(),
-            1
-        );
+        assert_eq!(r.select(mask, &[Const::sym("a"), Const::sym("c")]).len(), 1);
         assert_eq!(mask.columns(), vec![0, 1]);
     }
 

@@ -24,7 +24,10 @@ fn op() -> impl Strategy<Value = Op> {
 }
 
 fn tup(cells: [u8; 2]) -> Tuple {
-    Tuple::new(vec![Const::Int(cells[0] as i64), Const::Int(cells[1] as i64)])
+    Tuple::new(vec![
+        Const::Int(cells[0] as i64),
+        Const::Int(cells[1] as i64),
+    ])
 }
 
 fn mask_of(m: u8) -> Mask {

@@ -397,9 +397,7 @@ pub fn oldt_query_opts(
     // Inline facts become part of the database for resolution.
     let mut full_edb = edb.clone();
     for f in &program.facts {
-        full_edb
-            .insert_atom(f)
-            .expect("validated facts are ground");
+        full_edb.insert_atom(f).expect("validated facts are ground");
     }
 
     let mut rules_by_pred: FxHashMap<Predicate, Vec<Rule>> = FxHashMap::default();
@@ -591,10 +589,12 @@ mod tests {
 
     #[test]
     fn unstratified_negation_is_rejected() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             move(a, b).
             win(X) :- move(X, Y), !win(Y).
-        ")
+        ",
+        )
         .unwrap();
         let edb = Database::from_program(&parsed.program);
         let err = oldt_query(&parsed.program, &edb, &parse_atom("win(a)").unwrap());

@@ -21,8 +21,8 @@
 
 use crate::metrics::OldtMetrics;
 use alexander_ir::{
-    Adornment, Atom, Bf, Builtin, Const, FxHashMap, FxHashSet, Polarity, Predicate, Program,
-    Rule, Subst, Term,
+    Adornment, Atom, Bf, Builtin, Const, FxHashMap, FxHashSet, Polarity, Predicate, Program, Rule,
+    Subst, Term,
 };
 use alexander_storage::{Database, Tuple};
 use alexander_transform::sip_order;
@@ -140,11 +140,7 @@ impl<'a> Engine<'a> {
             .get(key)
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default();
-        let rules = self
-            .rules_by_pred
-            .get(&key.0)
-            .cloned()
-            .unwrap_or_default();
+        let rules = self.rules_by_pred.get(&key.0).cloned().unwrap_or_default();
         for input in inputs {
             for rule in &rules {
                 let fresh = rule.rectified();
@@ -179,16 +175,18 @@ impl<'a> Engine<'a> {
     }
 
     /// Depth-first body evaluation (tuple-at-a-time over set tables).
-    fn body(&mut self, head: &Atom, goals: &[alexander_ir::Literal], i: usize, s: Subst, key: &Key) {
+    fn body(
+        &mut self,
+        head: &Atom,
+        goals: &[alexander_ir::Literal],
+        i: usize,
+        s: Subst,
+        key: &Key,
+    ) {
         if i == goals.len() {
             let answer = s.apply_atom(head);
             debug_assert!(answer.is_ground());
-            if self
-                .answers
-                .entry(key.clone())
-                .or_default()
-                .insert(answer)
-            {
+            if self.answers.entry(key.clone()).or_default().insert(answer) {
                 self.metrics.answers += 1;
                 self.changed = true;
             }
@@ -281,9 +279,7 @@ pub fn qsqr_query(
 
     let mut full_edb = edb.clone();
     for f in &program.facts {
-        full_edb
-            .insert_atom(f)
-            .expect("validated facts are ground");
+        full_edb.insert_atom(f).expect("validated facts are ground");
     }
     let mut rules_by_pred: FxHashMap<Predicate, Vec<Rule>> = FxHashMap::default();
     for r in &program.rules {

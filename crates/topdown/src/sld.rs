@@ -12,8 +12,8 @@
 
 use crate::metrics::OldtMetrics;
 use alexander_ir::{
-    match_atom, Atom, Builtin, FxHashMap, FxHashSet, Literal, Polarity, Predicate, Program,
-    Rule, Subst, Term, Var,
+    match_atom, Atom, Builtin, FxHashMap, FxHashSet, Literal, Polarity, Predicate, Program, Rule,
+    Subst, Term, Var,
 };
 use alexander_storage::Database;
 use std::fmt;
@@ -201,8 +201,7 @@ pub fn sld_query(
             }
             (Polarity::Positive, false) => {
                 if let Some(rel) = full_edb.relation(goal.predicate()) {
-                    let facts: Vec<Atom> =
-                        rel.iter().map(|t| t.to_atom(goal.pred)).collect();
+                    let facts: Vec<Atom> = rel.iter().map(|t| t.to_atom(goal.pred)).collect();
                     for fact in facts {
                         metrics.resolution_steps += 1;
                         let mut s = node.subst.clone();
@@ -328,9 +327,8 @@ mod tests {
         assert!(sld.complete);
         let parsed = parse(src).unwrap();
         let edb = Database::from_program(&parsed.program);
-        let oldt =
-            crate::oldt::oldt_query(&parsed.program, &edb, &parse_atom("sg(a, Y)").unwrap())
-                .unwrap();
+        let oldt = crate::oldt::oldt_query(&parsed.program, &edb, &parse_atom("sg(a, Y)").unwrap())
+            .unwrap();
         let mut sld_ans: Vec<String> = sld.answers.iter().map(|a| a.to_string()).collect();
         let mut oldt_ans: Vec<String> = oldt.answers.iter().map(|a| a.to_string()).collect();
         sld_ans.sort();

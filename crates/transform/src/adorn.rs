@@ -12,8 +12,8 @@
 //! measures its effect).
 
 use alexander_ir::{
-    Adornment, AdornedPredicate, Atom, FxHashMap, FxHashSet, Literal, Polarity, Predicate,
-    Program, Rule, Symbol, Term, Var,
+    AdornedPredicate, Adornment, Atom, FxHashMap, FxHashSet, Literal, Polarity, Predicate, Program,
+    Rule, Symbol, Term, Var,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -227,10 +227,12 @@ mod tests {
     use alexander_parser::{parse, parse_atom};
 
     fn ancestor() -> Program {
-        parse("
+        parse(
+            "
             anc(X, Y) :- par(X, Y).
             anc(X, Y) :- par(X, Z), anc(Z, Y).
-        ")
+        ",
+        )
         .unwrap()
         .program
     }
@@ -257,18 +259,26 @@ mod tests {
         // Even under an ff query, `par(X, Z)` binds Z before the recursive
         // call, so the recursion is adorned bf (and gets its own rules).
         let printed = a.program.to_string();
-        assert!(printed.contains("anc_ff(X, Y) :- par(X, Z), anc_bf(Z, Y)."), "{printed}");
-        assert!(printed.contains("anc_bf(X, Y) :- par(X, Z), anc_bf(Z, Y)."), "{printed}");
+        assert!(
+            printed.contains("anc_ff(X, Y) :- par(X, Z), anc_bf(Z, Y)."),
+            "{printed}"
+        );
+        assert!(
+            printed.contains("anc_bf(X, Y) :- par(X, Z), anc_bf(Z, Y)."),
+            "{printed}"
+        );
     }
 
     #[test]
     fn free_bound_query_on_same_generation_creates_two_adornments() {
         // sg with a bf query: recursive call sees sg(U, V) with U bound by
         // up(X, U): stays bf. With fb query the recursion flips.
-        let p = parse("
+        let p = parse(
+            "
             sg(X, Y) :- flat(X, Y).
             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let q = parse_atom("sg(john, Y)").unwrap();
@@ -285,10 +295,12 @@ mod tests {
     fn reorder_moves_bound_literal_first() {
         // Textual order calls rsg2 with nothing bound; SIP reordering pulls
         // up(X, U) (X bound by the query) ahead of it.
-        let p = parse("
+        let p = parse(
+            "
             rsg(X, Y) :- rsg2(U, V), down(V, Y), up(X, U).
             rsg2(U, V) :- e(U, V).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let q = parse_atom("rsg(a, Y)").unwrap();
@@ -301,10 +313,12 @@ mod tests {
 
     #[test]
     fn no_reorder_keeps_textual_order() {
-        let p = parse("
+        let p = parse(
+            "
             rsg(X, Y) :- rsg2(U, V), down(V, Y), up(X, U).
             rsg2(U, V) :- e(U, V).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let q = parse_atom("rsg(a, Y)").unwrap();
@@ -317,11 +331,13 @@ mod tests {
 
     #[test]
     fn negative_idb_literals_are_adorned_too() {
-        let p = parse("
+        let p = parse(
+            "
             reach(X) :- edge(s, X).
             reach(Y) :- reach(X), edge(X, Y).
             unreach(X) :- node(X), !reach(X).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let q = parse_atom("unreach(a)").unwrap();
@@ -344,10 +360,12 @@ mod tests {
 
     #[test]
     fn constants_in_rule_bodies_count_as_bound() {
-        let p = parse("
+        let p = parse(
+            "
             p(X) :- q(a, X).
             q(X, Y) :- e(X, Y).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let q = parse_atom("p(X)").unwrap();

@@ -133,12 +133,11 @@ mod tests {
         let edb = Database::from_program(&parsed.program);
         let t = alexander(&parsed.program, &q, SipOptions::default()).unwrap();
         let r = eval_seminaive(&t.program, &edb).unwrap();
-        let calls: Vec<String> = r
-            .db
-            .atoms_of(t.call_pred)
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let calls: Vec<String> =
+            r.db.atoms_of(t.call_pred)
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
         assert_eq!(calls.len(), 4, "{calls:?}");
         assert!(!calls.iter().any(|c| c.contains('x')), "{calls:?}");
     }
@@ -171,13 +170,15 @@ mod tests {
 
     #[test]
     fn same_generation_with_trees() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             up(a, g1). up(b, g1). up(g1, h1). up(g2, h1).
             flat(h1, h1). flat(g1, g2).
             down(h1, g3). down(g2, c). down(g3, d).
             sg(X, Y) :- flat(X, Y).
             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("sg(a, Y)").unwrap();
         let edb = Database::from_program(&parsed.program);
@@ -204,10 +205,12 @@ mod tests {
 
     #[test]
     fn negation_through_templates_with_conditional_fixpoint() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             move(a, b). move(b, c).
             win(X) :- move(X, Y), !win(Y).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("win(a)").unwrap();
         let t = alexander(&parsed.program, &q, SipOptions::default()).unwrap();
@@ -217,12 +220,11 @@ mod tests {
         // a -> b -> c: b wins, so a does not: the query has no answers...
         assert!(crate::common::query_answers(&r.db, &t.query).is_empty());
         // ...but the win(b) subproblem was called and answered.
-        let ans_b: Vec<String> = r
-            .db
-            .atoms_of(t.answer_pred)
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let ans_b: Vec<String> =
+            r.db.atoms_of(t.answer_pred)
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
         assert_eq!(ans_b, vec!["ans_win_b(b)".to_string()]);
     }
 

@@ -43,7 +43,10 @@ pub fn bound_args(atom: &Atom, ap: &AdornedPredicate) -> Vec<Term> {
 /// bound constants.
 pub fn seed_atom(prefix: &str, query: &Atom, ap: &AdornedPredicate) -> Atom {
     Atom {
-        pred: prefixed(prefix, Symbol::intern(&format!("{}_{}", ap.pred.name, ap.adornment))),
+        pred: prefixed(
+            prefix,
+            Symbol::intern(&format!("{}_{}", ap.pred.name, ap.adornment)),
+        ),
         terms: bound_args(query, ap),
     }
 }
@@ -54,10 +57,7 @@ pub fn seed_atom(prefix: &str, query: &Atom, ap: &AdornedPredicate) -> Atom {
 /// saturated database: the answer relation holds answers to *every*
 /// subquery of the same adornment, and the pattern's constants select the
 /// original query's.
-pub fn query_answers(
-    db: &alexander_storage::Database,
-    pattern: &Atom,
-) -> Vec<Atom> {
+pub fn query_answers(db: &alexander_storage::Database, pattern: &Atom) -> Vec<Atom> {
     db.atoms_of(pattern.predicate())
         .into_iter()
         .filter(|a| {

@@ -76,7 +76,7 @@ pub fn magic_sets(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alexander_eval::{eval_seminaive, eval_conditional};
+    use alexander_eval::{eval_conditional, eval_seminaive};
     use alexander_ir::Predicate;
     use alexander_parser::{parse, parse_atom};
     use alexander_storage::Database;
@@ -176,13 +176,15 @@ mod tests {
 
     #[test]
     fn same_generation_bound_query() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             flat(g1, g2).
             up(a, g1). up(b, g2).
             down(g2, b2). down(g1, a2).
             sg(X, Y) :- flat(X, Y).
             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("sg(a, Y)").unwrap();
         let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();
@@ -197,12 +199,14 @@ mod tests {
 
     #[test]
     fn stratified_source_with_negation_runs_under_conditional_fixpoint() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
             reach(X) :- edge(s, X).
             reach(Y) :- reach(X), edge(X, Y).
             unreach(X) :- node(X), !reach(X).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("unreach(z)").unwrap();
         let m = magic_sets(&parsed.program, &q, SipOptions::default()).unwrap();

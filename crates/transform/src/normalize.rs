@@ -83,10 +83,12 @@ mod tests {
 
     #[test]
     fn splits_repeated_idb_variables() {
-        let p = parse("
+        let p = parse(
+            "
             p(Y, X) :- q(Y, Z), q(X, X).
             q(X, Z) :- e(Z, X).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let n = normalize_repeated_vars(&p);
@@ -101,11 +103,13 @@ mod tests {
 
     #[test]
     fn edb_and_negative_literals_are_untouched() {
-        let p = parse("
+        let p = parse(
+            "
             p(X) :- e(X, X).
             r(X) :- d(X), !p2(X, X).
             p2(X, Y) :- e(X, Y).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let n = normalize_repeated_vars(&p);
@@ -118,19 +122,31 @@ mod tests {
     fn normalised_program_has_equal_answers() {
         use alexander_eval::eval_seminaive;
         use alexander_storage::Database;
-        let parsed = parse("
+        let parsed = parse(
+            "
             e(a, b). e(c, c).
             q(X, Z) :- e(Z, X).
             p(Y, X) :- q(Y, Z), q(X, X).
-        ")
+        ",
+        )
         .unwrap();
         let edb = Database::from_program(&parsed.program);
         let original = eval_seminaive(&parsed.program, &edb).unwrap();
         let normalized = normalize_repeated_vars(&parsed.program);
         let renorm = eval_seminaive(&normalized, &edb).unwrap();
         let p = alexander_ir::Predicate::new("p", 2);
-        let mut a: Vec<String> = original.db.atoms_of(p).iter().map(|x| x.to_string()).collect();
-        let mut b: Vec<String> = renorm.db.atoms_of(p).iter().map(|x| x.to_string()).collect();
+        let mut a: Vec<String> = original
+            .db
+            .atoms_of(p)
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        let mut b: Vec<String> = renorm
+            .db
+            .atoms_of(p)
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -139,10 +155,12 @@ mod tests {
 
     #[test]
     fn clean_programs_pass_through_structurally_unchanged() {
-        let p = parse("
+        let p = parse(
+            "
             anc(X, Y) :- par(X, Y).
             anc(X, Y) :- par(X, Z), anc(Z, Y).
-        ")
+        ",
+        )
         .unwrap()
         .program;
         let n = normalize_repeated_vars(&p);

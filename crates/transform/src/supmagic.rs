@@ -20,9 +20,7 @@
 
 use crate::adorn::{adorn, AdornError, SipOptions};
 use crate::common::{bound_args, prefixed, seed_atom, Rewritten};
-use alexander_ir::{
-    Atom, FxHashSet, Literal, Polarity, Program, Rule, Symbol, Term, Var,
-};
+use alexander_ir::{Atom, FxHashSet, Literal, Polarity, Program, Rule, Symbol, Term, Var};
 
 /// Applies the supplementary magic rewriting to `program` for `query`.
 pub fn sup_magic_sets(
@@ -120,10 +118,7 @@ pub(crate) fn rewrite_rule(
                 .map(|&v| Term::Var(v))
                 .collect();
             let cont = Atom {
-                pred: Symbol::intern(&format!(
-                    "{}_{}_{}_{}",
-                    naming.cont, ri, k, rule.head.pred
-                )),
+                pred: Symbol::intern(&format!("{}_{}_{}_{}", naming.cont, ri, k, rule.head.pred)),
                 terms: schema,
             };
             out.push(Rule::new(cont.clone(), std::mem::take(&mut source)));
@@ -239,13 +234,15 @@ mod tests {
 
     #[test]
     fn nonlinear_same_generation() {
-        let parsed = parse("
+        let parsed = parse(
+            "
             flat(g1, g2). flat(g2, g3).
             up(a, g1). up(b, g2). up(g1, h1). down(h1, g4). flat(h1, h1).
             down(g2, b2). down(g3, c2).
             sg(X, Y) :- flat(X, Y).
             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
-        ")
+        ",
+        )
         .unwrap();
         let q = parse_atom("sg(a, Y)").unwrap();
         let edb = Database::from_program(&parsed.program);

@@ -51,7 +51,10 @@ fn main() {
     drawn.sort();
 
     println!("positions won for the player to move : {}", won.join(", "));
-    println!("positions drawn (cyclic stand-off)   : {}", drawn.join(", "));
+    println!(
+        "positions drawn (cyclic stand-off)   : {}",
+        drawn.join(", ")
+    );
     println!(
         "\nconditional statements generated: {}, fixpoint rounds: {}",
         result.metrics.conditional_statements, result.metrics.iterations

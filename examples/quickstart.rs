@@ -31,8 +31,7 @@ fn main() {
     for strategy in Strategy::ALL {
         match engine.query(&query, strategy) {
             Ok(result) => {
-                let answers: Vec<String> =
-                    result.answers.iter().map(|a| a.to_string()).collect();
+                let answers: Vec<String> = result.answers.iter().map(|a| a.to_string()).collect();
                 println!("{:<12} -> {}", strategy.name(), answers.join(", "));
                 println!("{:<12}    {}", "", result.report);
             }

@@ -33,7 +33,12 @@ fn neq_breaks_symmetric_pairs() {
     )
     .unwrap();
     let q = parse_atom("pair(X, Y)").unwrap();
-    for s in [Strategy::SemiNaive, Strategy::Oldt, Strategy::Magic, Strategy::Alexander] {
+    for s in [
+        Strategy::SemiNaive,
+        Strategy::Oldt,
+        Strategy::Magic,
+        Strategy::Alexander,
+    ] {
         let r = engine.query(&q, s).unwrap();
         assert_eq!(r.answers.len(), 6, "strategy {s}"); // 3×3 minus diagonal
     }
@@ -71,7 +76,11 @@ fn negated_builtins() {
     )
     .unwrap();
     let q = parse_atom("not_above(2, Y)").unwrap();
-    for s in [Strategy::SemiNaive, Strategy::Oldt, Strategy::ConditionalFixpoint] {
+    for s in [
+        Strategy::SemiNaive,
+        Strategy::Oldt,
+        Strategy::ConditionalFixpoint,
+    ] {
         let r = engine.query(&q, s).unwrap();
         let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
         assert_eq!(got, ["not_above(2, 2)", "not_above(2, 3)"], "strategy {s}");
@@ -92,7 +101,11 @@ fn builtins_combined_with_real_negation() {
     )
     .unwrap();
     let q = parse_atom("unupset(X)").unwrap();
-    for s in [Strategy::Stratified, Strategy::ConditionalFixpoint, Strategy::Oldt] {
+    for s in [
+        Strategy::Stratified,
+        Strategy::ConditionalFixpoint,
+        Strategy::Oldt,
+    ] {
         let r = engine.query(&q, s).unwrap();
         let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
         // ben lost to younger ann; cy lost to younger ben; ann lost to

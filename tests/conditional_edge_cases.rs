@@ -15,12 +15,11 @@ fn run(src: &str) -> alexander_eval::ConditionalResult {
 }
 
 fn atoms(r: &alexander_eval::ConditionalResult, pred: &str, arity: usize) -> Vec<String> {
-    let mut v: Vec<String> = r
-        .db
-        .atoms_of(Predicate::new(pred, arity))
-        .iter()
-        .map(|a| a.to_string())
-        .collect();
+    let mut v: Vec<String> =
+        r.db.atoms_of(Predicate::new(pred, arity))
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
     v.sort();
     v
 }

@@ -1,8 +1,8 @@
 //! End-to-end scenarios through the umbrella crate: source text in, answers
 //! and reports out, exercising every layer at once.
 
-use alexander_repro::{Engine, Strategy};
 use alexander_parser::parse_atom;
+use alexander_repro::{Engine, Strategy};
 
 #[test]
 fn the_readme_scenario() {
@@ -56,7 +56,11 @@ fn multi_idb_program_with_negation_pipeline() {
     )
     .unwrap();
     let q = parse_atom("dead_and_unreach(X)").unwrap();
-    for s in [Strategy::Stratified, Strategy::ConditionalFixpoint, Strategy::Oldt] {
+    for s in [
+        Strategy::Stratified,
+        Strategy::ConditionalFixpoint,
+        Strategy::Oldt,
+    ] {
         let r = engine.query(&q, s).unwrap();
         let got: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
         assert_eq!(
@@ -101,7 +105,10 @@ fn error_paths_are_reported_not_panicked() {
     assert!(err.is_err());
     // Same query under the conditional fixpoint: answered.
     let ok = engine
-        .query(&parse_atom("win(a)").unwrap(), Strategy::ConditionalFixpoint)
+        .query(
+            &parse_atom("win(a)").unwrap(),
+            Strategy::ConditionalFixpoint,
+        )
         .unwrap();
     assert_eq!(ok.answers.len(), 1); // a moves to stuck b: a wins
 }

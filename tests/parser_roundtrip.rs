@@ -24,20 +24,22 @@ fn term() -> impl Strategy<Value = Term> {
 }
 
 fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (ident(), proptest::collection::vec(term(), 0..4))
-        .prop_map(|(p, ts)| Atom::new(&p, ts))
+    (ident(), proptest::collection::vec(term(), 0..4)).prop_map(|(p, ts)| Atom::new(&p, ts))
 }
 
 fn literal() -> impl Strategy<Value = Literal> {
     (atom_strategy(), proptest::bool::ANY).prop_map(|(a, neg)| Literal {
         atom: a,
-        polarity: if neg { Polarity::Negative } else { Polarity::Positive },
+        polarity: if neg {
+            Polarity::Negative
+        } else {
+            Polarity::Positive
+        },
     })
 }
 
 fn rule() -> impl Strategy<Value = Rule> {
-    (atom_strategy(), proptest::collection::vec(literal(), 1..4))
-        .prop_map(|(h, b)| Rule::new(h, b))
+    (atom_strategy(), proptest::collection::vec(literal(), 1..4)).prop_map(|(h, b)| Rule::new(h, b))
 }
 
 fn ground_atom() -> impl Strategy<Value = Atom> {

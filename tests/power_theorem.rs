@@ -9,8 +9,7 @@ use alexander_storage::Database;
 use alexander_workload as workload;
 
 fn assert_holds(program: &alexander_ir::Program, edb: &Database, q: &Atom, label: &str) {
-    let c = check_power_correspondence(program, edb, q)
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let c = check_power_correspondence(program, edb, q).unwrap_or_else(|e| panic!("{label}: {e}"));
     assert!(c.holds(), "{label}:\n{c}");
 }
 
@@ -131,13 +130,8 @@ mod random_program_correspondence {
                 [Term::var(VARS[a as usize]), Term::var(VARS[b as usize])],
             ))
         });
-        (
-            0u8..2,
-            proptest::collection::vec(lit, 1..3),
-            0u8..3,
-            0u8..3,
-        )
-            .prop_map(|(h, body, ha, hb)| {
+        (0u8..2, proptest::collection::vec(lit, 1..3), 0u8..3, 0u8..3).prop_map(
+            |(h, body, ha, hb)| {
                 let bound: Vec<_> = body.iter().flat_map(|l| l.vars()).collect();
                 let pick = |i: u8| -> Term {
                     let v = alexander_ir::Var::new(VARS[i as usize]);
@@ -151,7 +145,8 @@ mod random_program_correspondence {
                     alexander_ir::atom(["p", "q"][h as usize], [pick(ha), pick(hb)]),
                     body,
                 )
-            })
+            },
+        )
     }
 
     proptest! {

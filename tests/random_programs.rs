@@ -2,7 +2,10 @@
 //! evaluator agreement on definite programs, and the stratification
 //! hierarchy theorems from the analysis layer.
 
-use alexander_eval::{eval_conditional, eval_naive, eval_seminaive, eval_stratified};
+use alexander_eval::{
+    eval_conditional, eval_naive, eval_seminaive, eval_seminaive_opts, eval_stratified,
+    eval_stratified_opts, EvalOptions,
+};
 use alexander_ir::analysis::{locally_stratified, loosely_stratified, stratify};
 use alexander_ir::{Atom, Literal, Polarity, Predicate, Program, Rule, Term};
 use alexander_storage::Database;
@@ -25,7 +28,10 @@ fn safe_rule(
         (0..CONSTS.len()).prop_map(|i| Term::sym(CONSTS[i])),
         (0..VARS.len()).prop_map(|i| Term::var(VARS[i])),
     ];
-    let body_atom = (0..(idb.len() + edb.len()), proptest::collection::vec(term, 2))
+    let body_atom = (
+        0..(idb.len() + edb.len()),
+        proptest::collection::vec(term, 2),
+    )
         .prop_map(move |(pi, ts)| {
             let (name, arity) = if pi < idb.len() {
                 idb[pi]
@@ -218,6 +224,47 @@ proptest! {
                 "loosely stratified program failed the ground check:\n{}",
                 program
             );
+        }
+    }
+
+    /// Parallel semi-naive produces identical relations AND identical
+    /// facts-derived metrics at 1, 2, 4 and 8 threads on random definite
+    /// programs.
+    #[test]
+    fn parallel_seminaive_is_exact_on_definite_programs(
+        program in definite_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let seq = eval_seminaive(&program, &edb).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par =
+                eval_seminaive_opts(&program, &edb, EvalOptions::with_threads(threads)).unwrap();
+            prop_assert_eq!(&db_snapshot(&par.db), &db_snapshot(&seq.db),
+                "relations differ at {} threads", threads);
+            prop_assert_eq!(par.metrics, seq.metrics,
+                "metrics differ at {} threads", threads);
+        }
+    }
+
+    /// The same exactness holds through stratified negation: random stratified
+    /// programs evaluate to the same model with the same counters at any
+    /// thread count.
+    #[test]
+    fn parallel_stratified_is_exact_on_stratified_programs(
+        program in negation_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        prop_assume!(stratify(&program).is_ok());
+        let seq = eval_stratified(&program, &edb).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par =
+                eval_stratified_opts(&program, &edb, EvalOptions::with_threads(threads)).unwrap();
+            prop_assert_eq!(&db_snapshot(&par.db), &db_snapshot(&seq.db),
+                "relations differ at {} threads", threads);
+            prop_assert_eq!(par.metrics, seq.metrics,
+                "metrics differ at {} threads", threads);
         }
     }
 

@@ -23,7 +23,13 @@ fn direct_answers(program: &Program, edb: &Database, query: &Atom) -> Vec<String
             let mut s = alexander_ir::Subst::new();
             alexander_ir::match_atom(query, a, &mut s)
         })
-        .map(|a| a.terms.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","))
+        .map(|a| {
+            a.terms
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .collect();
     out.sort();
     out
@@ -34,7 +40,13 @@ fn rewritten_answers(rw: &Rewritten, edb: &Database) -> Vec<String> {
     let res = eval_seminaive(&rw.program, edb).expect("rewritten evaluation runs");
     let mut out: Vec<String> = query_answers(&res.db, &rw.query)
         .into_iter()
-        .map(|a| a.terms.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","))
+        .map(|a| {
+            a.terms
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .collect();
     out.sort();
     out.dedup();
@@ -48,8 +60,16 @@ fn check_rewritings(program: &Program, edb: &Database, query: &Atom, label: &str
     let s = sup_magic_sets(program, query, opts).unwrap();
     let a = alexander(program, query, opts).unwrap();
     assert_eq!(rewritten_answers(&m, edb), want, "{label}: magic differs");
-    assert_eq!(rewritten_answers(&s, edb), want, "{label}: supmagic differs");
-    assert_eq!(rewritten_answers(&a, edb), want, "{label}: alexander differs");
+    assert_eq!(
+        rewritten_answers(&s, edb),
+        want,
+        "{label}: supmagic differs"
+    );
+    assert_eq!(
+        rewritten_answers(&a, edb),
+        want,
+        "{label}: alexander differs"
+    );
 
     // Demand sets coincide across the three rewritings.
     let rm = eval_seminaive(&m.program, edb).unwrap();

@@ -20,7 +20,11 @@ fn answers_are_identical_with_and_without_reordering() {
         .unwrap()
         .with_sip(SipOptions { reorder: false });
     let q = parse_atom("sg(a, Y)").unwrap();
-    for s in [Strategy::Magic, Strategy::SupplementaryMagic, Strategy::Alexander] {
+    for s in [
+        Strategy::Magic,
+        Strategy::SupplementaryMagic,
+        Strategy::Alexander,
+    ] {
         let with = base.query(&q, s).unwrap();
         let without = no_reorder.query(&q, s).unwrap();
         assert_eq!(with.answers, without.answers, "strategy {s}");

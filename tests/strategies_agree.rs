@@ -34,7 +34,13 @@ fn transitive_closure_on_shapes() {
     ];
     for (name, edb) in cases {
         let engine = Engine::new(workload::transitive_closure(), edb).unwrap();
-        for q in ["tc(n0, X)", "tc(X, n3)", "tc(n1, n4)", "tc(X, Y)", "tc(X, X)"] {
+        for q in [
+            "tc(n0, X)",
+            "tc(X, n3)",
+            "tc(n1, n4)",
+            "tc(X, Y)",
+            "tc(X, X)",
+        ] {
             let query = parse_atom(q).unwrap();
             assert_all_agree(&engine, &query, &format!("{name}/{q}"));
         }
@@ -74,6 +80,88 @@ fn bound_second_argument_flips_the_sip() {
     assert_all_agree(&engine, &query, "fb query");
     let r = engine.query(&query, Strategy::Alexander).unwrap();
     assert_eq!(r.answers.len(), 5); // n0..n4
+}
+
+/// Parallel semi-naive is bit-identical to sequential: same relations, same
+/// facts-derived metrics, at every thread count — on definite workloads and
+/// through every strategy layered on the semi-naive engine.
+#[test]
+fn parallel_seminaive_matches_sequential_exactly() {
+    let cases: Vec<(&str, Database)> = vec![
+        ("chain", workload::chain("e", 40)),
+        ("cycle", workload::cycle("e", 25)),
+        ("grid", workload::grid("e", 5)),
+        ("random", workload::random_graph("e", 20, 50, 5)),
+    ];
+    for (name, edb) in cases {
+        for program in [
+            workload::transitive_closure(),
+            workload::transitive_closure_nonlinear(),
+        ] {
+            let seq = Engine::new(program.clone(), edb.clone()).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let par = Engine::new(program.clone(), edb.clone())
+                    .unwrap()
+                    .with_threads(threads);
+                for strat in [
+                    Strategy::SemiNaive,
+                    Strategy::Stratified,
+                    Strategy::Magic,
+                    Strategy::SupplementaryMagic,
+                    Strategy::Alexander,
+                ] {
+                    let q = parse_atom("tc(n0, X)").unwrap();
+                    let a = seq.query(&q, strat).unwrap();
+                    let b = par.query(&q, strat).unwrap();
+                    let label = format!("{name}/{strat} @ {threads} threads");
+                    assert_eq!(a.answers, b.answers, "{label}: answers");
+                    assert_eq!(a.report.eval, b.report.eval, "{label}: metrics");
+                    assert_eq!(
+                        a.report.facts_materialised, b.report.facts_materialised,
+                        "{label}: materialisation"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same identity holds under stratified negation: the strata run through
+/// the parallel engine one by one, and negative literals still read a frozen,
+/// complete lower stratum.
+#[test]
+fn parallel_seminaive_matches_sequential_with_negation() {
+    for seed in [21u64, 22] {
+        let mut edb = workload::random_graph("edge", 18, 36, seed);
+        for i in 0..18 {
+            edb.insert(
+                alexander_ir::Predicate::new("node", 1),
+                alexander_storage::Tuple::new(vec![workload::node(i)]),
+            );
+        }
+        edb.insert(
+            alexander_ir::Predicate::new("source", 1),
+            alexander_storage::Tuple::new(vec![workload::node(0)]),
+        );
+        let program = workload::reach_unreach();
+        let seq = Engine::new(program.clone(), edb.clone()).unwrap();
+        let query = parse_atom("unreach(X)").unwrap();
+        let base = seq.query(&query, Strategy::Stratified).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = Engine::new(program.clone(), edb.clone())
+                .unwrap()
+                .with_threads(threads);
+            for strat in [Strategy::Stratified, Strategy::ConditionalFixpoint] {
+                let r = par.query(&query, strat).unwrap();
+                assert_eq!(base.answers, r.answers, "seed {seed}/{strat} @ {threads}");
+            }
+            let strat_par = par.query(&query, Strategy::Stratified).unwrap();
+            assert_eq!(
+                base.report.eval, strat_par.report.eval,
+                "seed {seed}: stratified metrics @ {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]
