@@ -9,11 +9,14 @@
 //! ```
 
 use crate::{Engine, Strategy};
-use alexander_eval::eval_with_provenance;
+use alexander_eval::{eval_with_provenance, Budget};
 use alexander_ir::analysis::{loosely_stratified, stratify};
 use alexander_ir::{Atom, Program};
 use alexander_parser::{parse, parse_atom};
 use alexander_storage::Database;
+// invariant: every `writeln!(...).unwrap()` below targets a `String` through
+// `fmt::Write`, which cannot fail — there is no I/O in this module; the
+// binary decides where the returned text goes.
 use std::fmt::Write as _;
 
 /// Parsed command-line options.
@@ -29,6 +32,12 @@ pub struct CliOptions {
     pub loads: Vec<String>,
     /// Worker threads for bottom-up fixpoint rounds (`None` = sequential).
     pub threads: Option<usize>,
+    /// Wall-clock budget per query, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Derived-fact budget per query.
+    pub max_facts: Option<u64>,
+    /// Fixpoint-round / restart budget per query.
+    pub max_rounds: Option<u64>,
 }
 
 /// Usage text.
@@ -40,6 +49,10 @@ usage: alexander <file.dl | -> [options]
       --load P/N=FILE bulk-load relation P (arity N) from a CSV/TSV file
       --threads N     worker threads per bottom-up fixpoint round (default 1);
                       answers and counters are identical at any thread count
+      --timeout-ms N  wall-clock budget per query; on expiry the partial
+                      answers derived so far are printed and flagged
+      --max-facts N   stop after deriving N facts (partial answers, flagged)
+      --max-rounds N  stop after N fixpoint rounds / restarts
       --stats         print instrumentation counters per query
       --proof         print a constructive proof tree per answer
       --analyze       print stratification analysis and exit
@@ -80,6 +93,25 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
                     return Err("--threads expects a positive integer, got `0`".into());
                 }
                 opts.threads = Some(n);
+            }
+            "--timeout-ms" | "--max-facts" | "--max-rounds" => {
+                let flag = a.to_string();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing argument to {flag}"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("{flag} expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err(format!("{flag} expects a positive integer, got `0`"));
+                }
+                match flag.as_str() {
+                    "--timeout-ms" => opts.timeout_ms = Some(n),
+                    "--max-facts" => opts.max_facts = Some(n),
+                    // invariant: the outer match arm only admits these three.
+                    _ => opts.max_rounds = Some(n),
+                }
             }
             "--stats" => opts.stats = true,
             "--proof" => opts.proof = true,
@@ -144,6 +176,19 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
     if let Some(threads) = opts.threads {
         engine = engine.with_threads(threads);
     }
+    let mut budget = Budget::default();
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.with_timeout_ms(ms);
+    }
+    if let Some(n) = opts.max_facts {
+        budget = budget.with_max_facts(n);
+    }
+    if let Some(n) = opts.max_rounds {
+        budget = budget.with_max_rounds(n);
+    }
+    if !budget.is_unlimited() {
+        engine = engine.with_budget(budget);
+    }
 
     let queries: Vec<Atom> = if opts.queries.is_empty() {
         file_queries
@@ -186,6 +231,14 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
                             None => writeln!(out, "    | (no recorded proof)").unwrap(),
                         }
                     }
+                }
+                if !result.report.completion.is_complete() {
+                    writeln!(
+                        out,
+                        "  !! partial result: {} — answers above are sound but incomplete",
+                        result.report.completion
+                    )
+                    .unwrap();
                 }
                 if opts.stats {
                     writeln!(out, "  -- {}", result.report).unwrap();
@@ -369,6 +422,64 @@ seth,enos
         assert_eq!(opts.threads, Some(4));
         assert!(parse_args(&["--bogus".to_string()]).is_err());
         assert!(parse_args(&["--help".to_string()]).is_err());
+    }
+
+    #[test]
+    fn budget_flags_are_validated_and_parsed() {
+        for flag in ["--timeout-ms", "--max-facts", "--max-rounds"] {
+            for bad in [
+                vec!["prog.dl".to_string(), flag.to_string()],
+                vec!["prog.dl".to_string(), flag.to_string(), "soon".to_string()],
+                vec!["prog.dl".to_string(), flag.to_string(), "0".to_string()],
+            ] {
+                assert!(parse_args(&bad).is_err(), "{bad:?}");
+            }
+        }
+        let args: Vec<String> = [
+            "prog.dl",
+            "--timeout-ms",
+            "200",
+            "--max-facts",
+            "1000",
+            "--max-rounds",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (_, opts) = parse_args(&args).unwrap();
+        assert_eq!(opts.timeout_ms, Some(200));
+        assert_eq!(opts.max_facts, Some(1000));
+        assert_eq!(opts.max_rounds, Some(7));
+    }
+
+    #[test]
+    fn fact_budget_prints_flagged_partial_answers() {
+        let opts = CliOptions {
+            queries: vec!["anc(X, Y)".into()],
+            strategy: Some("seminaive".into()),
+            max_facts: Some(1),
+            stats: true,
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("partial result"), "{out}");
+        assert!(out.contains("budget exhausted (facts)"), "{out}");
+        assert!(out.contains("PARTIAL"), "stats line flags it too: {out}");
+    }
+
+    #[test]
+    fn ample_budget_stays_silent() {
+        let opts = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            strategy: Some("seminaive".into()),
+            max_facts: Some(10_000),
+            timeout_ms: Some(60_000),
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(!out.contains("partial result"), "{out}");
+        assert!(out.contains("anc(adam, enos)"), "{out}");
     }
 
     #[test]

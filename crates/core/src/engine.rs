@@ -2,13 +2,15 @@
 
 use crate::strategy::{QueryResult, Report, Strategy};
 use alexander_eval::{
-    eval_conditional_opts, eval_naive_opts, eval_seminaive_opts, eval_stratified_opts, EvalError,
-    EvalOptions,
+    eval_conditional_opts, eval_naive_opts, eval_seminaive_opts, eval_stratified_opts, Budget,
+    CancelHandle, Completion, Consumption, EvalError, EvalOptions,
 };
 use alexander_ir::{match_atom, Atom, Polarity, Predicate, Program, Subst};
 use alexander_parser::{parse, ParseError};
 use alexander_storage::Database;
-use alexander_topdown::{oldt_query, qsqr_query, OldtError, QsqrError};
+use alexander_topdown::{
+    oldt_query_opts, qsqr_query_opts, OldtError, OldtMetrics, OldtOptions, QsqrError, QsqrOptions,
+};
 use alexander_transform::{alexander, magic_sets, sup_magic_sets, Rewritten, SipOptions};
 use std::fmt;
 
@@ -96,6 +98,8 @@ impl Engine {
         program.validate().map_err(EngineError::Invalid)?;
         let mut edb = edb;
         for f in &program.facts {
+            // invariant: `Program::validate` (just above) rejects non-ground
+            // facts.
             edb.insert_atom(f).expect("validated facts are ground");
         }
         let program = Program {
@@ -135,9 +139,29 @@ impl Engine {
         self
     }
 
+    /// Sets the resource budget every query runs under (wall-clock
+    /// deadline, derived-fact cap, round cap, firing/step cap). On
+    /// exhaustion queries return *partial* answers flagged in
+    /// [`Report::completion`] rather than an error.
+    pub fn with_budget(mut self, budget: Budget) -> Engine {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// A cancellation handle for this engine's queries. Cancelling it from
+    /// any thread makes in-flight (and future) queries stop cooperatively
+    /// and return partial results tagged `Cancelled`; call
+    /// [`CancelHandle::reset`] to reuse the engine afterwards.
+    pub fn cancel_handle(&mut self) -> CancelHandle {
+        self.opts
+            .cancel
+            .get_or_insert_with(CancelHandle::default)
+            .clone()
+    }
+
     /// The evaluator options bottom-up strategies run with.
     pub fn eval_options(&self) -> EvalOptions {
-        self.opts
+        self.opts.clone()
     }
 
     /// The loaded rules.
@@ -174,25 +198,24 @@ impl Engine {
 
         match strategy {
             Strategy::Naive => {
-                let r = eval_naive_opts(&self.program, &self.edb, self.opts)?;
-                Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
+                let r = eval_naive_opts(&self.program, &self.edb, self.opts.clone())?;
+                Ok(self.direct_result(query, strategy, r.db, r.metrics, r.completion))
             }
             Strategy::SemiNaive => {
-                let r = eval_seminaive_opts(&self.program, &self.edb, self.opts)?;
-                Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
+                let r = eval_seminaive_opts(&self.program, &self.edb, self.opts.clone())?;
+                Ok(self.direct_result(query, strategy, r.db, r.metrics, r.completion))
             }
             Strategy::Stratified => {
-                let r = eval_stratified_opts(&self.program, &self.edb, self.opts)?;
-                Ok(self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len()))
+                let r = eval_stratified_opts(&self.program, &self.edb, self.opts.clone())?;
+                Ok(self.direct_result(query, strategy, r.db, r.metrics, r.completion))
             }
             Strategy::ConditionalFixpoint => {
-                let r = eval_conditional_opts(&self.program, &self.edb, self.opts)?;
+                let r = eval_conditional_opts(&self.program, &self.edb, self.opts.clone())?;
                 let undefined_matching: Vec<Atom> = filter_matching(r.undefined.clone(), query);
                 if !undefined_matching.is_empty() {
                     return Err(EngineError::UndefinedAnswers(undefined_matching));
                 }
-                let mut out =
-                    self.direct_result(query, strategy, r.db, r.metrics, self.program.rules.len());
+                let mut out = self.direct_result(query, strategy, r.db, r.metrics, r.completion);
                 out.report.undefined = r.undefined;
                 Ok(out)
             }
@@ -209,7 +232,12 @@ impl Engine {
                 self.rewritten_result(query, strategy, rw)
             }
             Strategy::Oldt => {
-                let r = oldt_query(&self.program, &self.edb, query)?;
+                let opts = OldtOptions::default().with_budget(self.opts.budget);
+                let opts = match &self.opts.cancel {
+                    Some(c) => opts.with_cancel(c.clone()),
+                    None => opts,
+                };
+                let r = oldt_query_opts(&self.program, &self.edb, query, opts)?;
                 let answers = normalise(r.answers);
                 Ok(QueryResult {
                     answers,
@@ -219,12 +247,19 @@ impl Engine {
                         calls: Some(r.metrics.calls),
                         facts_materialised: r.metrics.answers,
                         rules_evaluated: self.program.rules.len(),
+                        completion: r.completion,
+                        consumed: topdown_consumption(&r.metrics, 0),
                         ..Report::default()
                     },
                 })
             }
             Strategy::Qsqr => {
-                let r = qsqr_query(&self.program, &self.edb, query)?;
+                let opts = QsqrOptions::default().with_budget(self.opts.budget);
+                let opts = match &self.opts.cancel {
+                    Some(c) => opts.with_cancel(c.clone()),
+                    None => opts,
+                };
+                let r = qsqr_query_opts(&self.program, &self.edb, query, opts)?;
                 let answers = normalise(r.answers);
                 Ok(QueryResult {
                     answers,
@@ -234,6 +269,8 @@ impl Engine {
                         calls: Some(r.metrics.calls),
                         facts_materialised: r.metrics.answers,
                         rules_evaluated: self.program.rules.len(),
+                        completion: r.completion,
+                        consumed: topdown_consumption(&r.metrics, r.restarts),
                         ..Report::default()
                     },
                 })
@@ -248,7 +285,7 @@ impl Engine {
         strategy: Strategy,
         db: Database,
         metrics: alexander_eval::EvalMetrics,
-        rules: usize,
+        completion: Completion,
     ) -> QueryResult {
         let answers = filter_matching(db.atoms_of(query.predicate()), query);
         QueryResult {
@@ -257,8 +294,10 @@ impl Engine {
             report: Report {
                 eval: Some(metrics),
                 facts_materialised: (db.total_tuples() - self.edb.total_tuples()) as u64,
-                rules_evaluated: rules,
+                rules_evaluated: self.program.rules.len(),
                 threads: self.opts.threads.max(1),
+                completion,
+                consumed: eval_consumption(&metrics),
                 ..Report::default()
             },
         }
@@ -280,12 +319,12 @@ impl Engine {
                 .iter()
                 .all(|l| l.polarity == Polarity::Positive || !idb.contains(&l.atom.predicate()))
         });
-        let (db, metrics, undefined) = if semipositive {
-            let r = eval_seminaive_opts(&rw.program, &self.edb, self.opts)?;
-            (r.db, r.metrics, Vec::new())
+        let (db, metrics, undefined, completion) = if semipositive {
+            let r = eval_seminaive_opts(&rw.program, &self.edb, self.opts.clone())?;
+            (r.db, r.metrics, Vec::new(), r.completion)
         } else {
-            let r = eval_conditional_opts(&rw.program, &self.edb, self.opts)?;
-            (r.db, r.metrics, r.undefined)
+            let r = eval_conditional_opts(&rw.program, &self.edb, self.opts.clone())?;
+            (r.db, r.metrics, r.undefined, r.completion)
         };
 
         let raw = alexander_transform::query_answers(&db, &rw.query);
@@ -313,9 +352,27 @@ impl Engine {
                 undefined,
                 rules_evaluated: rw.program.rules.len(),
                 threads: self.opts.threads.max(1),
+                completion,
+                consumed: eval_consumption(&metrics),
                 ..Report::default()
             },
         })
+    }
+}
+
+fn eval_consumption(m: &alexander_eval::EvalMetrics) -> Consumption {
+    Consumption {
+        facts: m.new_facts,
+        rounds: m.iterations,
+        steps: m.firings,
+    }
+}
+
+fn topdown_consumption(m: &OldtMetrics, restarts: u64) -> Consumption {
+    Consumption {
+        facts: m.answers,
+        rounds: restarts,
+        steps: m.resolution_steps,
     }
 }
 
@@ -507,6 +564,51 @@ mod tests {
                 assert_eq!(b.report.threads, threads);
             }
         }
+    }
+
+    #[test]
+    fn fact_budget_gives_partial_answers_on_every_strategy() {
+        let q = parse_atom("anc(X, Y)").unwrap();
+        let full = engine().query(&q, Strategy::SemiNaive).unwrap();
+        for s in Strategy::ALL {
+            let e = engine().with_budget(Budget::default().with_max_facts(1));
+            let r = e.query(&q, s).unwrap();
+            assert!(
+                !r.report.completion.is_complete(),
+                "strategy {s}: {:?}",
+                r.report.completion
+            );
+            for a in &r.answers {
+                assert!(full.answers.contains(a), "strategy {s}: spurious {a}");
+            }
+            assert!(r.answers.len() < full.answers.len(), "strategy {s}");
+        }
+    }
+
+    #[test]
+    fn cancel_handle_stops_queries_until_reset() {
+        let mut e = engine();
+        let handle = e.cancel_handle();
+        let q = parse_atom("anc(a, X)").unwrap();
+        handle.cancel();
+        let r = e.query(&q, Strategy::SemiNaive).unwrap();
+        assert_eq!(r.report.completion, alexander_eval::Completion::Cancelled);
+        handle.reset();
+        let r = e.query(&q, Strategy::SemiNaive).unwrap();
+        assert!(r.report.completion.is_complete());
+        assert_eq!(r.answers.len(), 3);
+    }
+
+    #[test]
+    fn report_carries_consumption_counters() {
+        let e = engine();
+        let q = parse_atom("anc(a, X)").unwrap();
+        let r = e.query(&q, Strategy::SemiNaive).unwrap();
+        assert!(r.report.consumed.facts > 0);
+        assert!(r.report.consumed.rounds > 0);
+        assert!(r.report.consumed.steps > 0);
+        let o = e.query(&q, Strategy::Oldt).unwrap();
+        assert!(o.report.consumed.steps > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Evaluation strategies and their instrumentation reports.
 
-use alexander_eval::EvalMetrics;
+use alexander_eval::{Completion, Consumption, EvalMetrics};
 use alexander_ir::Atom;
 use alexander_topdown::OldtMetrics;
 use std::fmt;
@@ -85,6 +85,13 @@ pub struct Report {
     /// Worker threads the bottom-up fixpoint ran with (0 when no bottom-up
     /// evaluation happened, e.g. pure OLDT runs or EDB lookups).
     pub threads: usize,
+    /// Whether the evaluation ran to its full fixpoint / answer set. A
+    /// non-`Complete` value means the answers are a sound *partial* result:
+    /// everything reported holds, but more may be derivable.
+    pub completion: Completion,
+    /// What the run consumed against the governed resources (facts derived,
+    /// rounds entered, firings / resolution steps charged).
+    pub consumed: Consumption,
 }
 
 impl fmt::Display for Report {
@@ -104,6 +111,9 @@ impl fmt::Display for Report {
         }
         if self.threads > 1 {
             write!(f, " threads={}", self.threads)?;
+        }
+        if !self.completion.is_complete() {
+            write!(f, " PARTIAL: {} ({})", self.completion, self.consumed)?;
         }
         Ok(())
     }
@@ -137,6 +147,26 @@ mod tests {
             ..Report::default()
         };
         assert!(r.to_string().contains("calls=7"));
+    }
+
+    #[test]
+    fn report_display_flags_partial_results() {
+        let complete = Report::default();
+        assert!(!complete.to_string().contains("PARTIAL"));
+        let partial = Report {
+            completion: Completion::BudgetExhausted {
+                resource: alexander_eval::Resource::Facts,
+            },
+            consumed: Consumption {
+                facts: 10,
+                rounds: 2,
+                steps: 40,
+            },
+            ..Report::default()
+        };
+        let shown = partial.to_string();
+        assert!(shown.contains("PARTIAL"), "{shown}");
+        assert!(shown.contains("facts"), "{shown}");
     }
 
     #[test]

@@ -27,14 +27,26 @@
 //! `dom` predicates of Bry's Causal Predicate Calculus: rule bodies are
 //! *constructively domain independent* and the `dom` proofs would be
 //! redundant in the sense of his §5.2.
+//!
+//! ## Governance and partial results
+//!
+//! A budget or cancellation can stop any phase. The degrade rule is strict
+//! about negation: if the monotone statement fixpoint (phase 1) did not
+//! finish, the Davis–Putnam reduction is **not** run — reducing a partial
+//! statement store could declare `¬A` true merely because `A`'s statement
+//! had not been derived yet. Instead the result falls back to the definite
+//! core computed so far (always a sound subset of the perfect/well-founded
+//! facts), with `completion` reporting the trip and `undefined` left empty.
 
 use crate::error::EvalError;
+use crate::govern::Completion;
 use crate::join::{compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput};
 use crate::metrics::EvalMetrics;
 use crate::naive::seed_database;
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Polarity, Program};
 use alexander_storage::Database;
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
 /// A set of delayed ground negative premises, canonically ordered.
 pub type Conditions = BTreeSet<Atom>;
@@ -46,14 +58,19 @@ pub struct ConditionalResult {
     pub db: Database,
     /// Atoms left with surviving non-empty conditions: undefined under the
     /// well-founded reading. Empty for constructively consistent programs.
+    /// Only meaningful when `completion` is `Complete`; a budgeted stop
+    /// before the reduction leaves it empty.
     pub undefined: Vec<Atom>,
     pub metrics: EvalMetrics,
+    /// Whether the conditional fixpoint and its reduction fully ran.
+    pub completion: Completion,
 }
 
 impl ConditionalResult {
-    /// True iff every atom was decided (no residue).
+    /// True iff every atom was decided (no residue). A non-`Complete` run
+    /// is never total in this sense even with an empty residue list.
     pub fn is_total(&self) -> bool {
-        self.undefined.is_empty()
+        self.undefined.is_empty() && self.completion.is_complete()
     }
 }
 
@@ -99,6 +116,8 @@ pub fn eval_conditional_opts(
     let mut static_db = seed_database(program, edb);
     let idb = program.idb_predicates();
     let mut metrics = EvalMetrics::default();
+    let gov = opts.governor();
+    let gov_ref = gov.as_join_ref();
 
     // ---- Phase 0: the definite core. ----
     // Predicates that never depend (even transitively, through positive
@@ -137,7 +156,14 @@ pub fn eval_conditional_opts(
         .filter(|r| !tainted.contains(&r.head.predicate()))
         .cloned()
         .collect();
-    crate::seminaive::run_rules(&definite_rules, &mut static_db, &mut metrics, opts, None)?;
+    crate::seminaive::run_rules(
+        &definite_rules,
+        &mut static_db,
+        &mut metrics,
+        &opts,
+        None,
+        Some(&gov),
+    )?;
 
     // Compile the remaining (tainted) rules. Negative literals over static
     // predicates (EDB and the definite core) are checked inline against the
@@ -151,13 +177,32 @@ pub fn eval_conditional_opts(
         .map(|r| compile_rule(r).map_err(EvalError::from))
         .collect::<Result<_, _>>()?;
 
+    // On a definite program (or one whose negations are all static) there
+    // is nothing to delay: the phase-0 result IS the answer. Returning here
+    // also keeps budget accounting identical to plain semi-naive.
+    if compiled.is_empty() || gov.should_stop() {
+        return Ok(ConditionalResult {
+            db: static_db,
+            undefined: Vec::new(),
+            metrics,
+            completion: gov.completion(),
+        });
+    }
+
     // ---- Phase 1: the monotone T_c fixpoint. ----
     let mut stmts = Statements::default();
-    loop {
+    let mut stopped = false;
+    'phase1: loop {
+        if gov.note_round().is_break() {
+            stopped = true;
+            break 'phase1;
+        }
         // `known` carries the EDB plus every conditional head, so positive
         // premises can match conditional statements.
         let mut known = static_db.clone();
         for h in stmts.heads() {
+            // invariant: statement heads come out of `to_tuple` on a full
+            // body match, which only produces ground atoms.
             known.insert_atom(h).expect("statement heads are ground");
         }
         for r in &compiled {
@@ -170,41 +215,54 @@ pub fn eval_conditional_opts(
                 total: &known,
                 delta: None,
                 negatives: Some(&static_db),
+                governor: gov_ref,
             };
             // Collect matches first: `stmts` is mutated after the join.
             let mut matches: Vec<(Atom, Vec<Atom>, Conditions)> = Vec::new();
-            join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
-                metrics.firings += 1;
-                let head = rule
-                    .head
-                    .to_tuple(bind)
-                    .expect("safe rules ground their heads")
-                    .to_atom(rule.head.pred.name);
-                let mut premises = Vec::new();
-                let mut delayed = Conditions::new();
-                for lit in &rule.body {
-                    let atom = lit
-                        .atom
+            let flow =
+                join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
+                    metrics.firings += 1;
+                    let head = rule
+                        .head
+                        // invariant: rule safety is validated before evaluation.
                         .to_tuple(bind)
-                        .expect("ordered bodies are ground at emit")
-                        .to_atom(lit.atom.pred.name);
-                    match lit.polarity {
-                        Polarity::Positive => {
-                            if tainted.contains(&lit.atom.pred) {
-                                premises.push(atom);
+                        .expect("safe rules ground their heads")
+                        .to_atom(rule.head.pred.name);
+                    let mut premises = Vec::new();
+                    let mut delayed = Conditions::new();
+                    for lit in &rule.body {
+                        let atom = lit
+                            .atom
+                            // invariant: EmitBindings fires after a full body
+                            // match, when every body variable is bound.
+                            .to_tuple(bind)
+                            .expect("ordered bodies are ground at emit")
+                            .to_atom(lit.atom.pred.name);
+                        match lit.polarity {
+                            Polarity::Positive => {
+                                if tainted.contains(&lit.atom.pred) {
+                                    premises.push(atom);
+                                }
                             }
-                        }
-                        Polarity::Negative => {
-                            if tainted.contains(&lit.atom.pred) {
-                                delayed.insert(atom);
+                            Polarity::Negative => {
+                                if tainted.contains(&lit.atom.pred) {
+                                    delayed.insert(atom);
+                                }
+                                // Negations over static predicates (EDB and the
+                                // definite core) were already decided inline.
                             }
-                            // Negations over static predicates (EDB and the
-                            // definite core) were already decided inline.
                         }
                     }
-                }
-                matches.push((head, premises, delayed));
-            });
+                    matches.push((head, premises, delayed));
+                    match gov_ref {
+                        Some(g) => g.note_firing(),
+                        None => ControlFlow::Continue(()),
+                    }
+                });
+            if flow.is_break() {
+                stopped = true;
+                break 'phase1;
+            }
 
             for (head, premises, delayed) in matches {
                 // Choices of condition sets per conditional premise. An
@@ -236,6 +294,12 @@ pub fn eval_conditional_opts(
                     if stmts.insert(head.clone(), conds) {
                         metrics.conditional_statements += 1;
                         changed = true;
+                        // A new statement is a (conditional) derived fact:
+                        // charge the fact budget.
+                        if gov.claim_fact().is_break() {
+                            stopped = true;
+                            break 'phase1;
+                        }
                     }
                 }
             }
@@ -246,6 +310,19 @@ pub fn eval_conditional_opts(
         }
     }
 
+    // A partial statement store must NOT be reduced: the reduction treats
+    // "no surviving statement for A" as evidence that ¬A holds, which is
+    // unsound if A's statement simply was not derived yet. Fall back to the
+    // definite core, which is always sound.
+    if stopped {
+        return Ok(ConditionalResult {
+            db: static_db,
+            undefined: Vec::new(),
+            metrics,
+            completion: gov.completion(),
+        });
+    }
+
     // ---- Phase 2: reduction (Davis–Putnam style). ----
     let mut facts: FxHashSet<Atom> = static_db
         .predicates()
@@ -253,7 +330,14 @@ pub fn eval_conditional_opts(
         .flat_map(|p| static_db.atoms_of(p))
         .collect();
     let mut sets = stmts.by_head;
+    let mut reduction_complete = true;
     loop {
+        if gov.note_round().is_break() {
+            // Facts promoted so far are sound (they followed from a complete
+            // statement store); only the residue classification is unknown.
+            reduction_complete = false;
+            break;
+        }
         let mut changed = false;
         let provable: FxHashSet<Atom> = facts
             .iter()
@@ -287,19 +371,27 @@ pub fn eval_conditional_opts(
 
     let mut db = static_db.clone();
     for f in &facts {
+        // invariant: `facts` only holds statement heads and static atoms,
+        // both ground by construction.
         db.insert_atom(f).expect("facts are ground");
     }
-    let mut undefined: Vec<Atom> = sets
-        .into_iter()
-        .filter(|(h, s)| !facts.contains(h) && s.iter().any(|c| !c.is_empty()) && !s.is_empty())
-        .map(|(h, _)| h)
-        .collect();
+    let mut undefined: Vec<Atom> = if reduction_complete {
+        sets.into_iter()
+            .filter(|(h, s)| !facts.contains(h) && s.iter().any(|c| !c.is_empty()) && !s.is_empty())
+            .map(|(h, _)| h)
+            .collect()
+    } else {
+        // An interrupted reduction cannot distinguish "undefined" from
+        // "not yet decided"; report nothing rather than guess.
+        Vec::new()
+    };
     undefined.sort_by_key(|a| a.to_string());
 
     Ok(ConditionalResult {
         db,
         undefined,
         metrics,
+        completion: gov.completion(),
     })
 }
 

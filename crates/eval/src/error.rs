@@ -21,6 +21,11 @@ pub enum EvalError {
     /// An incremental update targeted an intensional predicate (only EDB
     /// facts can be inserted or deleted).
     IdbUpdate(Predicate),
+    /// A parallel round worker panicked. The panic is caught inside the
+    /// worker, every sibling worker is drained first, and the payload is
+    /// surfaced here instead of aborting the process or poisoning the
+    /// thread scope.
+    WorkerPanicked { payload: String },
 }
 
 impl fmt::Display for EvalError {
@@ -43,6 +48,9 @@ impl fmt::Display for EvalError {
                 f,
                 "predicate {p} is intensional; only extensional facts can be updated"
             ),
+            EvalError::WorkerPanicked { payload } => {
+                write!(f, "evaluation worker panicked: {payload}")
+            }
         }
     }
 }
@@ -71,5 +79,9 @@ mod tests {
         assert!(e.to_string().contains("win/1"));
         let e = EvalError::Invalid(vec![]);
         assert!(e.to_string().contains("invalid program"));
+        let e = EvalError::WorkerPanicked {
+            payload: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("worker panicked: boom"));
     }
 }

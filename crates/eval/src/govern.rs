@@ -1,0 +1,630 @@
+//! Resource governance: budgets, cooperative cancellation, and the
+//! [`Completion`] status every evaluator reports.
+//!
+//! The SLD engine has always carried a step budget and a `complete` flag
+//! (`alexander_topdown::SldOptions`); this module makes that idea uniform
+//! across the whole system. A [`Budget`] declares limits (wall-clock
+//! deadline, derived-fact count, fixpoint rounds, resolution/firing steps);
+//! a [`Governor`] enforces them at run time; a [`CancelHandle`] lets another
+//! thread request a cooperative stop. Evaluators consult the governor at
+//! round boundaries *and* inside the join's emission path, so even a single
+//! enormous round is interruptible, and on exhaustion they return a
+//! well-formed partial result tagged [`Completion::BudgetExhausted`] or
+//! [`Completion::Cancelled`] — never a torn state, never an error.
+//!
+//! ## Exactness of the fact budget
+//!
+//! The fact budget uses *claim-before-insert* semantics: an evaluator asks
+//! the governor for a slot **before** materialising a fact it has verified
+//! to be new. When the budget is exhausted the fact is refused and the run
+//! stops, so a sequential run reports `BudgetExhausted { Facts }` **iff**
+//! its database is a strict subset of the unbudgeted fixpoint (a refusal
+//! witnesses a derivable missing fact; conversely, a fixpoint that fits the
+//! budget never triggers a refusal). Parallel rounds share the claim
+//! counter across workers; two workers claiming the same fresh fact each
+//! consume a slot, so enforcement there is (slightly) conservative — the
+//! partial database is still always a subset, and `Complete` still implies
+//! the full fixpoint.
+//!
+//! When no limit is set and no cancel token installed, [`Governor::active`]
+//! is false and every check is a single branch — governance costs nothing
+//! on the default path and the relations/metrics determinism guarantees are
+//! untouched.
+
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The resource whose budget ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The derived-fact budget was used up.
+    Facts,
+    /// The fixpoint-round / iteration budget was used up.
+    Rounds,
+    /// The resolution-step / rule-firing budget was used up.
+    Steps,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::WallClock => "wall-clock",
+            Resource::Facts => "facts",
+            Resource::Rounds => "rounds",
+            Resource::Steps => "steps",
+        })
+    }
+}
+
+/// How an evaluation ended. Mirrors (and generalises) the SLD engine's
+/// `complete` flag: `Complete` means the result is the full model /
+/// answer set; anything else means a well-formed *partial* result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Completion {
+    /// The fixpoint (or search space) was fully computed.
+    #[default]
+    Complete,
+    /// A resource budget ran out first; the result is a sound subset.
+    BudgetExhausted { resource: Resource },
+    /// A [`CancelHandle`] requested a stop; the result is a sound subset.
+    Cancelled,
+}
+
+impl Completion {
+    /// True iff the evaluation ran to the full fixpoint.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completion::Complete => f.write_str("complete"),
+            Completion::BudgetExhausted { resource } => {
+                write!(f, "budget exhausted ({resource})")
+            }
+            Completion::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+/// Declarative resource limits for one evaluation. `Default` is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit for the whole run.
+    pub timeout: Option<Duration>,
+    /// Maximum *new* facts the run may materialise (derived facts only;
+    /// the seed EDB is free).
+    pub max_facts: Option<u64>,
+    /// Maximum fixpoint rounds / iterations.
+    pub max_rounds: Option<u64>,
+    /// Maximum rule firings (bottom-up) or resolution steps (top-down).
+    pub max_steps: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub const UNLIMITED: Budget = Budget {
+        timeout: None,
+        max_facts: None,
+        max_rounds: None,
+        max_steps: None,
+    };
+
+    /// True iff no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none()
+            && self.max_facts.is_none()
+            && self.max_rounds.is_none()
+            && self.max_steps.is_none()
+    }
+
+    /// Builder: wall-clock limit in milliseconds.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Budget {
+        self.timeout = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Builder: derived-fact limit.
+    pub fn with_max_facts(mut self, n: u64) -> Budget {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Builder: fixpoint-round limit.
+    pub fn with_max_rounds(mut self, n: u64) -> Budget {
+        self.max_rounds = Some(n);
+        self
+    }
+
+    /// Builder: firing / resolution-step limit.
+    pub fn with_max_steps(mut self, n: u64) -> Budget {
+        self.max_steps = Some(n);
+        self
+    }
+}
+
+/// A shareable cooperative cancellation token. Clones observe the same
+/// flag; cancelling is sticky until [`CancelHandle::reset`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    pub fn new() -> CancelHandle {
+        CancelHandle::default()
+    }
+
+    /// Requests a stop. Running evaluations return partial results tagged
+    /// [`Completion::Cancelled`] at their next governance check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clears the flag so the handle can govern another run.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+
+    /// Same underlying flag (clones share it).
+    pub fn same_token(&self, other: &CancelHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// What a run actually consumed, per governed resource.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Consumption {
+    /// New facts materialised (claimed fact-budget slots).
+    pub facts: u64,
+    /// Fixpoint rounds / iterations entered.
+    pub rounds: u64,
+    /// Rule firings / resolution steps charged.
+    pub steps: u64,
+}
+
+impl fmt::Display for Consumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "facts={} rounds={} steps={}",
+            self.facts, self.rounds, self.steps
+        )
+    }
+}
+
+// Stop reasons, encoded for the first-stop-wins CAS.
+const STOP_NONE: u8 = 0;
+const STOP_WALL: u8 = 1;
+const STOP_FACTS: u8 = 2;
+const STOP_ROUNDS: u8 = 3;
+const STOP_STEPS: u8 = 4;
+const STOP_CANCEL: u8 = 5;
+
+/// How many firings/steps go by between cancellation/wall-clock reads on
+/// the per-firing path. Reading the clock (and even the shared cancel flag)
+/// on every emission shows up in profiles; amortising keeps the
+/// set-but-unhit overhead inside the <2% target (experiment F5) while
+/// bounding the detection lag to ~a thousand emissions. Round boundaries
+/// always run the full check.
+const DEADLINE_STRIDE: u64 = 1024;
+
+/// Run-time enforcement of a [`Budget`] plus cancellation. Shared by
+/// reference across round workers (all state is atomic). The first limit
+/// to trip wins and is sticky: every later check reports stop.
+#[derive(Debug)]
+pub struct Governor {
+    deadline: Option<Instant>,
+    max_facts: Option<u64>,
+    max_rounds: Option<u64>,
+    max_steps: Option<u64>,
+    cancel: Option<CancelHandle>,
+    facts: AtomicU64,
+    rounds: AtomicU64,
+    steps: AtomicU64,
+    stop: AtomicU8,
+    active: bool,
+}
+
+impl Governor {
+    /// Builds a governor for one run. The deadline clock starts here.
+    pub fn new(budget: Budget, cancel: Option<CancelHandle>) -> Governor {
+        let active = !budget.is_unlimited() || cancel.is_some();
+        Governor {
+            deadline: budget.timeout.map(|t| Instant::now() + t),
+            max_facts: budget.max_facts,
+            max_rounds: budget.max_rounds,
+            max_steps: budget.max_steps,
+            cancel,
+            facts: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            stop: AtomicU8::new(STOP_NONE),
+            active,
+        }
+    }
+
+    /// False when no limit and no cancel token are set: evaluators then
+    /// skip governance entirely (pass `None` down the join).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// True when a step budget is set, i.e. every firing must be claimed
+    /// individually through [`Governor::note_firing`] for exact accounting.
+    /// Without one, the join layer batches its governance to a periodic
+    /// [`Governor::check_interrupt`].
+    pub fn counts_steps(&self) -> bool {
+        self.max_steps.is_some()
+    }
+
+    /// `Some(self)` when active — the form the join input wants.
+    pub fn as_join_ref(&self) -> Option<&Governor> {
+        if self.active {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    fn trip(&self, reason: u8) -> ControlFlow<()> {
+        // First stop wins; later trips keep the original reason.
+        let _ = self
+            .stop
+            .compare_exchange(STOP_NONE, reason, Ordering::Relaxed, Ordering::Relaxed);
+        ControlFlow::Break(())
+    }
+
+    /// True once any limit tripped or cancellation was requested.
+    pub fn should_stop(&self) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return true;
+        }
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            let _ = self.trip(STOP_CANCEL);
+            return true;
+        }
+        false
+    }
+
+    /// Forced cancellation + deadline check. Callers have already verified
+    /// the governor is active and not yet stopped.
+    fn interrupted(&self) -> ControlFlow<()> {
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return self.trip(STOP_CANCEL);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return self.trip(STOP_WALL);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Claims one rule firing / satisfying assignment **before** it is
+    /// emitted. `Break` refuses the firing; like [`Governor::claim_fact`]
+    /// this claim protocol lets a run that needs exactly `max_steps` firings
+    /// finish `Complete`. Cancellation and the deadline are also observed
+    /// here, amortised over [`DEADLINE_STRIDE`] firings — this is the
+    /// innermost hot path, and round boundaries run the full check anyway.
+    pub fn note_firing(&self) -> ControlFlow<()> {
+        if !self.active {
+            return ControlFlow::Continue(());
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return ControlFlow::Break(());
+        }
+        let n = match self.max_steps {
+            None => self.steps.fetch_add(1, Ordering::Relaxed) + 1,
+            Some(max) => {
+                let claimed = self
+                    .steps
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                        if n < max {
+                            Some(n + 1)
+                        } else {
+                            None
+                        }
+                    });
+                match claimed {
+                    Ok(prev) => prev + 1,
+                    Err(_) => return self.trip(STOP_STEPS),
+                }
+            }
+        };
+        if n % DEADLINE_STRIDE == 0 {
+            self.interrupted()
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    /// Claims one slot of the fact budget **before** a verified-new fact is
+    /// materialised. `Break` refuses the fact: the caller must drop it and
+    /// stop. This claim-before-insert protocol is what makes sequential
+    /// `BudgetExhausted { Facts }` equivalent to "strict subset of the
+    /// fixpoint" (see the module docs).
+    pub fn claim_fact(&self) -> ControlFlow<()> {
+        if !self.active {
+            return ControlFlow::Continue(());
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return ControlFlow::Break(());
+        }
+        match self.max_facts {
+            None => {
+                self.facts.fetch_add(1, Ordering::Relaxed);
+                ControlFlow::Continue(())
+            }
+            Some(max) => {
+                // `fetch_add` hands every concurrent claimer a distinct slot
+                // number, so exactly `max` claims are granted — same
+                // semantics as a CAS loop at the cost of a single RMW.
+                let n = self.facts.fetch_add(1, Ordering::Relaxed);
+                if n >= max {
+                    // Repair so consumption reports claimed slots, not
+                    // refused attempts.
+                    self.facts.fetch_sub(1, Ordering::Relaxed);
+                    return self.trip(STOP_FACTS);
+                }
+                ControlFlow::Continue(())
+            }
+        }
+    }
+
+    /// Charged at the top of every fixpoint round / iteration. `Break`
+    /// means the round must not start.
+    pub fn note_round(&self) -> ControlFlow<()> {
+        if !self.active {
+            return ControlFlow::Continue(());
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return ControlFlow::Break(());
+        }
+        let rounds = self.rounds.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.max_rounds.is_some_and(|m| rounds > m) {
+            return self.trip(STOP_ROUNDS);
+        }
+        // Round boundaries are rare: always read the cancel flag and clock.
+        self.interrupted()
+    }
+
+    /// Deadline + cancellation check for call sites that do not charge a
+    /// step (e.g. top-down worklist drains between resolution steps).
+    pub fn check_interrupt(&self) -> ControlFlow<()> {
+        if !self.active {
+            return ControlFlow::Continue(());
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return ControlFlow::Break(());
+        }
+        self.interrupted()
+    }
+
+    /// Step-budget check against an externally maintained counter (the
+    /// top-down engines keep exact `resolution_steps` in their metrics and
+    /// charge the governor with the running total instead of one-by-one).
+    pub fn check_steps(&self, total_steps: u64) -> ControlFlow<()> {
+        if !self.active {
+            return ControlFlow::Continue(());
+        }
+        if self.stop.load(Ordering::Relaxed) != STOP_NONE {
+            return ControlFlow::Break(());
+        }
+        self.steps.store(total_steps, Ordering::Relaxed);
+        if self.max_steps.is_some_and(|m| total_steps >= m) {
+            return self.trip(STOP_STEPS);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The status a finished run should report.
+    pub fn completion(&self) -> Completion {
+        match self.stop.load(Ordering::Relaxed) {
+            STOP_NONE => Completion::Complete,
+            STOP_WALL => Completion::BudgetExhausted {
+                resource: Resource::WallClock,
+            },
+            STOP_FACTS => Completion::BudgetExhausted {
+                resource: Resource::Facts,
+            },
+            STOP_ROUNDS => Completion::BudgetExhausted {
+                resource: Resource::Rounds,
+            },
+            STOP_STEPS => Completion::BudgetExhausted {
+                resource: Resource::Steps,
+            },
+            // invariant: `trip` only ever stores the five codes above.
+            _ => Completion::Cancelled,
+        }
+    }
+
+    /// What the run consumed so far.
+    pub fn consumption(&self) -> Consumption {
+        Consumption {
+            facts: self.facts.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_governor_is_inactive_and_free() {
+        let g = Governor::new(Budget::default(), None);
+        assert!(!g.active());
+        assert!(g.as_join_ref().is_none());
+        for _ in 0..10 {
+            assert!(g.note_firing().is_continue());
+            assert!(g.claim_fact().is_continue());
+            assert!(g.note_round().is_continue());
+        }
+        assert_eq!(g.completion(), Completion::Complete);
+        assert_eq!(g.consumption(), Consumption::default());
+    }
+
+    #[test]
+    fn fact_budget_refuses_the_overflowing_claim() {
+        let g = Governor::new(Budget::default().with_max_facts(3), None);
+        assert!(g.active());
+        for _ in 0..3 {
+            assert!(g.claim_fact().is_continue());
+        }
+        assert!(g.claim_fact().is_break(), "4th claim must be refused");
+        assert_eq!(
+            g.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Facts
+            }
+        );
+        assert_eq!(g.consumption().facts, 3, "refused claims are not counted");
+    }
+
+    #[test]
+    fn round_budget_trips_before_the_extra_round() {
+        let g = Governor::new(Budget::default().with_max_rounds(2), None);
+        assert!(g.note_round().is_continue());
+        assert!(g.note_round().is_continue());
+        assert!(g.note_round().is_break());
+        assert_eq!(
+            g.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Rounds
+            }
+        );
+    }
+
+    #[test]
+    fn step_budget_trips() {
+        let g = Governor::new(Budget::default().with_max_steps(5), None);
+        let mut fired = 0;
+        while g.note_firing().is_continue() {
+            fired += 1;
+            assert!(fired < 100, "step budget never tripped");
+        }
+        assert_eq!(fired, 5);
+        assert_eq!(
+            g.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Steps
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_trips_at_a_round_boundary() {
+        let g = Governor::new(Budget::default().with_timeout_ms(0), None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(g.note_round().is_break());
+        assert_eq!(
+            g.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::WallClock
+            }
+        );
+    }
+
+    #[test]
+    fn cancellation_is_observed_and_sticky() {
+        let cancel = CancelHandle::new();
+        let g = Governor::new(Budget::default(), Some(cancel.clone()));
+        assert!(g.active());
+        assert!(g.note_firing().is_continue());
+        cancel.cancel();
+        // Round boundaries observe cancellation immediately...
+        assert!(g.check_interrupt().is_break());
+        assert!(g.should_stop());
+        assert_eq!(g.completion(), Completion::Cancelled);
+        // Sticky even if the token is reset afterwards.
+        cancel.reset();
+        assert!(g.should_stop());
+    }
+
+    #[test]
+    fn firings_observe_cancellation_within_one_stride() {
+        let cancel = CancelHandle::new();
+        let g = Governor::new(Budget::default(), Some(cancel.clone()));
+        assert!(g.note_firing().is_continue());
+        cancel.cancel();
+        let mut fired = 0u64;
+        while g.note_firing().is_continue() {
+            fired += 1;
+            assert!(
+                fired <= DEADLINE_STRIDE,
+                "per-firing path never observed cancellation"
+            );
+        }
+        assert_eq!(g.completion(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn first_stop_reason_wins() {
+        let cancel = CancelHandle::new();
+        let g = Governor::new(Budget::default().with_max_facts(1), Some(cancel.clone()));
+        assert!(g.claim_fact().is_continue());
+        assert!(g.claim_fact().is_break()); // Facts trips first...
+        cancel.cancel();
+        let _ = g.note_firing(); // ...cancellation arrives later
+        assert_eq!(
+            g.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Facts
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_handles_share_state_through_clones() {
+        let a = CancelHandle::new();
+        let b = a.clone();
+        assert!(a.same_token(&b));
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.reset();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = Budget::default()
+            .with_timeout_ms(250)
+            .with_max_facts(10)
+            .with_max_rounds(3)
+            .with_max_steps(99);
+        assert_eq!(b.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(b.max_facts, Some(10));
+        assert_eq!(b.max_rounds, Some(3));
+        assert_eq!(b.max_steps, Some(99));
+        assert!(!b.is_unlimited());
+        assert!(Budget::UNLIMITED.is_unlimited());
+    }
+
+    #[test]
+    fn completion_displays() {
+        assert_eq!(Completion::Complete.to_string(), "complete");
+        assert_eq!(Completion::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            Completion::BudgetExhausted {
+                resource: Resource::WallClock
+            }
+            .to_string(),
+            "budget exhausted (wall-clock)"
+        );
+    }
+}

@@ -13,9 +13,9 @@
 //! both directions and need counting or stratified DRed, out of scope here.
 
 use crate::error::EvalError;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
 use crate::metrics::EvalMetrics;
-use crate::naive::seed_database;
+use crate::naive::{seed_database, EvalOptions};
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Predicate, Program};
 use alexander_storage::{Database, Tuple};
 
@@ -42,6 +42,8 @@ impl IncrementalEngine {
                     .flat_map(|r| r.body.iter())
                     .find(|l| l.is_negative())
                     .map(|l| l.atom.predicate())
+                    // invariant: this branch only runs when the definiteness
+                    // check already found a negative literal.
                     .expect("non-definite program has a negative literal"),
             ));
         }
@@ -56,12 +58,15 @@ impl IncrementalEngine {
         for f in &program.facts {
             edb_preds.insert(f.predicate());
         }
-        // Initial materialisation.
+        // Initial materialisation. Maintenance is not governed: updates are
+        // small deltas and a partially-maintained view would be permanently
+        // inconsistent.
         crate::seminaive::run_rules(
             &program.rules,
             &mut total,
             &mut metrics,
-            Default::default(),
+            &EvalOptions::default(),
+            None,
             None,
         )?;
         Ok(IncrementalEngine {
@@ -124,13 +129,16 @@ impl IncrementalEngine {
                         total: &self.total,
                         delta: Some((i, &delta)),
                         negatives: None,
+                        governor: None,
                     };
                     let total_ref = &self.total;
-                    join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                    let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
                         if total_ref.relation(head).is_some_and(|r| r.contains(&t)) {
-                            false
+                            Emitted::Duplicate
+                        } else if next.insert(head, t) {
+                            Emitted::New
                         } else {
-                            next.insert(head, t)
+                            Emitted::Duplicate
                         }
                     });
                 }
@@ -154,6 +162,8 @@ impl IncrementalEngine {
 
         // ---- Phase 1: overdelete. ----
         // Everything with a derivation passing through a deleted fact.
+        // invariant: a non-ground atom is never `contains_atom`, so the
+        // early return above already filtered it out.
         let t = Tuple::from_atom(fact).expect("checked ground");
         let mut doomed: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
         doomed.entry(pred).or_default().insert(t.clone());
@@ -177,14 +187,17 @@ impl IncrementalEngine {
                         total: &self.total,
                         delta: Some((i, &delta)),
                         negatives: None,
+                        governor: None,
                     };
                     let doomed_ref = &doomed;
-                    join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                    let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
                         let seen = doomed_ref.get(&head).is_some_and(|s| s.contains(&t));
                         if seen {
-                            false
+                            Emitted::Duplicate
+                        } else if next.insert(head, t) {
+                            Emitted::New
                         } else {
-                            next.insert(head, t)
+                            Emitted::Duplicate
                         }
                     });
                 }
@@ -226,15 +239,17 @@ impl IncrementalEngine {
                     total: &self.total,
                     delta: None,
                     negatives: None,
+                    governor: None,
                 };
                 let total_ref = &self.total;
-                join_rule(rule, &input, &mut self.metrics, &mut |t| {
+                let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
                     if candidates.contains(&t)
                         && !total_ref.relation(head).is_some_and(|r| r.contains(&t))
+                        && next.insert(head, t)
                     {
-                        next.insert(head, t)
+                        Emitted::New
                     } else {
-                        false
+                        Emitted::Duplicate
                     }
                 });
             }

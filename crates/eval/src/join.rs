@@ -6,11 +6,19 @@
 //! that are bound when the join reaches it left to right. Joining then works
 //! on a flat `Vec<Option<Const>>` binding array with a trail for
 //! backtracking — no hash-map substitutions on the hot path.
+//!
+//! The join is also where mid-round governance lives: when a
+//! [`Governor`](crate::govern::Governor) rides along in the [`JoinInput`],
+//! every emission charges it and the join unwinds with
+//! [`ControlFlow::Break`] the moment a budget trips or cancellation is
+//! requested — so even a single enormous round is interruptible.
 
+use crate::govern::Governor;
 use crate::metrics::EvalMetrics;
 use crate::order::{order_for_evaluation, Unorderable};
 use alexander_ir::{Atom, Const, FxHashMap, Polarity, Predicate, Rule, Term, Var};
 use alexander_storage::{Database, Mask, Tuple};
+use std::ops::ControlFlow;
 
 /// A compiled term: a constant or a variable slot.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -133,47 +141,116 @@ pub struct JoinInput<'a> {
     /// Where negative literals are checked. Stratified evaluation passes the
     /// total database (lower strata complete); `None` defaults to `total`.
     pub negatives: Option<&'a Database>,
+    /// Resource governor for this run; `None` (the ungoverned default)
+    /// makes every check a no-op.
+    pub governor: Option<&'a Governor>,
+}
+
+impl<'a> JoinInput<'a> {
+    /// A plain naive join over `total` with no delta, no separate negative
+    /// source, and no governance.
+    pub fn naive(total: &'a Database) -> JoinInput<'a> {
+        JoinInput {
+            total,
+            delta: None,
+            negatives: None,
+            governor: None,
+        }
+    }
+}
+
+/// Firings between governor cancellation/deadline looks inside one join,
+/// when no step budget demands exact per-firing claims. Matches the
+/// governor's own deadline stride.
+const INTERRUPT_STRIDE: u32 = 1024;
+
+/// What happened to an emitted head tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Emitted {
+    /// The tuple was new and was recorded.
+    New,
+    /// The tuple was already known.
+    Duplicate,
+    /// The governor refused the fact-budget claim: the tuple was dropped
+    /// and the join must stop. Refused emissions touch no metric counters,
+    /// which is what keeps sequential `BudgetExhausted { Facts }`
+    /// equivalent to "strict subset of the fixpoint".
+    Refused,
 }
 
 /// Joins `rule`'s body over `input`, calling `emit` with the instantiated
-/// head tuple for every satisfying assignment. `emit` returns whether the
-/// tuple was new, which feeds the duplicate counter.
+/// head tuple for every satisfying assignment. `emit` reports whether the
+/// tuple was new, a duplicate, or refused by the fact budget; the join
+/// returns [`ControlFlow::Break`] when it stopped early (refusal, or any
+/// governor budget/cancellation trip).
 pub fn join_rule(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
     metrics: &mut EvalMetrics,
-    emit: &mut dyn FnMut(Tuple) -> bool,
-) {
+    emit: &mut dyn FnMut(Tuple) -> Emitted,
+) -> ControlFlow<()> {
+    // With no step budget there is nothing to claim per firing; the
+    // governor only needs a periodic cancellation/deadline look, which a
+    // local (non-atomic) counter amortises so a governed-but-unhit run
+    // costs the same as an ungoverned one (experiment F5).
+    let exact_steps = input.governor.is_some_and(|g| g.counts_steps());
+    let mut since_check: u32 = 0;
     join_rule_bindings(rule, input, metrics, &mut |rule, bind, metrics| {
-        metrics.firings += 1;
+        // The step claim comes before the emission: a refused firing does
+        // no work and touches no counters, so an ungoverned run and a run
+        // whose budget is never hit produce identical metrics.
+        if let Some(g) = input.governor {
+            if exact_steps {
+                g.note_firing()?;
+            } else {
+                since_check += 1;
+                if since_check >= INTERRUPT_STRIDE {
+                    since_check = 0;
+                    g.check_interrupt()?;
+                }
+            }
+        }
         let head = rule
             .head
+            // invariant: rule safety (head vars ⊆ positive body vars) is
+            // checked by `Program::validate` before any evaluation.
             .to_tuple(bind)
             .expect("safety guarantees a ground head after a full body match");
-        if emit(head) {
-            metrics.new_facts += 1;
-        } else {
-            metrics.duplicate_facts += 1;
+        match emit(head) {
+            Emitted::New => {
+                metrics.firings += 1;
+                metrics.new_facts += 1;
+                ControlFlow::Continue(())
+            }
+            Emitted::Duplicate => {
+                metrics.firings += 1;
+                metrics.duplicate_facts += 1;
+                ControlFlow::Continue(())
+            }
+            Emitted::Refused => ControlFlow::Break(()),
         }
-    });
+    })
 }
 
 /// The callback [`join_rule_bindings`] hands each satisfying assignment to.
-pub type EmitBindings<'a> = dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics) + 'a;
+/// Returning [`ControlFlow::Break`] unwinds the whole join immediately.
+pub type EmitBindings<'a> =
+    dyn FnMut(&CompiledRule, &[Option<Const>], &mut EvalMetrics) -> ControlFlow<()> + 'a;
 
 /// Like [`join_rule`], but hands the raw binding array to `emit` on every
 /// satisfying assignment, so callers can reconstruct body instances (the
 /// conditional-fixpoint procedure needs the ground premises, not just the
-/// head). `emit` is responsible for the firing/fact counters.
+/// head). `emit` is responsible for the firing/fact counters and for
+/// charging the governor. Returns [`ControlFlow::Break`] iff `emit` did.
 pub fn join_rule_bindings(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
     metrics: &mut EvalMetrics,
     emit: &mut EmitBindings<'_>,
-) {
+) -> ControlFlow<()> {
     let mut bind: Vec<Option<Const>> = vec![None; rule.nvars];
     let neg_db = input.negatives.unwrap_or(input.total);
-    descend(rule, input, neg_db, 0, &mut bind, metrics, emit);
+    descend(rule, input, neg_db, 0, &mut bind, metrics, emit)
 }
 
 fn descend(
@@ -184,10 +261,9 @@ fn descend(
     bind: &mut Vec<Option<Const>>,
     metrics: &mut EvalMetrics,
     emit: &mut EmitBindings<'_>,
-) {
+) -> ControlFlow<()> {
     if depth == rule.body.len() {
-        emit(rule, bind, metrics);
-        return;
+        return emit(rule, bind, metrics);
     }
 
     let lit = &rule.body[depth];
@@ -197,20 +273,23 @@ fn descend(
     if let Some(b) = alexander_ir::Builtin::of(lit.atom.pred) {
         let t = lit
             .atom
+            // invariant: `order_for_evaluation` schedules built-ins only
+            // after every variable they use is bound.
             .to_tuple(bind)
             .expect("ordering guarantees ground built-ins");
         metrics.probes += 1;
         let holds = b.eval(t.get(0), t.get(1));
         let want = lit.polarity == Polarity::Positive;
         if holds == want {
-            descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+            descend(rule, input, neg_db, depth + 1, bind, metrics, emit)?;
         }
-        return;
+        return ControlFlow::Continue(());
     }
 
     match lit.polarity {
         Polarity::Negative => {
-            // Ordering guarantees groundness here.
+            // invariant: `order_for_evaluation` schedules negative literals
+            // only after every variable they use is bound.
             let t = lit
                 .atom
                 .to_tuple(bind)
@@ -220,7 +299,7 @@ fn descend(
                 .is_some_and(|r| r.contains(&t));
             metrics.probes += 1;
             if !present {
-                descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+                descend(rule, input, neg_db, depth + 1, bind, metrics, emit)?;
             }
         }
         Polarity::Positive => {
@@ -229,7 +308,7 @@ fn descend(
                 _ => input.total,
             };
             let Some(relation) = db.relation(lit.atom.pred) else {
-                return;
+                return ControlFlow::Continue(());
             };
             // Build the probe key from the bound positions.
             let cols = lit.mask.columns();
@@ -237,6 +316,8 @@ fn descend(
                 .iter()
                 .map(|&c| match lit.atom.args[c] {
                     Pat::Const(k) => k,
+                    // invariant: the probe mask was built from positions the
+                    // ordering has already bound.
                     Pat::Var(v) => bind[v as usize].expect("masked position is bound"),
                 })
                 .collect();
@@ -283,7 +364,14 @@ fn descend(
                     }
                 }
                 if ok {
-                    descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+                    let flow = descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
+                    if flow.is_break() {
+                        // Unwind cleanly: later candidates are abandoned.
+                        for &v in &trail {
+                            bind[v as usize] = None;
+                        }
+                        return ControlFlow::Break(());
+                    }
                 }
                 for &v in &trail {
                     bind[v as usize] = None;
@@ -291,6 +379,7 @@ fn descend(
             }
         }
     }
+    ControlFlow::Continue(())
 }
 
 /// Ensures the indexes a compiled rule will probe exist in `db` (for the
@@ -306,6 +395,7 @@ pub fn ensure_rule_indexes(rule: &CompiledRule, db: &mut Database) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::{Budget, Completion, Resource};
     use alexander_ir::{atom, Literal};
     use alexander_storage::tuple_of_syms;
 
@@ -349,19 +439,11 @@ mod tests {
         let db = edb();
         let mut out = Vec::new();
         let mut m = EvalMetrics::default();
-        join_rule(
-            &c,
-            &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                true
-            },
-        );
+        let flow = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
+            out.push(t);
+            Emitted::New
+        });
+        assert!(flow.is_continue());
         // a->b->c and b->c->d.
         assert_eq!(out.len(), 2);
         assert!(out.contains(&tuple_of_syms(&["a", "c"])));
@@ -382,19 +464,10 @@ mod tests {
         let db = edb();
         let mut out = Vec::new();
         let mut m = EvalMetrics::default();
-        join_rule(
-            &c,
-            &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                true
-            },
-        );
+        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
+            out.push(t);
+            Emitted::New
+        });
         assert_eq!(out, vec![tuple_of_syms(&["b"])]);
     }
 
@@ -409,35 +482,17 @@ mod tests {
         let mut db = edb();
         let mut m = EvalMetrics::default();
         let mut out = Vec::new();
-        join_rule(
-            &c,
-            &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                true
-            },
-        );
+        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
+            out.push(t);
+            Emitted::New
+        });
         assert!(out.is_empty());
         db.insert(Predicate::new("e", 2), tuple_of_syms(&["z", "z"]));
         let mut out2 = Vec::new();
-        join_rule(
-            &c,
-            &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
-            },
-            &mut m,
-            &mut |t| {
-                out2.push(t);
-                true
-            },
-        );
+        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
+            out2.push(t);
+            Emitted::New
+        });
         assert_eq!(out2, vec![tuple_of_syms(&["z"])]);
     }
 
@@ -456,19 +511,10 @@ mod tests {
         db.insert(Predicate::new("blocked", 1), tuple_of_syms(&["a"]));
         let mut m = EvalMetrics::default();
         let mut out = Vec::new();
-        join_rule(
-            &c,
-            &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                true
-            },
-        );
+        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
+            out.push(t);
+            Emitted::New
+        });
         // a is blocked; b and c survive.
         assert_eq!(out.len(), 2);
         assert!(!out.contains(&tuple_of_syms(&["a"])));
@@ -490,17 +536,18 @@ mod tests {
         delta.insert(Predicate::new("e", 2), tuple_of_syms(&["b", "c"]));
         let mut m = EvalMetrics::default();
         let mut out = Vec::new();
-        join_rule(
+        let _ = join_rule(
             &c,
             &JoinInput {
                 total: &db,
                 delta: Some((0, &delta)),
                 negatives: None,
+                governor: None,
             },
             &mut m,
             &mut |t| {
                 out.push(t);
-                true
+                Emitted::New
             },
         );
         assert_eq!(out, vec![tuple_of_syms(&["b", "d"])]);
@@ -516,20 +563,75 @@ mod tests {
         let db = edb();
         let mut m = EvalMetrics::default();
         let mut n = 0;
-        join_rule(
+        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |_| {
+            n += 1;
+            Emitted::New
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn refused_emission_stops_the_join_and_counts_nothing() {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let db = edb();
+        let mut m = EvalMetrics::default();
+        let mut calls = 0;
+        let flow = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |_| {
+            calls += 1;
+            if calls == 1 {
+                Emitted::New
+            } else {
+                Emitted::Refused
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(calls, 2, "join must stop right at the refusal");
+        assert_eq!(m.firings, 1, "the refused emission counts no firing");
+        assert_eq!(m.new_facts, 1);
+        assert_eq!(m.duplicate_facts, 0);
+    }
+
+    #[test]
+    fn step_governed_join_breaks_mid_rule() {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let db = edb();
+        let gov = crate::govern::Governor::new(Budget::default().with_max_steps(1), None);
+        let mut m = EvalMetrics::default();
+        let mut out = Vec::new();
+        let flow = join_rule(
             &c,
             &JoinInput {
-                total: &db,
-                delta: None,
-                negatives: None,
+                governor: Some(&gov),
+                ..JoinInput::naive(&db)
             },
             &mut m,
-            &mut |_| {
-                n += 1;
-                true
+            &mut |t| {
+                out.push(t);
+                Emitted::New
             },
         );
-        assert_eq!(n, 0);
+        assert!(flow.is_break());
+        assert_eq!(out.len(), 1, "exactly one firing fits a 1-step budget");
+        assert_eq!(
+            gov.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Steps
+            }
+        );
     }
 
     #[test]

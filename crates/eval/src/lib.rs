@@ -21,6 +21,15 @@
 //! resulting relations *and* metrics are identical to a sequential run at
 //! any thread count (see [`seminaive`] for the round protocol).
 //!
+//! Every evaluator is resource-governed: [`EvalOptions::budget`] bounds
+//! wall-clock time, derived facts, rounds, and rule firings, and
+//! [`EvalOptions::cancel`] installs a cooperative cancellation token. On
+//! exhaustion or cancellation the evaluators return a well-formed *partial*
+//! result tagged with a non-`Complete` [`Completion`] instead of an error
+//! (see [`govern`]). Parallel round workers are panic-isolated: a panicking
+//! worker surfaces as [`EvalError::WorkerPanicked`] after its siblings
+//! drain, never as a process abort.
+//!
 //! ```
 //! use alexander_parser::parse;
 //! use alexander_storage::Database;
@@ -37,6 +46,9 @@
 
 pub mod conditional;
 pub mod error;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
+pub mod govern;
 pub mod incremental;
 pub mod join;
 pub mod metrics;
@@ -47,14 +59,26 @@ pub mod provenance;
 pub mod seminaive;
 pub mod stratified;
 
+/// Fault-injection hook compiled into evaluator hot paths. A no-op unless
+/// the test-only `failpoints` feature is enabled; see [`failpoints`].
+#[cfg(feature = "failpoints")]
+pub(crate) fn fail_point(site: &str) {
+    failpoints::hit(site);
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn fail_point(_site: &str) {}
+
 pub use conditional::{eval_conditional, eval_conditional_opts, ConditionalResult, Conditions};
 pub use error::EvalError;
+pub use govern::{Budget, CancelHandle, Completion, Consumption, Governor, Resource};
 pub use incremental::IncrementalEngine;
-pub use join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+pub use join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
 pub use metrics::EvalMetrics;
 pub use naive::{eval_naive, eval_naive_opts, EvalOptions, EvalResult};
 pub use order::{order_for_evaluation, Unorderable};
-pub use parallel::eval_naive_parallel;
+pub use parallel::{eval_naive_parallel, eval_naive_parallel_opts};
 pub use provenance::{eval_with_provenance, Justification, ProofTree, Provenance};
 pub use seminaive::{eval_seminaive, eval_seminaive_opts};
 pub use stratified::{eval_stratified, eval_stratified_opts, StratifiedResult};

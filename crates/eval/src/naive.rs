@@ -2,13 +2,15 @@
 //! saturation. The baseline every other strategy is measured against.
 
 use crate::error::EvalError;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::fail_point;
+use crate::govern::{Budget, CancelHandle, Completion, Governor};
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
 use crate::metrics::EvalMetrics;
 use alexander_ir::{Polarity, Program};
 use alexander_storage::Database;
 
 /// Evaluator knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Build hash indexes for the masks rules probe. Turning this off forces
     /// every probe into a filtered scan (ablation E10).
@@ -18,6 +20,14 @@ pub struct EvalOptions {
     /// conditional phase 0). `0` or `1` means sequential; metrics are exact
     /// and identical to the sequential run at any thread count.
     pub threads: usize,
+    /// Resource limits for the run; unlimited by default. On exhaustion the
+    /// evaluator stops cleanly and reports [`Completion::BudgetExhausted`]
+    /// on its (partial but well-formed) result.
+    pub budget: Budget,
+    /// Cooperative cancellation token: another thread calls
+    /// [`CancelHandle::cancel`] and the run stops at its next governance
+    /// check, reporting [`Completion::Cancelled`].
+    pub cancel: Option<CancelHandle>,
 }
 
 impl Default for EvalOptions {
@@ -25,6 +35,8 @@ impl Default for EvalOptions {
         EvalOptions {
             use_indexes: true,
             threads: 1,
+            budget: Budget::UNLIMITED,
+            cancel: None,
         }
     }
 }
@@ -37,14 +49,34 @@ impl EvalOptions {
             ..EvalOptions::default()
         }
     }
+
+    /// Builder: attach a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> EvalOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelHandle) -> EvalOptions {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Builds the run-time governor for one evaluation under these options.
+    pub(crate) fn governor(&self) -> Governor {
+        Governor::new(self.budget, self.cancel.clone())
+    }
 }
 
-/// The outcome of a bottom-up run: the saturated database (EDB + IDB) and
-/// the counters.
+/// The outcome of a bottom-up run: the database (EDB + IDB) and the
+/// counters. `completion` says whether `db` is the full fixpoint
+/// ([`Completion::Complete`]) or a sound partial result cut short by a
+/// budget or cancellation.
 #[derive(Clone, Debug)]
 pub struct EvalResult {
     pub db: Database,
     pub metrics: EvalMetrics,
+    pub completion: Completion,
 }
 
 /// Checks that negations only touch extensional predicates (the soundness
@@ -69,6 +101,8 @@ pub(crate) fn compile_program(program: &Program) -> Result<Vec<CompiledRule>, Ev
 pub(crate) fn seed_database(program: &Program, edb: &Database) -> Database {
     let mut db = edb.clone();
     for f in &program.facts {
+        // invariant: `Program::validate` (run by every caller) rejects
+        // non-ground facts before evaluation starts.
         db.insert_atom(f).expect("validated facts are ground");
     }
     db
@@ -90,8 +124,14 @@ pub fn eval_naive_opts(
     let rules = compile_program(program)?;
     let mut db = seed_database(program, edb);
     let mut metrics = EvalMetrics::default();
+    let gov = opts.governor();
+    let gov_ref = gov.as_join_ref();
 
     loop {
+        if gov.note_round().is_break() {
+            break;
+        }
+        fail_point("round-start");
         metrics.iterations += 1;
         if opts.use_indexes {
             for r in &rules {
@@ -101,31 +141,50 @@ pub fn eval_naive_opts(
         // Naive semantics: T is applied to the *current* instant; staged
         // facts only become visible next round.
         let mut staged = Database::new();
+        let mut interrupted = false;
         for rule in &rules {
             let head_pred = rule.head.pred;
             let input = JoinInput {
                 total: &db,
                 delta: None,
                 negatives: None,
+                governor: gov_ref,
             };
-            join_rule(rule, &input, &mut metrics, &mut |t| {
-                if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                    false
+            let flow = join_rule(rule, &input, &mut metrics, &mut |t| {
+                if db.relation(head_pred).is_some_and(|r| r.contains(&t))
+                    || staged.relation(head_pred).is_some_and(|r| r.contains(&t))
+                {
+                    Emitted::Duplicate
+                } else if gov.claim_fact().is_break() {
+                    Emitted::Refused
                 } else {
-                    staged.insert(head_pred, t)
+                    staged.insert(head_pred, t);
+                    Emitted::New
                 }
             });
+            if flow.is_break() {
+                interrupted = true;
+                break;
+            }
         }
-        if db.merge(&staged) == 0 {
+        // Facts staged before an interruption are sound: keep them in the
+        // partial result.
+        let grew = db.merge(&staged) > 0;
+        if interrupted || !grew {
             break;
         }
     }
-    Ok(EvalResult { db, metrics })
+    Ok(EvalResult {
+        db,
+        metrics,
+        completion: gov.completion(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::Resource;
     use alexander_parser::parse;
     use alexander_storage::tuple_of_syms;
 
@@ -149,6 +208,7 @@ mod tests {
             .relation(tc)
             .unwrap()
             .contains(&tuple_of_syms(&["a", "d"])));
+        assert!(r.completion.is_complete());
     }
 
     #[test]
@@ -234,5 +294,92 @@ mod tests {
     fn facts_only_program() {
         let r = run("p(a). p(b).");
         assert_eq!(r.db.len_of(alexander_ir::Predicate::new("p", 1)), 2);
+    }
+
+    const TC: &str = "
+        e(a, b). e(b, c). e(c, d). e(d, e5).
+        tc(X, Y) :- e(X, Y).
+        tc(X, Y) :- e(X, Z), tc(Z, Y).
+    ";
+
+    #[test]
+    fn fact_budget_yields_strict_subset_and_exhausted() {
+        let parsed = parse(TC).unwrap();
+        let full = eval_naive(&parsed.program, &Database::new()).unwrap();
+        let tc = alexander_ir::Predicate::new("tc", 2);
+        let limited = eval_naive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_budget(Budget::default().with_max_facts(3)),
+        )
+        .unwrap();
+        assert_eq!(
+            limited.completion,
+            Completion::BudgetExhausted {
+                resource: Resource::Facts
+            }
+        );
+        assert_eq!(limited.db.len_of(tc), 3);
+        assert!(limited.db.len_of(tc) < full.db.len_of(tc));
+        for t in limited.db.relation(tc).unwrap().iter() {
+            assert!(full.db.relation(tc).unwrap().contains(t), "subset violated");
+        }
+    }
+
+    #[test]
+    fn exact_fact_budget_still_completes() {
+        let parsed = parse(TC).unwrap();
+        let full = eval_naive(&parsed.program, &Database::new()).unwrap();
+        let derived = full.metrics.new_facts;
+        let exact = eval_naive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_budget(Budget::default().with_max_facts(derived)),
+        )
+        .unwrap();
+        assert!(
+            exact.completion.is_complete(),
+            "a budget the fixpoint fits in must not report exhaustion"
+        );
+        assert_eq!(
+            exact.db.len_of(alexander_ir::Predicate::new("tc", 2)),
+            full.db.len_of(alexander_ir::Predicate::new("tc", 2))
+        );
+    }
+
+    #[test]
+    fn round_budget_stops_naive_loop() {
+        let parsed = parse(TC).unwrap();
+        let r = eval_naive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_budget(Budget::default().with_max_rounds(1)),
+        )
+        .unwrap();
+        assert_eq!(
+            r.completion,
+            Completion::BudgetExhausted {
+                resource: Resource::Rounds
+            }
+        );
+        assert_eq!(r.metrics.iterations, 1);
+        // One naive round derives exactly the base tc facts.
+        assert_eq!(r.db.len_of(alexander_ir::Predicate::new("tc", 2)), 4);
+    }
+
+    #[test]
+    fn cancelled_before_start_yields_seed_only() {
+        let parsed = parse(TC).unwrap();
+        let cancel = CancelHandle::new();
+        cancel.cancel();
+        let r = eval_naive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_cancel(cancel),
+        )
+        .unwrap();
+        assert_eq!(r.completion, Completion::Cancelled);
+        assert_eq!(r.db.len_of(alexander_ir::Predicate::new("tc", 2)), 0);
+        assert_eq!(r.db.len_of(alexander_ir::Predicate::new("e", 2)), 4);
     }
 }

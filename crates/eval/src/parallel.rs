@@ -6,20 +6,35 @@
 //! "free" parallelisation of bottom-up Datalog, and the benchmark harness
 //! compares it against the sequential evaluators. The parallel *semi-naive*
 //! evaluator lives in [`crate::seminaive`] and shares the same freeze →
-//! fan-out → merge round structure.
+//! fan-out → merge round structure, the same panic isolation (a worker
+//! panic surfaces as [`EvalError::WorkerPanicked`], never an abort), and
+//! the same governance checks (round boundary + per-emission).
 
 use crate::error::EvalError;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::fail_point;
+use crate::govern::Governor;
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
 use crate::metrics::EvalMetrics;
-use crate::naive::{check_semipositive, seed_database, EvalResult};
+use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
+use crate::seminaive::payload_string;
 use alexander_ir::{FxHashSet, Predicate, Program};
 use alexander_storage::{Database, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs naive evaluation with `threads` worker threads per round.
 pub fn eval_naive_parallel(
     program: &Program,
     edb: &Database,
     threads: usize,
+) -> Result<EvalResult, EvalError> {
+    eval_naive_parallel_opts(program, edb, &EvalOptions::with_threads(threads))
+}
+
+/// [`eval_naive_parallel`] with full options (budget, cancellation).
+pub fn eval_naive_parallel_opts(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
 ) -> Result<EvalResult, EvalError> {
     program.validate().map_err(EvalError::Invalid)?;
     check_semipositive(program)?;
@@ -28,11 +43,17 @@ pub fn eval_naive_parallel(
         .iter()
         .map(|r| compile_rule(r).map_err(EvalError::from))
         .collect::<Result<_, _>>()?;
-    let threads = threads.max(1);
+    let threads = opts.threads.max(1);
     let mut db = seed_database(program, edb);
     let mut metrics = EvalMetrics::default();
+    let gov = Governor::new(opts.budget, opts.cancel.clone());
+    let governor = gov.as_join_ref();
 
     loop {
+        if gov.note_round().is_break() {
+            break;
+        }
+        fail_point("round-start");
         metrics.iterations += 1;
         for r in &rules {
             ensure_rule_indexes(r, &mut db);
@@ -41,44 +62,80 @@ pub fn eval_naive_parallel(
         // Chunk the rules across workers; each worker derives candidate
         // tuples against the frozen database, deduplicating through a
         // worker-local seen-set so its own counters match what a sequential
-        // pass over the same rules would report.
+        // pass over the same rules would report. Workers catch their own
+        // panics; a panic is surfaced after all siblings drain.
         let chunk = rules.len().div_ceil(threads);
         let db_ref = &db;
-        let results: Vec<(EvalMetrics, Vec<(Predicate, Tuple)>)> = std::thread::scope(|scope| {
+        type WorkerOut = (EvalMetrics, Vec<(Predicate, Tuple)>);
+        let results: Vec<std::thread::Result<WorkerOut>> = std::thread::scope(|scope| {
             let handles: Vec<_> = rules
                 .chunks(chunk.max(1))
                 .map(|chunk_rules| {
                     scope.spawn(move || {
-                        let mut local_metrics = EvalMetrics::default();
-                        let mut derived: Vec<(Predicate, Tuple)> = Vec::new();
-                        let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
-                        for rule in chunk_rules {
-                            let head = rule.head.pred;
-                            let input = JoinInput {
-                                total: db_ref,
-                                delta: None,
-                                negatives: None,
-                            };
-                            join_rule(rule, &input, &mut local_metrics, &mut |t| {
-                                if db_ref.relation(head).is_some_and(|r| r.contains(&t)) {
-                                    return false;
-                                }
-                                let new = seen.insert((head, t.clone()));
-                                if new {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut local_metrics = EvalMetrics::default();
+                            let mut derived: Vec<(Predicate, Tuple)> = Vec::new();
+                            let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
+                            for rule in chunk_rules {
+                                fail_point("round-worker");
+                                let head = rule.head.pred;
+                                let input = JoinInput {
+                                    total: db_ref,
+                                    delta: None,
+                                    negatives: None,
+                                    governor,
+                                };
+                                let flow = join_rule(rule, &input, &mut local_metrics, &mut |t| {
+                                    if db_ref.relation(head).is_some_and(|r| r.contains(&t)) {
+                                        return Emitted::Duplicate;
+                                    }
+                                    if !seen.insert((head, t.clone())) {
+                                        return Emitted::Duplicate;
+                                    }
+                                    if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                                        return Emitted::Refused;
+                                    }
                                     derived.push((head, t));
+                                    Emitted::New
+                                });
+                                if flow.is_break() {
+                                    break;
                                 }
-                                new
-                            });
-                        }
-                        (local_metrics, derived)
+                            }
+                            (local_metrics, derived)
+                        }))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                // invariant: the worker catches its own panics via
+                // catch_unwind, so the thread never terminates by panic.
+                .map(|h| {
+                    h.join()
+                        .expect("worker panics are caught inside the worker")
+                })
+                .collect()
         });
 
+        let mut panicked: Option<String> = None;
+        let mut survived: Vec<WorkerOut> = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(out) => survived.push(out),
+                Err(p) => {
+                    if panicked.is_none() {
+                        panicked = Some(payload_string(p));
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panicked {
+            return Err(EvalError::WorkerPanicked { payload });
+        }
+
         let mut grew = false;
-        for (m, derived) in results {
+        for (m, derived) in survived {
             metrics += m;
             for (p, t) in derived {
                 if db.insert(p, t) {
@@ -93,16 +150,21 @@ pub fn eval_naive_parallel(
                 }
             }
         }
-        if !grew {
+        if gov.should_stop() || !grew {
             break;
         }
     }
-    Ok(EvalResult { db, metrics })
+    Ok(EvalResult {
+        db,
+        metrics,
+        completion: gov.completion(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::{Budget, Completion};
     use crate::naive::eval_naive;
     use alexander_ir::Predicate;
     use alexander_parser::parse;
@@ -130,6 +192,7 @@ mod tests {
                 assert_eq!(seq.db.len_of(p), par.db.len_of(p), "{p} @ {threads}");
             }
             assert_eq!(seq.metrics, par.metrics, "metrics @ {threads} threads");
+            assert!(par.completion.is_complete());
         }
     }
 
@@ -158,5 +221,53 @@ mod tests {
         let parsed = parse("e(a, b). p(X) :- e(X, Y).").unwrap();
         let r = eval_naive_parallel(&parsed.program, &Database::new(), 0).unwrap();
         assert_eq!(r.db.len_of(Predicate::new("p", 1)), 1);
+    }
+
+    #[test]
+    fn fact_budget_stops_parallel_rounds_with_sound_subset() {
+        let parsed = parse(
+            "
+            e(a, b). e(b, c). e(c, d). e(d, e5).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let full = eval_naive(&parsed.program, &Database::new()).unwrap();
+        let tc = Predicate::new("tc", 2);
+        for threads in [1, 2, 4] {
+            let opts =
+                EvalOptions::with_threads(threads).with_budget(Budget::default().with_max_facts(3));
+            let r = eval_naive_parallel_opts(&parsed.program, &Database::new(), &opts).unwrap();
+            assert!(
+                matches!(r.completion, Completion::BudgetExhausted { .. }),
+                "@ {threads} threads: {:?}",
+                r.completion
+            );
+            assert!(r.db.len_of(tc) <= 3, "@ {threads} threads");
+            for t in r.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn round_budget_stops_parallel_loop() {
+        let parsed = parse(
+            "
+            e(a, b). e(b, c). e(c, d). e(d, e5).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let r = eval_naive_parallel_opts(
+            &parsed.program,
+            &Database::new(),
+            &EvalOptions::with_threads(2).with_budget(Budget::default().with_max_rounds(1)),
+        )
+        .unwrap();
+        assert!(!r.completion.is_complete());
+        assert_eq!(r.metrics.iterations, 1);
     }
 }

@@ -14,6 +14,7 @@
 //! first-justification-wins yields well-founded trees.
 
 use crate::error::EvalError;
+use crate::govern::Completion;
 use crate::join::{compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput};
 use crate::metrics::EvalMetrics;
 use crate::naive::{seed_database, EvalResult};
@@ -21,6 +22,7 @@ use alexander_ir::analysis::stratify;
 use alexander_ir::{Atom, FxHashMap, Polarity, Program, Rule};
 use alexander_storage::Database;
 use std::fmt;
+use std::ops::ControlFlow;
 
 /// Why one fact holds: the rule instance that first derived it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -208,44 +210,53 @@ pub fn eval_with_provenance(
                     total: &db,
                     delta: None,
                     negatives: None,
+                    governor: None,
                 };
-                join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
-                    metrics.firings += 1;
-                    let head = rule
-                        .head
-                        .to_tuple(bind)
-                        .expect("safe heads ground")
-                        .to_atom(rule.head.pred.name);
-                    if db.contains_atom(&head) {
-                        metrics.duplicate_facts += 1;
-                        return;
-                    }
-                    let mut premises = Vec::new();
-                    let mut negatives = Vec::new();
-                    for lit in &rule.body {
-                        let atom = lit
-                            .atom
+                let _ =
+                    join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
+                        metrics.firings += 1;
+                        let head = rule
+                            .head
+                            // invariant: rule safety is validated before
+                            // evaluation.
                             .to_tuple(bind)
-                            .expect("ordered bodies ground at emit")
-                            .to_atom(lit.atom.pred.name);
-                        match lit.polarity {
-                            Polarity::Positive => premises.push(atom),
-                            Polarity::Negative => negatives.push(atom),
+                            .expect("safe heads ground")
+                            .to_atom(rule.head.pred.name);
+                        if db.contains_atom(&head) {
+                            metrics.duplicate_facts += 1;
+                            return ControlFlow::Continue(());
                         }
-                    }
-                    metrics.new_facts += 1;
-                    fresh.push((
-                        head,
-                        Justification {
-                            rule: *ri,
-                            premises,
-                            negatives,
-                        },
-                    ));
-                });
+                        let mut premises = Vec::new();
+                        let mut negatives = Vec::new();
+                        for lit in &rule.body {
+                            let atom = lit
+                                .atom
+                                // invariant: EmitBindings fires after a full
+                                // body match, when every body variable is bound.
+                                .to_tuple(bind)
+                                .expect("ordered bodies ground at emit")
+                                .to_atom(lit.atom.pred.name);
+                            match lit.polarity {
+                                Polarity::Positive => premises.push(atom),
+                                Polarity::Negative => negatives.push(atom),
+                            }
+                        }
+                        metrics.new_facts += 1;
+                        fresh.push((
+                            head,
+                            Justification {
+                                rule: *ri,
+                                premises,
+                                negatives,
+                            },
+                        ));
+                        ControlFlow::Continue(())
+                    });
             }
             let mut grew = false;
             for (atom, j) in fresh {
+                // invariant: `fresh` only holds atoms built from ground
+                // tuples above.
                 if db.insert_atom(&atom).expect("ground") {
                     prov.justifications.entry(atom).or_insert(j);
                     grew = true;
@@ -256,7 +267,14 @@ pub fn eval_with_provenance(
             }
         }
     }
-    Ok((EvalResult { db, metrics }, prov))
+    Ok((
+        EvalResult {
+            db,
+            metrics,
+            completion: Completion::Complete,
+        },
+        prov,
+    ))
 }
 
 #[cfg(test)]

@@ -15,13 +15,29 @@
 //! worker-local seen-set, then a single-threaded merge builds the next delta
 //! in task order, reclassifying cross-worker duplicates so the metrics are
 //! bit-identical to a sequential run at any thread count.
+//!
+//! Workers are panic-isolated: each round unit runs under `catch_unwind`,
+//! every sibling is joined, and a panic surfaces as
+//! [`EvalError::WorkerPanicked`] instead of aborting the process.
+//!
+//! ## Governance
+//!
+//! A [`Governor`] (from [`crate::govern`]) rides along when the options
+//! carry a budget or cancel token: rounds check it at their boundary, the
+//! join charges it per emission, and new facts are claimed against the fact
+//! budget *before* insertion. On a trip the current round's accepted facts
+//! are still merged (they are sound) and the run reports a non-`Complete`
+//! [`crate::Completion`].
 
 use crate::error::EvalError;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, JoinInput};
+use crate::fail_point;
+use crate::govern::Governor;
+use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
 use alexander_ir::{FxHashSet, Polarity, Predicate, Program, Rule};
 use alexander_storage::{Database, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs semi-naive evaluation of a semipositive `program` over `edb`.
 pub fn eval_seminaive(program: &Program, edb: &Database) -> Result<EvalResult, EvalError> {
@@ -38,8 +54,20 @@ pub fn eval_seminaive_opts(
     check_semipositive(program)?;
     let mut db = seed_database(program, edb);
     let mut metrics = EvalMetrics::default();
-    run_rules(&program.rules, &mut db, &mut metrics, opts, None)?;
-    Ok(EvalResult { db, metrics })
+    let gov = opts.governor();
+    run_rules(
+        &program.rules,
+        &mut db,
+        &mut metrics,
+        &opts,
+        None,
+        Some(&gov),
+    )?;
+    Ok(EvalResult {
+        db,
+        metrics,
+        completion: gov.completion(),
+    })
 }
 
 /// The semi-naive engine over an explicit rule set, mutating `db` in place.
@@ -49,13 +77,20 @@ pub fn eval_seminaive_opts(
 /// per-stratum evaluation). The delta tracks only the head predicates of
 /// `rules` — facts of other predicates are static during the run.
 ///
+/// `gov`: the run's governor, shared across calls when one logical run spans
+/// several invocations (the stratified evaluator passes the same governor to
+/// every stratum so the budget is global). On a governance stop the function
+/// returns `Ok(())` with `db` holding the sound partial result; the caller
+/// reads the verdict off the governor.
+///
 /// This is also the engine the stratified evaluator calls once per stratum.
 pub(crate) fn run_rules(
     rules: &[Rule],
     db: &mut Database,
     metrics: &mut EvalMetrics,
-    opts: EvalOptions,
+    opts: &EvalOptions,
     negatives: Option<&Database>,
+    gov: Option<&Governor>,
 ) -> Result<(), EvalError> {
     let compiled: Vec<CompiledRule> = rules
         .iter()
@@ -63,9 +98,14 @@ pub(crate) fn run_rules(
         .collect::<Result<_, _>>()?;
     let derived: FxHashSet<Predicate> = compiled.iter().map(|r| r.head.pred).collect();
 
+    let governor = gov.filter(|g| g.active());
     let threads = opts.threads.max(1);
 
     // Round 0: full join over the seed database, one work item per rule.
+    if governor.is_some_and(|g| g.note_round().is_break()) {
+        return Ok(());
+    }
+    fail_point("round-start");
     metrics.iterations += 1;
     if opts.use_indexes {
         for r in &compiled {
@@ -80,14 +120,23 @@ pub(crate) fn run_rules(
             delta_pos: None,
         })
         .collect();
-    run_round_tasks(&tasks, db, None, negatives, threads, metrics, &mut delta);
+    run_round_tasks(
+        &tasks, db, None, negatives, threads, metrics, &mut delta, governor,
+    )?;
     db.merge(&delta);
+    if governor.is_some_and(|g| g.should_stop()) {
+        return Ok(());
+    }
 
     // Delta rounds: every derived-predicate literal takes a turn as the
     // delta position. Each (rule, position) pair is one work item — the
     // delta-rewriting variants of a rule split across workers even when the
     // program has fewer rules than threads.
     while delta.total_tuples() > 0 {
+        if governor.is_some_and(|g| g.note_round().is_break()) {
+            return Ok(());
+        }
+        fail_point("round-start");
         metrics.iterations += 1;
         if opts.use_indexes {
             for r in &compiled {
@@ -118,8 +167,12 @@ pub(crate) fn run_rules(
             threads,
             metrics,
             &mut next,
-        );
+            governor,
+        )?;
         db.merge(&next);
+        if governor.is_some_and(|g| g.should_stop()) {
+            return Ok(());
+        }
         delta = next;
     }
     Ok(())
@@ -132,6 +185,17 @@ struct RoundTask<'a> {
     delta_pos: Option<usize>,
 }
 
+/// Renders a caught panic payload for [`EvalError::WorkerPanicked`].
+pub(crate) fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Executes one round's work items, inserting fresh derivations into `next`.
 ///
 /// `db` (and `delta`, when present) are not mutated for the duration: with
@@ -140,6 +204,9 @@ struct RoundTask<'a> {
 /// way the facts in `next` and every metrics counter come out identical —
 /// `new_facts` counts the distinct facts absent from `db`, which is a
 /// property of the round's input, not of task scheduling.
+///
+/// Every execution unit runs under `catch_unwind`; a panic anywhere joins
+/// all surviving workers and returns [`EvalError::WorkerPanicked`].
 #[allow(clippy::too_many_arguments)]
 fn run_round_tasks(
     tasks: &[RoundTask<'_>],
@@ -149,74 +216,125 @@ fn run_round_tasks(
     threads: usize,
     metrics: &mut EvalMetrics,
     next: &mut Database,
-) {
+    governor: Option<&Governor>,
+) -> Result<(), EvalError> {
     let delta_of = |pos: Option<usize>| {
+        // invariant: callers set `delta_pos` only on tasks they build for
+        // delta rounds, which always pass a delta database.
         pos.map(|i| (i, delta.expect("delta tasks only occur in delta rounds")))
     };
     if threads <= 1 || tasks.len() <= 1 {
-        for task in tasks {
-            let head_pred = task.rule.head.pred;
-            let input = JoinInput {
-                total: db,
-                delta: delta_of(task.delta_pos),
-                negatives,
-            };
-            join_rule(task.rule, &input, metrics, &mut |t| {
-                if db.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                    false
-                } else {
-                    next.insert(head_pred, t)
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for task in tasks {
+                fail_point("round-worker");
+                let head_pred = task.rule.head.pred;
+                let input = JoinInput {
+                    total: db,
+                    delta: delta_of(task.delta_pos),
+                    negatives,
+                    governor,
+                };
+                let flow = join_rule(task.rule, &input, metrics, &mut |t| {
+                    if db.relation(head_pred).is_some_and(|r| r.contains(&t))
+                        || next.relation(head_pred).is_some_and(|r| r.contains(&t))
+                    {
+                        Emitted::Duplicate
+                    } else if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                        Emitted::Refused
+                    } else {
+                        next.insert(head_pred, t);
+                        Emitted::New
+                    }
+                });
+                if flow.is_break() {
+                    break;
                 }
-            });
-        }
-        return;
+            }
+        }));
+        return run.map_err(|p| EvalError::WorkerPanicked {
+            payload: payload_string(p),
+        });
     }
 
     let frozen = db.freeze();
     let chunk = tasks.len().div_ceil(threads);
-    let results: Vec<(EvalMetrics, Vec<(Predicate, Tuple)>)> = std::thread::scope(|scope| {
+    type WorkerOut = (EvalMetrics, Vec<(Predicate, Tuple)>);
+    let results: Vec<std::thread::Result<WorkerOut>> = std::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .chunks(chunk)
             .map(|chunk_tasks| {
                 scope.spawn(move || {
-                    let mut local = EvalMetrics::default();
-                    let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
-                    let mut buf: Vec<(Predicate, Tuple)> = Vec::new();
-                    for task in chunk_tasks {
-                        let head_pred = task.rule.head.pred;
-                        let input = JoinInput {
-                            total: frozen.db(),
-                            delta: delta_of(task.delta_pos),
-                            negatives,
-                        };
-                        join_rule(task.rule, &input, &mut local, &mut |t| {
-                            if frozen.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                                return false;
-                            }
-                            // Worker-local dedup; cross-worker collisions are
-                            // reclassified at merge time.
-                            let new = seen.insert((head_pred, t.clone()));
-                            if new {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut local = EvalMetrics::default();
+                        let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
+                        let mut buf: Vec<(Predicate, Tuple)> = Vec::new();
+                        for task in chunk_tasks {
+                            fail_point("round-worker");
+                            let head_pred = task.rule.head.pred;
+                            let input = JoinInput {
+                                total: frozen.db(),
+                                delta: delta_of(task.delta_pos),
+                                negatives,
+                                governor,
+                            };
+                            let flow = join_rule(task.rule, &input, &mut local, &mut |t| {
+                                if frozen.relation(head_pred).is_some_and(|r| r.contains(&t)) {
+                                    return Emitted::Duplicate;
+                                }
+                                // Worker-local dedup; cross-worker collisions
+                                // are reclassified at merge time.
+                                if !seen.insert((head_pred, t.clone())) {
+                                    return Emitted::Duplicate;
+                                }
+                                if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                                    return Emitted::Refused;
+                                }
                                 buf.push((head_pred, t));
+                                Emitted::New
+                            });
+                            if flow.is_break() {
+                                break;
                             }
-                            new
-                        });
-                    }
-                    (local, buf)
+                        }
+                        (local, buf)
+                    }))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("round worker panicked"))
+            // invariant: the worker catches its own panics via catch_unwind,
+            // so the thread itself never terminates by panic.
+            .map(|h| {
+                h.join()
+                    .expect("worker panics are caught inside the worker")
+            })
             .collect()
     });
+
+    // All workers are drained at this point; surface the first panic as a
+    // structured error instead of a process abort.
+    let mut panicked: Option<String> = None;
+    let mut survived: Vec<WorkerOut> = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(out) => survived.push(out),
+            Err(p) => {
+                if panicked.is_none() {
+                    panicked = Some(payload_string(p));
+                }
+            }
+        }
+    }
+    if let Some(payload) = panicked {
+        return Err(EvalError::WorkerPanicked { payload });
+    }
 
     // Single-threaded merge, in task order so `next`'s insertion order (and
     // hence all downstream iteration) matches the sequential run. A fact two
     // workers both derived was provisionally counted new by each; demote the
     // later copies so the totals equal the sequential classification.
-    for (local, buf) in results {
+    for (local, buf) in survived {
         *metrics += local;
         for (p, t) in buf {
             if !next.insert(p, t) {
@@ -225,11 +343,13 @@ fn run_round_tasks(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::{Budget, CancelHandle, Completion, Resource};
     use crate::naive::eval_naive;
     use alexander_parser::parse;
     use alexander_storage::tuple_of_syms;
@@ -249,6 +369,7 @@ mod tests {
         let tc = Predicate::new("tc", 2);
         assert_eq!(naive.db.len_of(tc), semi.db.len_of(tc));
         assert_eq!(semi.db.len_of(tc), 15); // C(6,2) pairs on a 6-node chain
+        assert!(semi.completion.is_complete());
     }
 
     #[test]
@@ -386,5 +507,92 @@ mod tests {
         }
         let r = eval_seminaive(&parsed.program, &edb).unwrap();
         assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 20 * 21 / 2);
+    }
+
+    #[test]
+    fn fact_budget_is_exact_sequentially() {
+        let parsed = parse(TC).unwrap();
+        let edb = Database::new();
+        let full = eval_seminaive(&parsed.program, &edb).unwrap();
+        let tc = Predicate::new("tc", 2);
+        for budget in [1, 5, 10] {
+            let limited = eval_seminaive_opts(
+                &parsed.program,
+                &edb,
+                EvalOptions::default().with_budget(Budget::default().with_max_facts(budget)),
+            )
+            .unwrap();
+            assert_eq!(
+                limited.completion,
+                Completion::BudgetExhausted {
+                    resource: Resource::Facts
+                }
+            );
+            assert_eq!(limited.db.len_of(tc), budget as usize);
+            for t in limited.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains(t));
+            }
+        }
+        // A budget the fixpoint exactly fits in must complete.
+        let exact = eval_seminaive_opts(
+            &parsed.program,
+            &edb,
+            EvalOptions::default()
+                .with_budget(Budget::default().with_max_facts(full.metrics.new_facts)),
+        )
+        .unwrap();
+        assert!(exact.completion.is_complete());
+        assert_eq!(exact.db.len_of(tc), full.db.len_of(tc));
+    }
+
+    #[test]
+    fn fact_budget_in_parallel_rounds_yields_sound_subset() {
+        let parsed = parse(TC).unwrap();
+        let edb = Database::new();
+        let full = eval_seminaive(&parsed.program, &edb).unwrap();
+        let tc = Predicate::new("tc", 2);
+        for threads in [2, 4, 8] {
+            let opts =
+                EvalOptions::with_threads(threads).with_budget(Budget::default().with_max_facts(6));
+            let limited = eval_seminaive_opts(&parsed.program, &edb, opts).unwrap();
+            assert!(!limited.completion.is_complete(), "@ {threads} threads");
+            assert!(limited.db.len_of(tc) <= 6);
+            for t in limited.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn round_budget_limits_iterations() {
+        let parsed = parse(TC).unwrap();
+        let r = eval_seminaive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_budget(Budget::default().with_max_rounds(2)),
+        )
+        .unwrap();
+        assert_eq!(
+            r.completion,
+            Completion::BudgetExhausted {
+                resource: Resource::Rounds
+            }
+        );
+        assert_eq!(r.metrics.iterations, 2);
+    }
+
+    #[test]
+    fn cancellation_mid_run_returns_partial() {
+        let parsed = parse(TC).unwrap();
+        let cancel = CancelHandle::new();
+        cancel.cancel();
+        let r = eval_seminaive_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_cancel(cancel),
+        )
+        .unwrap();
+        assert_eq!(r.completion, Completion::Cancelled);
+        assert_eq!(r.db.len_of(Predicate::new("tc", 2)), 0);
     }
 }

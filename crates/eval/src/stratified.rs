@@ -2,8 +2,18 @@
 //! evaluation stratum by stratum. Negative literals always refer to lower
 //! strata, whose predicates are complete when the stratum runs — this
 //! computes the perfect model of a stratified program.
+//!
+//! Under a budget or cancellation the run may stop between (or inside)
+//! strata. `strata_completed` records how many strata finished: facts of
+//! completed strata are exactly the perfect model restricted to those
+//! strata, facts of the stratum that was cut short are a sound subset
+//! (its negative premises only read completed lower strata), and higher
+//! strata contribute nothing — a partial stratified result is never
+//! silently presented as the full perfect model because `completion`
+//! reports the trip.
 
 use crate::error::EvalError;
+use crate::govern::Completion;
 use crate::metrics::EvalMetrics;
 use crate::naive::{seed_database, EvalOptions, EvalResult};
 use crate::seminaive::run_rules;
@@ -16,8 +26,14 @@ use alexander_storage::Database;
 pub struct StratifiedResult {
     pub db: Database,
     pub metrics: EvalMetrics,
-    /// Number of strata evaluated.
+    /// Number of strata in the program.
     pub strata: usize,
+    /// Number of strata that ran to their full per-stratum fixpoint. Equals
+    /// `strata` when `completion` is `Complete`; on a budget/cancel stop it
+    /// is a (conservative) count of the strata whose facts are final.
+    pub strata_completed: usize,
+    /// Whether the perfect model was fully computed.
+    pub completion: Completion,
 }
 
 impl From<StratifiedResult> for EvalResult {
@@ -25,6 +41,7 @@ impl From<StratifiedResult> for EvalResult {
         EvalResult {
             db: r.db,
             metrics: r.metrics,
+            completion: r.completion,
         }
     }
 }
@@ -34,7 +51,8 @@ pub fn eval_stratified(program: &Program, edb: &Database) -> Result<StratifiedRe
     eval_stratified_opts(program, edb, EvalOptions::default())
 }
 
-/// [`eval_stratified`] with explicit options.
+/// [`eval_stratified`] with explicit options. The budget is global to the
+/// run: one governor spans all strata.
 pub fn eval_stratified_opts(
     program: &Program,
     edb: &Database,
@@ -44,8 +62,13 @@ pub fn eval_stratified_opts(
     let strat = stratify(program)?;
     let mut db = seed_database(program, edb);
     let mut metrics = EvalMetrics::default();
+    let gov = opts.governor();
+    let mut strata_completed = 0;
 
     for layer in 0..strat.len() {
+        if gov.should_stop() {
+            break;
+        }
         let rules: Vec<Rule> = program
             .rules
             .iter()
@@ -53,22 +76,30 @@ pub fn eval_stratified_opts(
             .cloned()
             .collect();
         if rules.is_empty() {
+            strata_completed += 1;
             continue;
         }
         // Negatives read the running total: all negated predicates live in
         // lower strata and are complete by now.
-        run_rules(&rules, &mut db, &mut metrics, opts, None)?;
+        run_rules(&rules, &mut db, &mut metrics, &opts, None, Some(&gov))?;
+        if gov.should_stop() {
+            break;
+        }
+        strata_completed += 1;
     }
     Ok(StratifiedResult {
         db,
         metrics,
         strata: strat.len(),
+        strata_completed,
+        completion: gov.completion(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::govern::{Budget, Resource};
     use alexander_ir::Predicate;
     use alexander_parser::parse;
     use alexander_storage::tuple_of_syms;
@@ -86,6 +117,8 @@ mod tests {
         .unwrap();
         let r = eval_stratified(&parsed.program, &Database::new()).unwrap();
         assert_eq!(r.strata, 2);
+        assert_eq!(r.strata_completed, 2);
+        assert!(r.completion.is_complete());
         let unreach = Predicate::new("unreach", 1);
         let got = r.db.atoms_of(unreach);
         let names: Vec<String> = got.iter().map(|a| a.to_string()).collect();
@@ -183,5 +216,63 @@ mod tests {
             strat.db.len_of(Predicate::new("g", 1)),
             semi.db.len_of(Predicate::new("g", 1))
         );
+    }
+
+    #[test]
+    fn budget_exhaustion_marks_unfinished_strata() {
+        // Stratum 0 derives 4 reach facts; a 2-fact budget stops inside it,
+        // so no stratum may be reported complete and unreach must stay empty
+        // (its negations would read an incomplete lower stratum).
+        let parsed = parse(
+            "
+            edge(s, a). edge(a, b). edge(b, c). edge(c, d).
+            node(s). node(a). node(b). node(z).
+            reach(X) :- edge(s, X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+        ",
+        )
+        .unwrap();
+        let r = eval_stratified_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default().with_budget(Budget::default().with_max_facts(2)),
+        )
+        .unwrap();
+        assert_eq!(
+            r.completion,
+            Completion::BudgetExhausted {
+                resource: Resource::Facts
+            }
+        );
+        assert_eq!(r.strata_completed, 0);
+        assert_eq!(r.db.len_of(Predicate::new("reach", 1)), 2);
+        assert_eq!(r.db.len_of(Predicate::new("unreach", 1)), 0);
+    }
+
+    #[test]
+    fn ample_budget_completes_all_strata() {
+        let parsed = parse(
+            "
+            edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
+            reach(X) :- edge(s, X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+        ",
+        )
+        .unwrap();
+        let full = eval_stratified(&parsed.program, &Database::new()).unwrap();
+        let budgeted = eval_stratified_opts(
+            &parsed.program,
+            &Database::new(),
+            EvalOptions::default()
+                .with_budget(Budget::default().with_max_facts(full.metrics.new_facts)),
+        )
+        .unwrap();
+        assert!(budgeted.completion.is_complete());
+        assert_eq!(budgeted.strata_completed, budgeted.strata);
+        for p in [Predicate::new("reach", 1), Predicate::new("unreach", 1)] {
+            assert_eq!(full.db.len_of(p), budgeted.db.len_of(p), "{p}");
+        }
     }
 }

@@ -75,6 +75,9 @@ pub fn tarjan(n: usize, succs: &dyn Fn(usize) -> Vec<usize>) -> SccDecomposition
                 if lowlink[v] == index[v] {
                     let mut comp = Vec::new();
                     loop {
+                        // invariant: Tarjan pushes `v` before any node that
+                        // can close its component, so the pop loop below
+                        // always finds `v` before the stack empties.
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w] = false;
                         component[w] = components.len();

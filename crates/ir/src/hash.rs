@@ -33,6 +33,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // invariant: `chunks_exact(8)` yields 8-byte slices only.
             self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rest = chunks.remainder();

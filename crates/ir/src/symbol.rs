@@ -12,7 +12,7 @@
 
 use crate::hash::FxHashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 ///
@@ -68,19 +68,32 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+/// Reads through lock poison. Evaluator workers run under `catch_unwind`
+/// (panics become structured `WorkerPanicked` errors rather than aborts), so
+/// a panic while holding this lock must not brick every later query.
+/// `Interner::intern` only mutates after its fallible steps, so the guarded
+/// state is consistent even when poisoned.
+fn read_interner() -> std::sync::RwLockReadGuard<'static, Interner> {
+    interner().read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_interner() -> std::sync::RwLockWriteGuard<'static, Interner> {
+    interner().write().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Symbol {
     /// Interns `s`, returning its symbol. Idempotent.
     pub fn intern(s: &str) -> Symbol {
         // Fast path: read lock only.
-        if let Some(&id) = interner().read().unwrap().ids.get(s) {
+        if let Some(&id) = read_interner().ids.get(s) {
             return Symbol(id);
         }
-        interner().write().unwrap().intern(s)
+        write_interner().intern(s)
     }
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().read().unwrap().names[self.0 as usize]
+        read_interner().names[self.0 as usize]
     }
 
     /// The raw id, useful as a dense array index in analyses.
@@ -92,7 +105,7 @@ impl Symbol {
     /// interned so far, based on `base` (used for generated variables and
     /// rewritten predicate names).
     pub fn fresh(base: &str) -> Symbol {
-        let mut guard = interner().write().unwrap();
+        let mut guard = write_interner();
         let mut n = guard.names.len();
         loop {
             let candidate = format!("{base}#{n}");

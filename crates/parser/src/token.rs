@@ -241,6 +241,8 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     s.push(bytes[i]);
                     bump!();
                 }
+                // invariant: this arm only matches on an alphanumeric start
+                // byte, so `s` holds at least that character.
                 let first = s.chars().next().unwrap();
                 let tok = if s == "not" {
                     Tok::Neg

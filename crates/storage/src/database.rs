@@ -22,6 +22,8 @@ impl Database {
     pub fn from_program(program: &Program) -> Database {
         let mut db = Database::new();
         for f in &program.facts {
+            // invariant: `Program::validate` rejects non-ground facts, and
+            // every caller validates before loading.
             db.insert_atom(f).expect("inline facts are ground");
         }
         db

@@ -92,6 +92,8 @@ impl Relation {
         if self.ids.contains_key(&t) {
             return false;
         }
+        // invariant: tuple ids are dense u32s; 2^32 tuples per relation
+        // exceeds addressable memory for any workload this engine targets.
         let id = u32::try_from(self.by_id.len()).expect("relation overflow");
         // Maintain every already-built index incrementally: one projection
         // and one hash probe per index, O(|delta|) per round rather than the

@@ -30,5 +30,5 @@ pub mod sld;
 
 pub use metrics::OldtMetrics;
 pub use oldt::{oldt_query, oldt_query_opts, OldtError, OldtOptions, OldtResult};
-pub use qsqr::{qsqr_query, QsqrError, QsqrResult};
+pub use qsqr::{qsqr_query, qsqr_query_opts, QsqrError, QsqrOptions, QsqrResult};
 pub use sld::{sld_query, SldError, SldOptions, SldResult};

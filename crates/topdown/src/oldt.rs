@@ -21,6 +21,7 @@
 //! program must be stratified — checked up front).
 
 use crate::metrics::OldtMetrics;
+use alexander_eval::{Budget, CancelHandle, Completion, Governor};
 use alexander_ir::analysis::stratify;
 use alexander_ir::{
     match_atom, Atom, FxHashMap, FxHashSet, Literal, Polarity, Predicate, Program, Rule, Subst,
@@ -31,17 +32,40 @@ use alexander_transform::sip_order;
 use std::fmt;
 
 /// Options for the OLDT engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct OldtOptions {
     /// Select body literals with the same greedy SIP the rewritings use.
     /// When off, bodies are only reordered as far as negation groundness
     /// requires (ablation E9).
     pub reorder: bool,
+    /// Resource limits. `max_facts` bounds tabled answers, `max_steps`
+    /// bounds resolution steps; rounds do not apply to OLDT.
+    pub budget: Budget,
+    /// Cooperative cancellation token, checked between resolution steps.
+    pub cancel: Option<CancelHandle>,
 }
 
 impl Default for OldtOptions {
     fn default() -> OldtOptions {
-        OldtOptions { reorder: true }
+        OldtOptions {
+            reorder: true,
+            budget: Budget::UNLIMITED,
+            cancel: None,
+        }
+    }
+}
+
+impl OldtOptions {
+    /// Builder: attach a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> OldtOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelHandle) -> OldtOptions {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -86,6 +110,11 @@ pub struct OldtResult {
     pub answers_by_pred: FxHashMap<Predicate, u64>,
     /// Every table: its canonical call atom and its answer count.
     pub call_tables: Vec<(Atom, u64)>,
+    /// Whether resolution ran to exhaustion. On a budget/cancel stop the
+    /// `answers` are a sound subset of the complete answer set (every
+    /// reported answer has a full derivation; negative conclusions are
+    /// never drawn from tables the stop left incomplete).
+    pub completion: Completion,
 }
 
 impl OldtResult {
@@ -132,6 +161,7 @@ struct Engine<'a> {
     work: Vec<Node>,
     metrics: OldtMetrics,
     reorder: bool,
+    gov: Governor,
 }
 
 /// Canonicalises an atom: variables are renamed `_C0, _C1, …` in order of
@@ -207,9 +237,15 @@ impl<'a> Engine<'a> {
     /// Records an answer in `table`; on novelty, resumes every consumer.
     fn add_answer(&mut self, table: usize, answer: Atom) {
         debug_assert!(answer.is_ground(), "answers are ground: {answer}");
-        if !self.tables[table].answer_set.insert(answer.clone()) {
+        if self.tables[table].answer_set.contains(&answer) {
             return;
         }
+        // Claim-before-insert, as in the bottom-up evaluators: a refused
+        // answer is dropped whole and the drain loop will observe the trip.
+        if self.gov.claim_fact().is_break() {
+            return;
+        }
+        self.tables[table].answer_set.insert(answer.clone());
         self.tables[table].answers.push(answer.clone());
         self.metrics.answers += 1;
         // Deliver to the consumers registered so far.
@@ -248,9 +284,19 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Drives the worklist to exhaustion.
+    /// Drives the worklist to exhaustion — or to the budget. On a stop the
+    /// remaining work is abandoned; answers recorded so far all have
+    /// complete derivations, so the partial result is sound.
     fn drain(&mut self) -> Result<(), OldtError> {
         while let Some(node) = self.work.pop() {
+            if self.gov.check_interrupt().is_break()
+                || self
+                    .gov
+                    .check_steps(self.metrics.resolution_steps)
+                    .is_break()
+            {
+                return Ok(());
+            }
             self.step(node)?;
         }
         Ok(())
@@ -295,6 +341,8 @@ impl<'a> Engine<'a> {
                     let mask = alexander_storage::Mask::of_columns(&cols);
                     let key: Vec<alexander_ir::Const> = cols
                         .iter()
+                        // invariant: `cols` was filtered to the positions
+                        // where `goal.terms[c]` is a constant.
                         .map(|&c| goal.terms[c].as_const().unwrap())
                         .collect();
                     let matches: Vec<Atom> = rel
@@ -357,6 +405,12 @@ impl<'a> Engine<'a> {
                 // reaches back here).
                 let t = self.ensure_table(&goal);
                 self.drain()?;
+                if self.gov.should_stop() {
+                    // The subquery's table may be incomplete; concluding
+                    // `!goal` from an empty-so-far table would be unsound.
+                    // Drop this branch instead.
+                    return Ok(());
+                }
                 self.metrics.resolution_steps += 1;
                 if self.tables[t].answers.is_empty() {
                     self.work.push(node);
@@ -397,6 +451,7 @@ pub fn oldt_query_opts(
     // Inline facts become part of the database for resolution.
     let mut full_edb = edb.clone();
     for f in &program.facts {
+        // invariant: `program.validate()` above rejects non-ground facts.
         full_edb.insert_atom(f).expect("validated facts are ground");
     }
 
@@ -417,6 +472,7 @@ pub fn oldt_query_opts(
         work: Vec::new(),
         metrics: OldtMetrics::default(),
         reorder: opts.reorder,
+        gov: Governor::new(opts.budget, opts.cancel.clone()),
     };
 
     let answers = if engine.idb.contains(&query.predicate()) {
@@ -475,6 +531,7 @@ pub fn oldt_query_opts(
         calls_by_pred,
         answers_by_pred,
         call_tables,
+        completion: engine.gov.completion(),
     })
 }
 
@@ -619,6 +676,91 @@ mod tests {
     fn zero_arity_predicates() {
         let r = run("yes. go :- yes.", "go");
         assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn step_budget_yields_sound_answer_subset() {
+        let parsed = parse(ANCESTOR).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let q = parse_atom("anc(X, Y)").unwrap();
+        let full = oldt_query(&parsed.program, &edb, &q).unwrap();
+        assert!(full.completion.is_complete());
+        for max in [1u64, 3, 8] {
+            let r = oldt_query_opts(
+                &parsed.program,
+                &edb,
+                &q,
+                OldtOptions::default().with_budget(Budget::default().with_max_steps(max)),
+            )
+            .unwrap();
+            assert!(!r.completion.is_complete(), "max_steps {max}");
+            for a in &r.answers {
+                assert!(full.answers.contains(a), "spurious answer {a}");
+            }
+            assert!(r.answers.len() < full.answers.len());
+        }
+    }
+
+    #[test]
+    fn answer_budget_caps_the_tables() {
+        let r = {
+            let parsed = parse(ANCESTOR).unwrap();
+            let edb = Database::from_program(&parsed.program);
+            oldt_query_opts(
+                &parsed.program,
+                &edb,
+                &parse_atom("anc(X, Y)").unwrap(),
+                OldtOptions::default().with_budget(Budget::default().with_max_facts(2)),
+            )
+            .unwrap()
+        };
+        assert!(!r.completion.is_complete());
+        let tabled: u64 = r.tables().map(|(_, n)| n).sum();
+        assert!(tabled <= 2, "{tabled} answers tabled under a 2-fact budget");
+    }
+
+    #[test]
+    fn cancelled_query_reports_cancelled() {
+        let parsed = parse(ANCESTOR).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let handle = CancelHandle::default();
+        handle.cancel();
+        let r = oldt_query_opts(
+            &parsed.program,
+            &edb,
+            &parse_atom("anc(a, X)").unwrap(),
+            OldtOptions::default().with_cancel(handle),
+        )
+        .unwrap();
+        assert_eq!(r.completion, Completion::Cancelled);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn incomplete_negation_tables_draw_no_negative_conclusions() {
+        // A tight budget stops while `reach`'s table is still incomplete;
+        // no `unreach` answer may be emitted from the partial table.
+        let src = "
+            edge(s, a). edge(a, b). node(s). node(a). node(b). node(z).
+            reach(X) :- edge(s, X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+        ";
+        let parsed = parse(src).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let full = oldt_query(&parsed.program, &edb, &parse_atom("unreach(X)").unwrap()).unwrap();
+        for max in 1..20u64 {
+            let r = oldt_query_opts(
+                &parsed.program,
+                &edb,
+                &parse_atom("unreach(X)").unwrap(),
+                OldtOptions::default().with_budget(Budget::default().with_max_steps(max)),
+            )
+            .unwrap();
+            for a in &r.answers {
+                assert!(full.answers.contains(a), "unsound {a} at max_steps {max}");
+            }
+        }
     }
 
     #[test]

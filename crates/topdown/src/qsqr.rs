@@ -20,6 +20,7 @@
 //! experiment E13, the four-way power comparison.
 
 use crate::metrics::OldtMetrics;
+use alexander_eval::{Budget, CancelHandle, Completion, Governor};
 use alexander_ir::{
     Adornment, Atom, Bf, Builtin, Const, FxHashMap, FxHashSet, Polarity, Predicate, Program, Rule,
     Subst, Term,
@@ -58,6 +59,30 @@ impl fmt::Display for QsqrError {
 
 impl std::error::Error for QsqrError {}
 
+/// Options for the QSQR engine.
+#[derive(Clone, Debug, Default)]
+pub struct QsqrOptions {
+    /// Resource limits. `max_facts` bounds tabled answers, `max_steps`
+    /// bounds resolution steps, `max_rounds` bounds global restarts.
+    pub budget: Budget,
+    /// Cooperative cancellation token, checked between resolution steps.
+    pub cancel: Option<CancelHandle>,
+}
+
+impl QsqrOptions {
+    /// Builder: attach a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> QsqrOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: attach a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelHandle) -> QsqrOptions {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
 /// The result of a QSQR run.
 #[derive(Clone, Debug)]
 pub struct QsqrResult {
@@ -70,6 +95,11 @@ pub struct QsqrResult {
     pub answers_by_pred: FxHashMap<(Predicate, String), u64>,
     /// Number of global restarts until the tables stabilised.
     pub restarts: u64,
+    /// Whether the tables stabilised. On a budget/cancel stop the answers
+    /// are a subset of the complete run's answers (the engine derives
+    /// answers in the same deterministic order and only adds, never
+    /// retracts, so an early stop is a prefix of the full derivation).
+    pub completion: Completion,
 }
 
 type Key = (Predicate, Adornment);
@@ -84,6 +114,9 @@ struct Engine<'a> {
     in_progress: FxHashSet<Key>,
     metrics: OldtMetrics,
     changed: bool,
+    gov: Governor,
+    /// Latched once the governor trips; every recursion unwinds promptly.
+    stopped: bool,
 }
 
 fn adornment_of(goal: &Atom, s: &Subst) -> Adornment {
@@ -107,12 +140,31 @@ fn bound_tuple(goal: &Atom, s: &Subst, ad: &Adornment) -> Tuple {
         .iter()
         .zip(&ad.0)
         .filter(|(_, bf)| **bf == Bf::Bound)
+        // invariant: the adornment marks a position Bound only when the
+        // call substitution grounds it.
         .map(|(&t, _)| s.walk(t).as_const().expect("bound position is ground"))
         .collect();
     Tuple::from(consts)
 }
 
 impl<'a> Engine<'a> {
+    /// Governance check between resolution steps: latches `stopped` so the
+    /// depth-first recursion unwinds without doing further work.
+    fn tripped(&mut self) -> bool {
+        if self.stopped {
+            return true;
+        }
+        if self.gov.check_interrupt().is_break()
+            || self
+                .gov
+                .check_steps(self.metrics.resolution_steps)
+                .is_break()
+        {
+            self.stopped = true;
+        }
+        self.stopped
+    }
+
     /// Registers a subquery; returns its key.
     fn register(&mut self, goal: &Atom, s: &Subst) -> Key {
         let ad = adornment_of(goal, s);
@@ -129,7 +181,7 @@ impl<'a> Engine<'a> {
     /// into subqueries. Idempotent within one restart; cycles fall through
     /// to the outer restart loop.
     fn solve(&mut self, key: &Key) {
-        if self.in_progress.contains(key) {
+        if self.in_progress.contains(key) || self.tripped() {
             return;
         }
         self.in_progress.insert(key.clone());
@@ -183,19 +235,31 @@ impl<'a> Engine<'a> {
         s: Subst,
         key: &Key,
     ) {
+        if self.tripped() {
+            return;
+        }
         if i == goals.len() {
             let answer = s.apply_atom(head);
             debug_assert!(answer.is_ground());
-            if self.answers.entry(key.clone()).or_default().insert(answer) {
-                self.metrics.answers += 1;
-                self.changed = true;
+            if self.answers.get(key).is_some_and(|a| a.contains(&answer)) {
+                return;
             }
+            // Claim-before-insert, as in the bottom-up evaluators.
+            if self.gov.claim_fact().is_break() {
+                self.stopped = true;
+                return;
+            }
+            self.answers.entry(key.clone()).or_default().insert(answer);
+            self.metrics.answers += 1;
+            self.changed = true;
             return;
         }
         let lit = &goals[i];
         let goal = s.apply_atom(&lit.atom);
 
         if let Some(b) = Builtin::of(goal.predicate()) {
+            // invariant: SIP reordering schedules built-ins after their
+            // variables are bound, and validation rejects unbindable ones.
             let args = goal.ground_args().expect("SIP grounds built-ins");
             self.metrics.resolution_steps += 1;
             if b.eval(args[0], args[1]) == (lit.polarity == Polarity::Positive) {
@@ -220,6 +284,9 @@ impl<'a> Engine<'a> {
             (Polarity::Positive, true) => {
                 let sub = self.register(&goal, &s);
                 self.solve(&sub);
+                if self.stopped {
+                    return;
+                }
                 let answers: Vec<Atom> = self
                     .answers
                     .get(&sub)
@@ -247,6 +314,11 @@ impl<'a> Engine<'a> {
                 debug_assert!(goal.is_ground());
                 let sub = self.register(&goal, &s);
                 self.solve(&sub);
+                if self.stopped {
+                    // The subquery's tables may be incomplete; a negative
+                    // conclusion from them would be unsound. Drop the branch.
+                    return;
+                }
                 self.metrics.resolution_steps += 1;
                 let any = self
                     .answers
@@ -266,6 +338,16 @@ pub fn qsqr_query(
     edb: &Database,
     query: &Atom,
 ) -> Result<QsqrResult, QsqrError> {
+    qsqr_query_opts(program, edb, query, QsqrOptions::default())
+}
+
+/// [`qsqr_query`] with explicit options.
+pub fn qsqr_query_opts(
+    program: &Program,
+    edb: &Database,
+    query: &Atom,
+    opts: QsqrOptions,
+) -> Result<QsqrResult, QsqrError> {
     program.validate().map_err(QsqrError::Invalid)?;
     let idb = program.idb_predicates();
     let has_idb_negation = program.rules.iter().any(|r| {
@@ -279,6 +361,7 @@ pub fn qsqr_query(
 
     let mut full_edb = edb.clone();
     for f in &program.facts {
+        // invariant: `program.validate()` above rejects non-ground facts.
         full_edb.insert_atom(f).expect("validated facts are ground");
     }
     let mut rules_by_pred: FxHashMap<Predicate, Vec<Rule>> = FxHashMap::default();
@@ -298,21 +381,28 @@ pub fn qsqr_query(
         in_progress: FxHashSet::default(),
         metrics: OldtMetrics::default(),
         changed: false,
+        gov: Governor::new(opts.budget, opts.cancel.clone()),
+        stopped: false,
     };
 
     let mut restarts = 0u64;
     let answers: Vec<Atom> = if idb.contains(&query.predicate()) {
         let s = Subst::new();
         let seed = engine.register(query, &s);
-        // Restart until neither inputs nor answers grow.
+        // Restart until neither inputs nor answers grow. A restart counts
+        // as a "round" against the budget.
         loop {
+            if engine.gov.note_round().is_break() {
+                engine.stopped = true;
+                break;
+            }
             restarts += 1;
             engine.changed = false;
             let keys: Vec<Key> = engine.inputs.keys().cloned().collect();
             for k in keys {
                 engine.solve(&k);
             }
-            if !engine.changed {
+            if engine.stopped || !engine.changed {
                 break;
             }
         }
@@ -360,6 +450,7 @@ pub fn qsqr_query(
         inputs_by_pred,
         answers_by_pred,
         restarts,
+        completion: engine.gov.completion(),
     })
 }
 
@@ -461,6 +552,68 @@ mod tests {
             qsqr_query(&parsed.program, &edb, &parse_atom("win(a)").unwrap()),
             Err(QsqrError::NotStratified(_))
         ));
+    }
+
+    #[test]
+    fn step_budget_yields_sound_answer_subset() {
+        let parsed = parse(ANCESTOR).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let q = parse_atom("anc(X, Y)").unwrap();
+        let full = qsqr_query(&parsed.program, &edb, &q).unwrap();
+        assert!(full.completion.is_complete());
+        for max in [1u64, 3, 8] {
+            let r = qsqr_query_opts(
+                &parsed.program,
+                &edb,
+                &q,
+                QsqrOptions::default().with_budget(Budget::default().with_max_steps(max)),
+            )
+            .unwrap();
+            assert!(!r.completion.is_complete(), "max_steps {max}");
+            for a in &r.answers {
+                assert!(full.answers.contains(a), "spurious answer {a}");
+            }
+            assert!(r.answers.len() < full.answers.len());
+        }
+    }
+
+    #[test]
+    fn restart_budget_limits_restarts() {
+        let parsed = parse(
+            "
+            e(a, b). e(b, a).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let r = qsqr_query_opts(
+            &parsed.program,
+            &edb,
+            &parse_atom("tc(a, X)").unwrap(),
+            QsqrOptions::default().with_budget(Budget::default().with_max_rounds(1)),
+        )
+        .unwrap();
+        assert_eq!(r.restarts, 1);
+        assert!(!r.completion.is_complete());
+    }
+
+    #[test]
+    fn cancelled_query_reports_cancelled() {
+        let parsed = parse(ANCESTOR).unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let handle = CancelHandle::default();
+        handle.cancel();
+        let r = qsqr_query_opts(
+            &parsed.program,
+            &edb,
+            &parse_atom("anc(a, X)").unwrap(),
+            QsqrOptions::default().with_cancel(handle),
+        )
+        .unwrap();
+        assert_eq!(r.completion, Completion::Cancelled);
+        assert!(r.answers.is_empty());
     }
 
     #[test]

@@ -138,6 +138,7 @@ pub fn sld_query(
 
     let mut full_edb = edb.clone();
     for f in &program.facts {
+        // invariant: `program.validate()` above rejects non-ground facts.
         full_edb.insert_atom(f).expect("validated facts are ground");
     }
     let mut rules_by_pred: FxHashMap<Predicate, Vec<Rule>> = FxHashMap::default();

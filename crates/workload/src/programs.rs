@@ -5,6 +5,7 @@ use alexander_ir::{Atom, Program};
 use alexander_parser::{parse, parse_atom};
 
 fn must_parse(src: &str) -> Program {
+    // invariant: the sources are compiled-in literals, exercised by tests.
     let parsed = parse(src).expect("embedded program parses");
     debug_assert!(parsed.program.validate().is_ok());
     parsed.program

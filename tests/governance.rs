@@ -1,0 +1,144 @@
+//! End-to-end resource governance through the public engine: an exploding
+//! workload under a budget must come back as a sound partial result, on
+//! every strategy, at 1 and 4 threads, in time proportional to the budget —
+//! never the (much larger) time of the full fixpoint.
+
+use alexander_core::eval::{Budget, Completion};
+use alexander_core::{Engine, Strategy};
+use alexander_parser::parse_atom;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A 4-way cross product over `n` constants: `p` has n^4 tuples, far more
+/// than the fact budgets below, so every strategy must hit the wall.
+fn cross_product_source(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        writeln!(src, "d(c{i}).").unwrap();
+    }
+    src.push_str("p(X, Y, Z, W) :- d(X), d(Y), d(Z), d(W).\n");
+    src
+}
+
+/// A single cycle of `n` nodes: `tc` has n^2 tuples and needs ~n rounds, so
+/// an ungoverned run takes far longer than the deadlines below.
+fn big_cycle_source(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        writeln!(src, "e(n{i}, n{}).", (i + 1) % n).unwrap();
+    }
+    src.push_str("tc(X, Y) :- e(X, Y).\n");
+    src.push_str("tc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+    src
+}
+
+#[test]
+fn fact_budget_bounds_every_strategy_at_one_and_four_threads() {
+    // 12^4 = 20736 potential answers against a 10_000-fact budget: the run
+    // must stop early and say so, on every strategy. The 200ms deadline is a
+    // belt-and-braces second trigger; the elapsed bound is what the issue's
+    // acceptance criterion demands (well under 2x the wall budget).
+    let src = cross_product_source(12);
+    let query = parse_atom("p(X, Y, Z, W)").unwrap();
+    let budget = Budget::default()
+        .with_timeout_ms(200)
+        .with_max_facts(10_000);
+    let full = Engine::from_source(&src)
+        .unwrap()
+        .query(&query, Strategy::SemiNaive)
+        .unwrap();
+    assert_eq!(full.answers.len(), 20_736);
+
+    for threads in [1usize, 4] {
+        for strategy in Strategy::ALL {
+            let engine = Engine::from_source(&src)
+                .unwrap()
+                .with_threads(threads)
+                .with_budget(budget);
+            let started = Instant::now();
+            let result = engine.query(&query, strategy).unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < Duration::from_millis(400),
+                "{strategy}/{threads}t: took {elapsed:?} against a 200ms budget"
+            );
+            assert!(
+                !result.report.completion.is_complete(),
+                "{strategy}/{threads}t: 10k-fact budget did not trip on a 20736-fact answer set"
+            );
+            assert!(
+                result.answers.len() < full.answers.len(),
+                "{strategy}/{threads}t: partial run returned every answer"
+            );
+            for a in &result.answers {
+                assert!(
+                    full.answers.contains(a),
+                    "{strategy}/{threads}t: unsound answer {a}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wall_clock_deadline_cuts_a_deep_fixpoint_short() {
+    // 900 nodes -> 810k transitive-closure facts over ~900 rounds; minutes
+    // of work ungoverned. A 150ms deadline must bound the run regardless.
+    let src = big_cycle_source(900);
+    let query = parse_atom("tc(n0, Y)").unwrap();
+    for threads in [1usize, 4] {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Stratified] {
+            let engine = Engine::from_source(&src)
+                .unwrap()
+                .with_threads(threads)
+                .with_budget(Budget::default().with_timeout_ms(150));
+            let started = Instant::now();
+            let result = engine.query(&query, strategy).unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < Duration::from_millis(450),
+                "{strategy}/{threads}t: took {elapsed:?} against a 150ms deadline"
+            );
+            assert!(
+                !result.report.completion.is_complete(),
+                "{strategy}/{threads}t: deadline did not trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_a_running_query() {
+    let src = big_cycle_source(900);
+    let query = parse_atom("tc(n0, Y)").unwrap();
+    let mut engine = Engine::from_source(&src).unwrap();
+    let handle = engine.cancel_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        handle.cancel();
+    });
+    let started = Instant::now();
+    let result = engine.query(&query, Strategy::SemiNaive).unwrap();
+    let elapsed = started.elapsed();
+    canceller.join().unwrap();
+    assert_eq!(result.report.completion, Completion::Cancelled);
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "cancelled query still ran for {elapsed:?}"
+    );
+}
+
+#[test]
+fn budget_consumption_is_reported() {
+    let src = cross_product_source(8);
+    let query = parse_atom("p(X, Y, Z, W)").unwrap();
+    let engine = Engine::from_source(&src)
+        .unwrap()
+        .with_budget(Budget::default().with_max_facts(100));
+    let result = engine.query(&query, Strategy::SemiNaive).unwrap();
+    assert!(!result.report.completion.is_complete());
+    assert_eq!(result.report.consumed.facts, 100, "claims are exact");
+    assert!(result.report.consumed.steps >= result.report.consumed.facts);
+    let shown = result.report.to_string();
+    assert!(shown.contains("PARTIAL"), "{shown}");
+}

@@ -3,8 +3,8 @@
 //! hierarchy theorems from the analysis layer.
 
 use alexander_eval::{
-    eval_conditional, eval_naive, eval_seminaive, eval_seminaive_opts, eval_stratified,
-    eval_stratified_opts, EvalOptions,
+    eval_conditional, eval_naive, eval_naive_parallel_opts, eval_seminaive, eval_seminaive_opts,
+    eval_stratified, eval_stratified_opts, Budget, Completion, EvalOptions, Resource,
 };
 use alexander_ir::analysis::{locally_stratified, loosely_stratified, stratify};
 use alexander_ir::{Atom, Literal, Polarity, Predicate, Program, Rule, Term};
@@ -266,6 +266,95 @@ proptest! {
             prop_assert_eq!(par.metrics, seq.metrics,
                 "metrics differ at {} threads", threads);
         }
+    }
+
+    /// A fact budget never invents facts: whatever a budgeted run derives is
+    /// a subset of the unbudgeted fixpoint, on every evaluator and at every
+    /// thread count (parallel runs may refuse a different subset, but never
+    /// an unsound one).
+    #[test]
+    fn fact_budgeted_runs_are_sound_subsets(
+        program in definite_program(),
+        edb in random_edb(),
+        max_facts in 1u64..6,
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let full = db_snapshot(&eval_seminaive(&program, &edb).unwrap().db);
+        let budget = Budget::default().with_max_facts(max_facts);
+        let mut results = vec![(
+            "naive",
+            alexander_eval::eval_naive_opts(
+                &program, &edb, EvalOptions::default().with_budget(budget)).unwrap(),
+        )];
+        for threads in [1usize, 4] {
+            results.push((
+                "seminaive",
+                eval_seminaive_opts(
+                    &program, &edb,
+                    EvalOptions::with_threads(threads).with_budget(budget)).unwrap(),
+            ));
+            results.push((
+                "parallel-naive",
+                eval_naive_parallel_opts(
+                    &program, &edb,
+                    &EvalOptions::with_threads(threads).with_budget(budget)).unwrap(),
+            ));
+        }
+        for (name, r) in results {
+            let part = db_snapshot(&r.db);
+            for f in &part {
+                prop_assert!(full.contains(f), "{name}: {f} not in the fixpoint");
+            }
+            if r.completion.is_complete() {
+                prop_assert_eq!(&part, &full, "{} complete but smaller", name);
+            }
+        }
+    }
+
+    /// Sequential fact budgeting is *exact*: the run reports
+    /// `BudgetExhausted(Facts)` precisely when the budget actually cut the
+    /// fixpoint short (strict subset), and `Complete` precisely when it
+    /// reached the full model.
+    #[test]
+    fn sequential_fact_exhaustion_iff_strict_subset(
+        program in definite_program(),
+        edb in random_edb(),
+        max_facts in 1u64..8,
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let full = db_snapshot(&eval_seminaive(&program, &edb).unwrap().db);
+        let r = eval_seminaive_opts(
+            &program, &edb,
+            EvalOptions::default().with_budget(Budget::default().with_max_facts(max_facts)),
+        ).unwrap();
+        let part = db_snapshot(&r.db);
+        let strict = part.len() < full.len();
+        match r.completion {
+            Completion::Complete =>
+                prop_assert!(!strict, "complete run missed {} facts", full.len() - part.len()),
+            Completion::BudgetExhausted { resource: Resource::Facts } =>
+                prop_assert!(strict, "exhausted run actually reached the fixpoint"),
+            other => prop_assert!(false, "unexpected completion {:?}", other),
+        }
+    }
+
+    /// Partial results are resumable: feeding a budget-cut database back in
+    /// as the EDB and evaluating without a budget lands on exactly the
+    /// fixpoint of the original run.
+    #[test]
+    fn resuming_a_partial_result_reaches_the_same_fixpoint(
+        program in definite_program(),
+        edb in random_edb(),
+        max_facts in 1u64..4,
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let full = db_snapshot(&eval_seminaive(&program, &edb).unwrap().db);
+        let partial = eval_seminaive_opts(
+            &program, &edb,
+            EvalOptions::default().with_budget(Budget::default().with_max_facts(max_facts)),
+        ).unwrap();
+        let resumed = eval_seminaive(&program, &partial.db).unwrap();
+        prop_assert_eq!(db_snapshot(&resumed.db), full);
     }
 
     /// The conditional fixpoint agrees with stratified evaluation whenever

@@ -60,14 +60,20 @@ fn oldt_reorder_toggle_agrees_on_answers() {
         &parsed.program,
         &edb,
         &q,
-        alexander_topdown::OldtOptions { reorder: true },
+        alexander_topdown::OldtOptions {
+            reorder: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let off = alexander_topdown::oldt_query_opts(
         &parsed.program,
         &edb,
         &q,
-        alexander_topdown::OldtOptions { reorder: false },
+        alexander_topdown::OldtOptions {
+            reorder: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut a: Vec<String> = on.answers.iter().map(|x| x.to_string()).collect();
