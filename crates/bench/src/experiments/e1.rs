@@ -68,6 +68,20 @@ mod tests {
     }
 
     #[test]
+    fn qsqr_inferences_within_10x_of_oldt() {
+        // The headline table: QSQR's incremental restarts must keep its
+        // step count in the same decade as OLDT's suspension machinery.
+        let t = run_sized(CHAIN);
+        let inferences = |name: &str| -> u64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        let (qs, ol) = (inferences("qsqr"), inferences("oldt"));
+        assert!(qs <= ol * 10, "qsqr {qs} vs oldt {ol}: over 10x");
+    }
+
+    #[test]
     fn goal_directed_materialises_fewer_facts() {
         let t = run_sized(40);
         let facts = |name: &str| -> u64 {

@@ -1,0 +1,183 @@
+//! F6 (figure): the arena join kernel vs the boxed-tuple legacy engine —
+//! throughput and allocation pressure, before vs after.
+//!
+//! The "before" side is [`crate::legacy`], a faithful copy of the storage
+//! layer and semi-naive loop this workspace shipped prior to the arena
+//! rewrite: boxed tuples, `Vec<Const>`-keyed indexes, a key allocation per
+//! probe, a head tuple allocation per firing, and per-round delta
+//! databases with rebuilt indexes. The "after" side is the current
+//! `eval_seminaive`. Both compile rules through the same `compile_rule`,
+//! so every literal is visited in the same order and the firing, probe,
+//! candidate and duplicate counters must match *exactly* — the run asserts
+//! that equality before reporting any timing, which is what makes the
+//! throughput ratio a measurement of the kernels rather than of divergent
+//! work.
+//!
+//! The committed `BENCH_F6.json` records a `--release` run; the CI
+//! perf-smoke job re-runs `chain(450)/seminaive` and fails on a >20%
+//! facts/sec regression against it. The acceptance bar for the rewrite
+//! itself was a ≥1.5× facts/sec win on that same row.
+
+use crate::legacy::eval_seminaive_legacy;
+use crate::table::{ms, timed, Table};
+use alexander_eval::eval_seminaive;
+use alexander_ir::Program;
+use alexander_parser::parse_atom;
+use alexander_storage::Database;
+use alexander_transform::{alexander, sup_magic_sets, SipOptions};
+use alexander_workload as workload;
+use std::time::Duration;
+
+/// Timing repetitions per engine; the minimum is reported.
+const REPS: usize = 3;
+
+pub fn run() -> Table {
+    run_with(450, 12, 250, REPS)
+}
+
+/// Parameterised run (tests use small sizes and one repetition).
+pub fn run_with(chain_n: usize, tree_depth: usize, crossover_n: usize, reps: usize) -> Table {
+    let mut t = Table::new(
+        "F6",
+        "figure: arena join kernel vs boxed-tuple legacy engine",
+        "Each row evaluates the same program twice: once with the legacy \
+         engine (boxed tuples, Vec-keyed indexes, per-probe key \
+         allocations, per-round delta databases with index rebuilds) and \
+         once with the arena engine (flat tuple pools, hash-of-projection \
+         indexes probed without materialising keys, range deltas). Both \
+         sides compile rules identically and their firing/probe/duplicate \
+         counters are asserted equal, so the facts/sec ratio isolates the \
+         kernels. `allocs/fact` counts heap allocation events per derived \
+         fact via the counting global allocator. The committed \
+         BENCH_F6.json is the CI perf-smoke baseline for \
+         chain/seminaive facts/sec.",
+        &[
+            "workload",
+            "strategy",
+            "facts",
+            "legacy_ms",
+            "arena_ms",
+            "legacy_facts_per_sec",
+            "arena_facts_per_sec",
+            "speedup",
+            "legacy_allocs_per_fact",
+            "arena_allocs_per_fact",
+        ],
+    );
+
+    let chain = workload::chain("par", chain_n);
+    let (tree, _) = workload::tree("par", 2, tree_depth);
+    let crossover = workload::chain("par", crossover_n);
+    let anc = workload::ancestor();
+
+    let cases: Vec<(String, &Database, &str)> = vec![
+        (format!("chain({chain_n})"), &chain, "anc(n0, X)"),
+        (format!("tree(2,{tree_depth})"), &tree, "anc(n0, X)"),
+        // Free query: the crossover regime where rewriting loses to plain
+        // bottom-up (E5); here it exercises the kernels on wide deltas.
+        (format!("crossover({crossover_n})"), &crossover, "anc(X, Y)"),
+    ];
+
+    for (name, edb, query) in &cases {
+        let q = parse_atom(query).unwrap();
+        let opts = SipOptions::default();
+        let strategies: Vec<(&str, Program)> = vec![
+            ("seminaive", anc.clone()),
+            ("alexander", alexander(&anc, &q, opts).unwrap().program),
+            ("supmagic", sup_magic_sets(&anc, &q, opts).unwrap().program),
+        ];
+        for (sname, program) in strategies {
+            t.row(case_row(name, sname, &program, edb, reps));
+        }
+    }
+    t
+}
+
+fn case_row(
+    workload: &str,
+    strategy: &str,
+    program: &Program,
+    edb: &Database,
+    reps: usize,
+) -> Vec<String> {
+    let mut legacy_best = Duration::MAX;
+    let mut arena_best = Duration::MAX;
+    let mut legacy_allocs = 0u64;
+    let mut arena_allocs = 0u64;
+    let mut facts = 0u64;
+
+    for rep in 0..reps.max(1) {
+        // Alternate the order so warm-up and turbo effects do not
+        // systematically favour one engine.
+        let (legacy, d_legacy, arena, d_arena) = if rep % 2 == 0 {
+            let a0 = crate::alloc::allocations();
+            let (legacy, dl) = timed(|| eval_seminaive_legacy(program, edb));
+            let a1 = crate::alloc::allocations();
+            let (arena, da) = timed(|| eval_seminaive(program, edb).unwrap());
+            let a2 = crate::alloc::allocations();
+            legacy_allocs = a1 - a0;
+            arena_allocs = a2 - a1;
+            (legacy, dl, arena, da)
+        } else {
+            let a0 = crate::alloc::allocations();
+            let (arena, da) = timed(|| eval_seminaive(program, edb).unwrap());
+            let a1 = crate::alloc::allocations();
+            let (legacy, dl) = timed(|| eval_seminaive_legacy(program, edb));
+            let a2 = crate::alloc::allocations();
+            arena_allocs = a1 - a0;
+            legacy_allocs = a2 - a1;
+            (legacy, dl, arena, da)
+        };
+        legacy_best = legacy_best.min(d_legacy);
+        arena_best = arena_best.min(d_arena);
+
+        // The comparison is only meaningful if both engines did identical
+        // logical work, counter for counter.
+        assert_eq!(
+            legacy.metrics, arena.metrics,
+            "{workload}/{strategy}: legacy and arena engines diverged"
+        );
+        assert_eq!(
+            legacy.db.total_tuples(),
+            arena.db.total_tuples() as u64,
+            "{workload}/{strategy}: fact totals diverged"
+        );
+        facts = arena.metrics.new_facts;
+    }
+
+    let per_sec = |facts: u64, d: Duration| facts as f64 / d.as_secs_f64().max(1e-9);
+    let legacy_fps = per_sec(facts, legacy_best);
+    let arena_fps = per_sec(facts, arena_best);
+    let per_fact = |allocs: u64| allocs as f64 / (facts as f64).max(1.0);
+    vec![
+        workload.to_string(),
+        strategy.to_string(),
+        facts.to_string(),
+        ms(legacy_best),
+        ms(arena_best),
+        format!("{legacy_fps:.0}"),
+        format!("{arena_fps:.0}"),
+        format!("{:.2}", arena_fps / legacy_fps.max(1e-9)),
+        format!("{:.1}", per_fact(legacy_allocs)),
+        format!("{:.1}", per_fact(arena_allocs)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_table_is_well_formed() {
+        // `case_row` asserts metric equality internally; surviving the run
+        // is the differential check. Small sizes keep the debug build fast.
+        let t = run_with(60, 6, 40, 1);
+        assert_eq!(t.rows.len(), 9);
+        for row in &t.rows {
+            let facts: u64 = row[2].parse().unwrap();
+            assert!(facts > 0, "{row:?}");
+            let speedup: f64 = row[7].parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod f2;
 pub mod f3;
 pub mod f4;
 pub mod f5;
+pub mod f6;
 
 use crate::table::{ms, timed, Table};
 use alexander_core::{Engine, Strategy};
@@ -48,6 +49,7 @@ pub fn all() -> Vec<Table> {
         f3::run(),
         f4::run(),
         f5::run(),
+        f6::run(),
     ]
 }
 
@@ -72,15 +74,16 @@ pub fn by_id(id: &str) -> Option<Table> {
         "f3" => f3::run,
         "f4" => f4::run,
         "f5" => f5::run,
+        "f6" => f6::run,
         _ => return None,
     };
     Some(run())
 }
 
 /// All experiment ids, in report order.
-pub const IDS: [&str; 18] = [
+pub const IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2",
-    "f3", "f4", "f5",
+    "f3", "f4", "f5", "f6",
 ];
 
 /// The per-strategy row every comparison table shares: run the query, report

@@ -24,8 +24,8 @@ pub fn solve(db: &Database, move_pred: Predicate) -> GameLabels {
     let mut preds: FxHashMap<Const, Vec<Const>> = FxHashMap::default();
     let mut positions: FxHashSet<Const> = FxHashSet::default();
     if let Some(rel) = db.relation(move_pred) {
-        for t in rel.iter() {
-            let (a, b) = (t.get(0), t.get(1));
+        for row in rel.iter() {
+            let (a, b) = (row[0], row[1]);
             succs.entry(a).or_default().push(b);
             preds.entry(b).or_default().push(a);
             positions.insert(a);

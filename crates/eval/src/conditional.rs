@@ -40,7 +40,9 @@
 
 use crate::error::EvalError;
 use crate::govern::Completion;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput, JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use crate::naive::seed_database;
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Polarity, Program};
@@ -191,6 +193,7 @@ pub fn eval_conditional_opts(
 
     // ---- Phase 1: the monotone T_c fixpoint. ----
     let mut stmts = Statements::default();
+    let mut scratch = JoinScratch::new();
     let mut stopped = false;
     'phase1: loop {
         if gov.note_round().is_break() {
@@ -219,8 +222,12 @@ pub fn eval_conditional_opts(
             };
             // Collect matches first: `stmts` is mutated after the join.
             let mut matches: Vec<(Atom, Vec<Atom>, Conditions)> = Vec::new();
-            let flow =
-                join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
+            let flow = join_rule_bindings(
+                rule,
+                &input,
+                &mut scratch,
+                &mut metrics,
+                &mut |rule, bind, metrics| {
                     metrics.firings += 1;
                     let head = rule
                         .head
@@ -258,7 +265,8 @@ pub fn eval_conditional_opts(
                         Some(g) => g.note_firing(),
                         None => ControlFlow::Continue(()),
                     }
-                });
+                },
+            );
             if flow.is_break() {
                 stopped = true;
                 break 'phase1;

@@ -13,7 +13,10 @@
 //! both directions and need counting or stratified DRed, out of scope here.
 
 use crate::error::EvalError;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
+    JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use crate::naive::{seed_database, EvalOptions};
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Predicate, Program};
@@ -110,8 +113,13 @@ impl IncrementalEngine {
     }
 
     /// Semi-naive insertion rounds seeded with `delta`; returns facts added.
+    ///
+    /// Update deltas are arbitrary fact sets, not contiguous id suffixes of
+    /// the total, so they stay materialised databases and the join reads
+    /// them through [`DeltaSource::Db`].
     fn propagate_insertions(&mut self, mut delta: Database) -> usize {
         let mut added = 0usize;
+        let mut scratch = JoinScratch::new();
         while delta.total_tuples() > 0 {
             self.metrics.iterations += 1;
             for r in &self.compiled {
@@ -127,15 +135,15 @@ impl IncrementalEngine {
                     }
                     let input = JoinInput {
                         total: &self.total,
-                        delta: Some((i, &delta)),
+                        delta: Some((i, DeltaSource::Db(&delta))),
                         negatives: None,
                         governor: None,
                     };
                     let total_ref = &self.total;
-                    let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
-                        if total_ref.relation(head).is_some_and(|r| r.contains(&t)) {
+                    let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
+                        if total_ref.contains_row(head, row) {
                             Emitted::Duplicate
-                        } else if next.insert(head, t) {
+                        } else if next.insert_row(head, row) {
                             Emitted::New
                         } else {
                             Emitted::Duplicate
@@ -170,6 +178,7 @@ impl IncrementalEngine {
         let mut delta = Database::new();
         delta.insert(pred, t);
 
+        let mut scratch = JoinScratch::new();
         while delta.total_tuples() > 0 {
             self.metrics.iterations += 1;
             for r in &self.compiled {
@@ -185,16 +194,18 @@ impl IncrementalEngine {
                     }
                     let input = JoinInput {
                         total: &self.total,
-                        delta: Some((i, &delta)),
+                        delta: Some((i, DeltaSource::Db(&delta))),
                         negatives: None,
                         governor: None,
                     };
                     let doomed_ref = &doomed;
-                    let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
-                        let seen = doomed_ref.get(&head).is_some_and(|s| s.contains(&t));
+                    let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
+                        let seen = doomed_ref
+                            .get(&head)
+                            .is_some_and(|s| s.contains(&Tuple::new(row)));
                         if seen {
                             Emitted::Duplicate
-                        } else if next.insert(head, t) {
+                        } else if next.insert_row(head, row) {
                             Emitted::New
                         } else {
                             Emitted::Duplicate
@@ -205,8 +216,8 @@ impl IncrementalEngine {
             for p in next.predicates() {
                 let set = doomed.entry(p).or_default();
                 if let Some(rel) = next.relation(p) {
-                    for t in rel.iter() {
-                        set.insert(t.clone());
+                    for row in rel.iter() {
+                        set.insert(Tuple::new(row));
                     }
                 }
             }
@@ -242,10 +253,10 @@ impl IncrementalEngine {
                     governor: None,
                 };
                 let total_ref = &self.total;
-                let _ = join_rule(rule, &input, &mut self.metrics, &mut |t| {
-                    if candidates.contains(&t)
-                        && !total_ref.relation(head).is_some_and(|r| r.contains(&t))
-                        && next.insert(head, t)
+                let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
+                    if candidates.contains(&Tuple::new(row))
+                        && !total_ref.contains_row(head, row)
+                        && next.insert_row(head, row)
                     {
                         Emitted::New
                     } else {
@@ -309,7 +320,7 @@ mod tests {
         assert!(over > 0);
         assert_eq!(re, 0, "a chain has no alternative derivations");
 
-        let mut edb2 = edb.clone();
+        let mut edb2 = edb;
         assert!(edb2.remove_atom(&victim));
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
     }
@@ -339,7 +350,7 @@ mod tests {
         assert!(inc.db().contains_atom(&parse_atom("tc(n0, n3)").unwrap()));
         assert!(!inc.db().contains_atom(&parse_atom("tc(n1, n3)").unwrap()));
 
-        let mut edb2 = edb.clone();
+        let mut edb2 = edb;
         edb2.remove_atom(&victim);
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
     }
@@ -384,7 +395,7 @@ mod tests {
         let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
         let victim = parse_atom("e(n2, n3)").unwrap();
         inc.delete(&victim).unwrap();
-        let mut edb2 = edb.clone();
+        let mut edb2 = edb;
         edb2.remove_atom(&victim);
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
     }

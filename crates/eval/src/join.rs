@@ -1,11 +1,23 @@
 //! Compiled rules and the nested-loop index join at the heart of every
 //! bottom-up evaluator.
 //!
-//! Rules are compiled once: variables become dense slots, terms become
-//! [`Pat`]s, and each body literal gets the static [`Mask`] of positions
-//! that are bound when the join reaches it left to right. Joining then works
-//! on a flat `Vec<Option<Const>>` binding array with a trail for
-//! backtracking — no hash-map substitutions on the hot path.
+//! Rules are compiled once per fixpoint run: variables become dense slots,
+//! terms become [`Pat`]s, and each body literal gets the static [`Mask`] of
+//! positions that are bound when the join reaches it left to right, plus the
+//! precomputed `(column, source)` list those positions resolve from. Joining
+//! then works on a flat `Vec<Option<Const>>` binding array with a shared
+//! trail for backtracking — no hash-map substitutions, and **no heap
+//! allocation per probe or per firing**: probe keys are hashed in place with
+//! [`RowHasher`] (never materialised), candidates are read as `&[Const]`
+//! rows straight out of the relation arena, and the instantiated head is
+//! written into a reusable scratch buffer. All reusable buffers live in a
+//! [`JoinScratch`] that callers keep for the whole run (one per worker).
+//!
+//! Semi-naive deltas arrive as [`DeltaSource::Spans`] — id ranges into the
+//! total database — so a delta probe reuses the total's indexes and narrows
+//! the (id-sorted) posting list with two binary searches. The incremental
+//! engine's non-contiguous deltas still pass a separate database via
+//! [`DeltaSource::Db`].
 //!
 //! The join is also where mid-round governance lives: when a
 //! [`Governor`](crate::govern::Governor) rides along in the [`JoinInput`],
@@ -16,8 +28,8 @@
 use crate::govern::Governor;
 use crate::metrics::EvalMetrics;
 use crate::order::{order_for_evaluation, Unorderable};
-use alexander_ir::{Atom, Const, FxHashMap, Polarity, Predicate, Rule, Term, Var};
-use alexander_storage::{Database, Mask, Tuple};
+use alexander_ir::{Atom, Const, FxHashMap, Polarity, Predicate, RowHasher, Rule, Term, Var};
+use alexander_storage::{Database, DeltaSpans, Mask, Relation, Tuple};
 use std::ops::ControlFlow;
 
 /// A compiled term: a constant or a variable slot.
@@ -36,7 +48,8 @@ pub struct AtomPat {
 
 impl AtomPat {
     /// Instantiates the pattern under `bind` into a tuple; `None` if any slot
-    /// is unbound.
+    /// is unbound. Allocates — for cold paths (conditional statements,
+    /// provenance); the join itself writes into scratch buffers instead.
     pub fn to_tuple(&self, bind: &[Option<Const>]) -> Option<Tuple> {
         let vals: Option<Vec<Const>> = self
             .args
@@ -57,6 +70,10 @@ pub struct BodyPat {
     pub polarity: Polarity,
     /// Positions bound when the join reaches this literal (left-to-right).
     pub mask: Mask,
+    /// The mask's columns with their value sources, ascending by column —
+    /// precomputed so a probe hashes its key straight from the binding
+    /// array without consulting the mask or allocating a key vector.
+    pub bound: Vec<(u32, Pat)>,
 }
 
 /// A rule compiled for bottom-up joining.
@@ -93,26 +110,27 @@ pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
     // Compile body first so masks reflect the evaluation order; safety
     // guarantees head slots are a subset of body slots.
     let mut body = Vec::with_capacity(ordered.body.len());
-    let mut bound: Vec<bool> = Vec::new();
+    let mut bound_slots: Vec<bool> = Vec::new();
     for l in &ordered.body {
         let atom = compile_atom(&l.atom, &mut slots);
-        bound.resize(slots.len(), false);
+        bound_slots.resize(slots.len(), false);
         let mut cols = Vec::new();
+        let mut bound = Vec::new();
         for (i, p) in atom.args.iter().enumerate() {
-            match p {
-                Pat::Const(_) => cols.push(i),
-                Pat::Var(v) => {
-                    if bound[*v as usize] {
-                        cols.push(i);
-                    }
-                }
+            let is_bound = match p {
+                Pat::Const(_) => true,
+                Pat::Var(v) => bound_slots[*v as usize],
+            };
+            if is_bound {
+                cols.push(i);
+                bound.push((i as u32, *p));
             }
         }
         let mask = Mask::of_columns(&cols);
         if l.polarity == Polarity::Positive {
             for p in &atom.args {
                 if let Pat::Var(v) = p {
-                    bound[*v as usize] = true;
+                    bound_slots[*v as usize] = true;
                 }
             }
         }
@@ -120,6 +138,7 @@ pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
             atom,
             polarity: l.polarity,
             mask,
+            bound,
         });
     }
     let head = compile_atom(&ordered.head, &mut slots);
@@ -131,13 +150,25 @@ pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
     })
 }
 
+/// Where a delta-restricted literal reads its facts.
+#[derive(Clone, Copy)]
+pub enum DeltaSource<'a> {
+    /// Per-predicate id ranges into [`JoinInput::total`] (the semi-naive
+    /// representation: a delta is the contiguous suffix a round's merge
+    /// appended, probed through the total's own indexes).
+    Spans(&'a DeltaSpans),
+    /// A separate database (the incremental engine's deltas are not
+    /// contiguous id ranges of the total, so they stay materialised).
+    Db(&'a Database),
+}
+
 /// The fact sources a join reads from.
 pub struct JoinInput<'a> {
     /// Full set of facts derived so far (plus the EDB).
     pub total: &'a Database,
     /// Semi-naive: the literal index that must match the delta, and the
-    /// delta database. `None` runs a naive (full) join.
-    pub delta: Option<(usize, &'a Database)>,
+    /// delta itself. `None` runs a naive (full) join.
+    pub delta: Option<(usize, DeltaSource<'a>)>,
     /// Where negative literals are checked. Stratified evaluation passes the
     /// total database (lower strata complete); `None` defaults to `total`.
     pub negatives: Option<&'a Database>,
@@ -156,6 +187,25 @@ impl<'a> JoinInput<'a> {
             negatives: None,
             governor: None,
         }
+    }
+}
+
+/// Reusable per-worker buffers for the join: the binding array, the
+/// backtracking trail, and the head-row scratch. One `JoinScratch` serves a
+/// whole fixpoint run — every `join_rule` call resets what it needs and
+/// reuses the capacity, so steady-state joining performs no allocation at
+/// all.
+#[derive(Default)]
+pub struct JoinScratch {
+    bind: Vec<Option<Const>>,
+    trail: Vec<u32>,
+    head: Vec<Const>,
+}
+
+impl JoinScratch {
+    /// Fresh scratch buffers.
+    pub fn new() -> JoinScratch {
+        JoinScratch::default()
     }
 }
 
@@ -179,15 +229,18 @@ pub enum Emitted {
 }
 
 /// Joins `rule`'s body over `input`, calling `emit` with the instantiated
-/// head tuple for every satisfying assignment. `emit` reports whether the
-/// tuple was new, a duplicate, or refused by the fact budget; the join
+/// head row for every satisfying assignment. The row lives in
+/// `scratch.head` and is only valid for the duration of the call — copy it
+/// (e.g. via `Database::insert_row`) to keep it. `emit` reports whether the
+/// row was new, a duplicate, or refused by the fact budget; the join
 /// returns [`ControlFlow::Break`] when it stopped early (refusal, or any
 /// governor budget/cancellation trip).
 pub fn join_rule(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
+    scratch: &mut JoinScratch,
     metrics: &mut EvalMetrics,
-    emit: &mut dyn FnMut(Tuple) -> Emitted,
+    emit: &mut dyn FnMut(&[Const]) -> Emitted,
 ) -> ControlFlow<()> {
     // With no step budget there is nothing to claim per firing; the
     // governor only needs a periodic cancellation/deadline look, which a
@@ -195,41 +248,59 @@ pub fn join_rule(
     // costs the same as an ungoverned one (experiment F5).
     let exact_steps = input.governor.is_some_and(|g| g.counts_steps());
     let mut since_check: u32 = 0;
-    join_rule_bindings(rule, input, metrics, &mut |rule, bind, metrics| {
-        // The step claim comes before the emission: a refused firing does
-        // no work and touches no counters, so an ungoverned run and a run
-        // whose budget is never hit produce identical metrics.
-        if let Some(g) = input.governor {
-            if exact_steps {
-                g.note_firing()?;
-            } else {
-                since_check += 1;
-                if since_check >= INTERRUPT_STRIDE {
-                    since_check = 0;
-                    g.check_interrupt()?;
+    let JoinScratch { bind, trail, head } = scratch;
+    bind.clear();
+    bind.resize(rule.nvars, None);
+    trail.clear();
+    let neg_db = input.negatives.unwrap_or(input.total);
+    descend(
+        rule,
+        input,
+        neg_db,
+        0,
+        bind,
+        trail,
+        metrics,
+        &mut |rule, bind, metrics| {
+            // The step claim comes before the emission: a refused firing does
+            // no work and touches no counters, so an ungoverned run and a run
+            // whose budget is never hit produce identical metrics.
+            if let Some(g) = input.governor {
+                if exact_steps {
+                    g.note_firing()?;
+                } else {
+                    since_check += 1;
+                    if since_check >= INTERRUPT_STRIDE {
+                        since_check = 0;
+                        g.check_interrupt()?;
+                    }
                 }
             }
-        }
-        let head = rule
-            .head
-            // invariant: rule safety (head vars ⊆ positive body vars) is
-            // checked by `Program::validate` before any evaluation.
-            .to_tuple(bind)
-            .expect("safety guarantees a ground head after a full body match");
-        match emit(head) {
-            Emitted::New => {
-                metrics.firings += 1;
-                metrics.new_facts += 1;
-                ControlFlow::Continue(())
+            head.clear();
+            for p in &rule.head.args {
+                head.push(match p {
+                    Pat::Const(c) => *c,
+                    // invariant: rule safety (head vars ⊆ positive body vars) is
+                    // checked by `Program::validate` before any evaluation.
+                    Pat::Var(v) => bind[*v as usize]
+                        .expect("safety guarantees a ground head after a full body match"),
+                });
             }
-            Emitted::Duplicate => {
-                metrics.firings += 1;
-                metrics.duplicate_facts += 1;
-                ControlFlow::Continue(())
+            match emit(head) {
+                Emitted::New => {
+                    metrics.firings += 1;
+                    metrics.new_facts += 1;
+                    ControlFlow::Continue(())
+                }
+                Emitted::Duplicate => {
+                    metrics.firings += 1;
+                    metrics.duplicate_facts += 1;
+                    ControlFlow::Continue(())
+                }
+                Emitted::Refused => ControlFlow::Break(()),
             }
-            Emitted::Refused => ControlFlow::Break(()),
-        }
-    })
+        },
+    )
 }
 
 /// The callback [`join_rule_bindings`] hands each satisfying assignment to.
@@ -245,20 +316,38 @@ pub type EmitBindings<'a> =
 pub fn join_rule_bindings(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
+    scratch: &mut JoinScratch,
     metrics: &mut EvalMetrics,
     emit: &mut EmitBindings<'_>,
 ) -> ControlFlow<()> {
-    let mut bind: Vec<Option<Const>> = vec![None; rule.nvars];
+    let JoinScratch { bind, trail, .. } = scratch;
+    bind.clear();
+    bind.resize(rule.nvars, None);
+    trail.clear();
     let neg_db = input.negatives.unwrap_or(input.total);
-    descend(rule, input, neg_db, 0, &mut bind, metrics, emit)
+    descend(rule, input, neg_db, 0, bind, trail, metrics, emit)
 }
 
+/// Resolves a compiled term under the binding array. Only called for
+/// positions the evaluation order has already bound.
+#[inline]
+fn resolve(p: Pat, bind: &[Option<Const>]) -> Const {
+    match p {
+        Pat::Const(c) => c,
+        // invariant: the caller consults only positions the ordering has
+        // already bound (probe masks, ground negatives, ground built-ins).
+        Pat::Var(v) => bind[v as usize].expect("masked position is bound"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn descend(
     rule: &CompiledRule,
     input: &JoinInput<'_>,
     neg_db: &Database,
     depth: usize,
     bind: &mut Vec<Option<Const>>,
+    trail: &mut Vec<u32>,
     metrics: &mut EvalMetrics,
     emit: &mut EmitBindings<'_>,
 ) -> ControlFlow<()> {
@@ -271,17 +360,14 @@ fn descend(
     // Built-in comparisons are evaluated natively, whatever their polarity;
     // the body ordering guarantees their arguments are ground here.
     if let Some(b) = alexander_ir::Builtin::of(lit.atom.pred) {
-        let t = lit
-            .atom
-            // invariant: `order_for_evaluation` schedules built-ins only
-            // after every variable they use is bound.
-            .to_tuple(bind)
-            .expect("ordering guarantees ground built-ins");
         metrics.probes += 1;
-        let holds = b.eval(t.get(0), t.get(1));
+        let holds = b.eval(
+            resolve(lit.atom.args[0], bind),
+            resolve(lit.atom.args[1], bind),
+        );
         let want = lit.polarity == Polarity::Positive;
         if holds == want {
-            descend(rule, input, neg_db, depth + 1, bind, metrics, emit)?;
+            descend(rule, input, neg_db, depth + 1, bind, trail, metrics, emit)?;
         }
         return ControlFlow::Continue(());
     }
@@ -289,97 +375,174 @@ fn descend(
     match lit.polarity {
         Polarity::Negative => {
             // invariant: `order_for_evaluation` schedules negative literals
-            // only after every variable they use is bound.
-            let t = lit
-                .atom
-                .to_tuple(bind)
-                .expect("ordering guarantees ground negative literals");
+            // only after every variable they use is bound, so the candidate
+            // row is checked column by column straight off the binding
+            // array — no tuple is built.
             let present = neg_db
                 .relation(lit.atom.pred)
-                .is_some_and(|r| r.contains(&t));
+                .is_some_and(|r| r.contains_with(|i| resolve(lit.atom.args[i], bind)));
             metrics.probes += 1;
             if !present {
-                descend(rule, input, neg_db, depth + 1, bind, metrics, emit)?;
+                descend(rule, input, neg_db, depth + 1, bind, trail, metrics, emit)?;
             }
         }
         Polarity::Positive => {
-            let db = match input.delta {
-                Some((d, delta)) if d == depth => delta,
-                _ => input.total,
+            // Resolve the relation this literal scans and the id range the
+            // delta (if this is the delta position) restricts it to.
+            let (relation, range): (&Relation, Option<(u32, u32)>) = match input.delta {
+                Some((d, DeltaSource::Spans(spans))) if d == depth => {
+                    let Some(span) = spans.get(lit.atom.pred) else {
+                        return ControlFlow::Continue(());
+                    };
+                    let Some(rel) = input.total.relation(lit.atom.pred) else {
+                        return ControlFlow::Continue(());
+                    };
+                    (rel, Some(span))
+                }
+                Some((d, DeltaSource::Db(db))) if d == depth => {
+                    let Some(rel) = db.relation(lit.atom.pred) else {
+                        return ControlFlow::Continue(());
+                    };
+                    (rel, None)
+                }
+                _ => {
+                    let Some(rel) = input.total.relation(lit.atom.pred) else {
+                        return ControlFlow::Continue(());
+                    };
+                    (rel, None)
+                }
             };
-            let Some(relation) = db.relation(lit.atom.pred) else {
-                return ControlFlow::Continue(());
-            };
-            // Build the probe key from the bound positions.
-            let cols = lit.mask.columns();
-            let key: Vec<Const> = cols
-                .iter()
-                .map(|&c| match lit.atom.args[c] {
-                    Pat::Const(k) => k,
-                    // invariant: the probe mask was built from positions the
-                    // ordering has already bound.
-                    Pat::Var(v) => bind[v as usize].expect("masked position is bound"),
-                })
-                .collect();
+            let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
             metrics.probes += 1;
-            let (candidates, indexed) = relation.probe(lit.mask, &key);
-            if !indexed {
-                // Fallback scan: storage enumerated the whole relation to
-                // filter it, and that cost is what `tuples_considered`
-                // measures (ablation E10).
-                metrics.tuples_considered += relation.len() as u64;
-            }
 
-            // Trail of slots bound while matching one candidate.
-            let mut trail: Vec<u32> = Vec::new();
-            for t in candidates {
-                if indexed {
-                    metrics.tuples_considered += 1;
+            let base = trail.len();
+            if lit.mask.is_empty() {
+                // Full scan of the (possibly range-restricted) relation.
+                // `tuples_considered` charges the whole enumeration, which
+                // is what the index ablation (E10) measures.
+                metrics.tuples_considered += u64::from(hi - lo);
+                for row in relation.rows_in(lo, hi) {
+                    match_candidate(
+                        rule, input, neg_db, depth, row, bind, trail, base, metrics, emit,
+                    )?;
                 }
-                trail.clear();
-                let mut ok = true;
-                for (i, p) in lit.atom.args.iter().enumerate() {
-                    match p {
-                        Pat::Const(c) => {
-                            if t.get(i) != *c {
-                                ok = false;
-                                break;
+            } else {
+                // Hash the bound columns in place — no key vector. The
+                // digest matches the index's projection hashes because both
+                // sides stream the same constants in ascending column
+                // order.
+                let mut h = RowHasher::new();
+                for &(_, p) in &lit.bound {
+                    h.push(&resolve(p, bind));
+                }
+                let ids = relation.probe_ids(lit.mask, h.finish(), |rep| {
+                    lit.bound
+                        .iter()
+                        .all(|&(c, p)| rep[c as usize] == resolve(p, bind))
+                });
+                match ids {
+                    Some(ids) => {
+                        // Narrow the id-sorted posting list to the delta
+                        // range; for a full probe this is the whole list.
+                        let ids = match range {
+                            Some(_) => {
+                                let from = ids.partition_point(|&id| id < lo);
+                                let to = ids.partition_point(|&id| id < hi);
+                                &ids[from..to]
                             }
+                            None => ids,
+                        };
+                        for &id in ids {
+                            metrics.tuples_considered += 1;
+                            let row = relation.row(id);
+                            match_candidate(
+                                rule, input, neg_db, depth, row, bind, trail, base, metrics, emit,
+                            )?;
                         }
-                        Pat::Var(v) => {
-                            let v = *v as usize;
-                            match bind[v] {
-                                Some(c) => {
-                                    if t.get(i) != c {
-                                        ok = false;
-                                        break;
-                                    }
-                                }
-                                None => {
-                                    bind[v] = Some(t.get(i));
-                                    trail.push(v as u32);
-                                }
+                    }
+                    None => {
+                        // Fallback scan: storage enumerates the whole range
+                        // to filter it, and that cost is what
+                        // `tuples_considered` measures (ablation E10).
+                        metrics.tuples_considered += u64::from(hi - lo);
+                        for row in relation.rows_in(lo, hi) {
+                            if lit
+                                .bound
+                                .iter()
+                                .all(|&(c, p)| row[c as usize] == resolve(p, bind))
+                            {
+                                match_candidate(
+                                    rule, input, neg_db, depth, row, bind, trail, base, metrics,
+                                    emit,
+                                )?;
                             }
                         }
                     }
-                }
-                if ok {
-                    let flow = descend(rule, input, neg_db, depth + 1, bind, metrics, emit);
-                    if flow.is_break() {
-                        // Unwind cleanly: later candidates are abandoned.
-                        for &v in &trail {
-                            bind[v as usize] = None;
-                        }
-                        return ControlFlow::Break(());
-                    }
-                }
-                for &v in &trail {
-                    bind[v as usize] = None;
                 }
             }
         }
     }
     ControlFlow::Continue(())
+}
+
+/// Matches one candidate row against a positive literal at `depth`: binds
+/// its free positions (recording them on the trail), recurses on success,
+/// and unwinds the trail back to `base` either way. `Break` propagates
+/// after the unwind so the binding array stays clean for the caller.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn match_candidate(
+    rule: &CompiledRule,
+    input: &JoinInput<'_>,
+    neg_db: &Database,
+    depth: usize,
+    row: &[Const],
+    bind: &mut Vec<Option<Const>>,
+    trail: &mut Vec<u32>,
+    base: usize,
+    metrics: &mut EvalMetrics,
+    emit: &mut EmitBindings<'_>,
+) -> ControlFlow<()> {
+    let lit = &rule.body[depth];
+    let mut ok = true;
+    for (i, p) in lit.atom.args.iter().enumerate() {
+        match p {
+            Pat::Const(c) => {
+                if row[i] != *c {
+                    ok = false;
+                    break;
+                }
+            }
+            Pat::Var(v) => {
+                let v = *v as usize;
+                match bind[v] {
+                    Some(c) => {
+                        if row[i] != c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        bind[v] = Some(row[i]);
+                        trail.push(v as u32);
+                    }
+                }
+            }
+        }
+    }
+    let flow = if ok {
+        descend(rule, input, neg_db, depth + 1, bind, trail, metrics, emit)
+    } else {
+        ControlFlow::Continue(())
+    };
+    // Unwind this candidate's bindings; on Break later candidates are
+    // abandoned by the caller, which sees the propagated flow.
+    while trail.len() > base {
+        // invariant: entries above `base` were pushed by this candidate.
+        let v = trail.pop().expect("trail entries above base exist");
+        bind[v as usize] = None;
+    }
+    flow
 }
 
 /// Ensures the indexes a compiled rule will probe exist in `db` (for the
@@ -408,8 +571,22 @@ mod tests {
         db
     }
 
+    fn collect_join(
+        rule: &CompiledRule,
+        input: &JoinInput<'_>,
+        metrics: &mut EvalMetrics,
+    ) -> (Vec<Tuple>, ControlFlow<()>) {
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        let flow = join_rule(rule, input, &mut scratch, metrics, &mut |row| {
+            out.push(Tuple::new(row));
+            Emitted::New
+        });
+        (out, flow)
+    }
+
     #[test]
-    fn compile_assigns_slots_and_masks() {
+    fn compile_assigns_slots_masks_and_bound_sources() {
         // p(X, Y) :- e(X, Z), e(Z, Y).
         let r = Rule::new(
             atom("p", [Term::var("X"), Term::var("Y")]),
@@ -422,8 +599,11 @@ mod tests {
         assert_eq!(c.nvars, 3);
         // First literal: nothing bound.
         assert!(c.body[0].mask.is_empty());
+        assert!(c.body[0].bound.is_empty());
         // Second literal: Z (column 0) bound.
         assert_eq!(c.body[1].mask, Mask::of_columns(&[0]));
+        assert_eq!(c.body[1].bound.len(), 1);
+        assert_eq!(c.body[1].bound[0].0, 0);
     }
 
     #[test]
@@ -437,12 +617,8 @@ mod tests {
         );
         let c = compile_rule(&r).unwrap();
         let db = edb();
-        let mut out = Vec::new();
         let mut m = EvalMetrics::default();
-        let flow = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
-            out.push(t);
-            Emitted::New
-        });
+        let (out, flow) = collect_join(&c, &JoinInput::naive(&db), &mut m);
         assert!(flow.is_continue());
         // a->b->c and b->c->d.
         assert_eq!(out.len(), 2);
@@ -462,12 +638,8 @@ mod tests {
         let c = compile_rule(&r).unwrap();
         assert_eq!(c.body[0].mask, Mask::of_columns(&[0]));
         let db = edb();
-        let mut out = Vec::new();
         let mut m = EvalMetrics::default();
-        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
-            out.push(t);
-            Emitted::New
-        });
+        let (out, _) = collect_join(&c, &JoinInput::naive(&db), &mut m);
         assert_eq!(out, vec![tuple_of_syms(&["b"])]);
     }
 
@@ -481,18 +653,10 @@ mod tests {
         let c = compile_rule(&r).unwrap();
         let mut db = edb();
         let mut m = EvalMetrics::default();
-        let mut out = Vec::new();
-        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
-            out.push(t);
-            Emitted::New
-        });
+        let (out, _) = collect_join(&c, &JoinInput::naive(&db), &mut m);
         assert!(out.is_empty());
         db.insert(Predicate::new("e", 2), tuple_of_syms(&["z", "z"]));
-        let mut out2 = Vec::new();
-        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
-            out2.push(t);
-            Emitted::New
-        });
+        let (out2, _) = collect_join(&c, &JoinInput::naive(&db), &mut m);
         assert_eq!(out2, vec![tuple_of_syms(&["z"])]);
     }
 
@@ -510,18 +674,14 @@ mod tests {
         let mut db = edb();
         db.insert(Predicate::new("blocked", 1), tuple_of_syms(&["a"]));
         let mut m = EvalMetrics::default();
-        let mut out = Vec::new();
-        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |t| {
-            out.push(t);
-            Emitted::New
-        });
+        let (out, _) = collect_join(&c, &JoinInput::naive(&db), &mut m);
         // a is blocked; b and c survive.
         assert_eq!(out.len(), 2);
         assert!(!out.contains(&tuple_of_syms(&["a"])));
     }
 
     #[test]
-    fn delta_restricts_one_literal() {
+    fn delta_db_restricts_one_literal() {
         let r = Rule::new(
             atom("p", [Term::var("X"), Term::var("Y")]),
             vec![
@@ -535,22 +695,65 @@ mod tests {
         let mut delta = Database::new();
         delta.insert(Predicate::new("e", 2), tuple_of_syms(&["b", "c"]));
         let mut m = EvalMetrics::default();
-        let mut out = Vec::new();
-        let _ = join_rule(
-            &c,
-            &JoinInput {
+        let input = JoinInput {
+            total: &db,
+            delta: Some((0, DeltaSource::Db(&delta))),
+            negatives: None,
+            governor: None,
+        };
+        let (out, _) = collect_join(&c, &input, &mut m);
+        assert_eq!(out, vec![tuple_of_syms(&["b", "d"])]);
+    }
+
+    #[test]
+    fn delta_spans_restrict_like_a_database() {
+        // The same restriction expressed as an id range of the total: grow
+        // the edb by (b, c)-like suffix rows and span them.
+        let e = Predicate::new("e", 2);
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let c = compile_rule(&r).unwrap();
+        let mut db = edb(); // rows 0..3
+        let mut fresh = Database::new();
+        fresh.insert(e, tuple_of_syms(&["d", "q"]));
+        db.merge(&fresh);
+        let spans = alexander_storage::DeltaSpans::after_merge(&db, &fresh);
+        for delta_pos in [0, 1] {
+            let mut m = EvalMetrics::default();
+            let input = JoinInput {
                 total: &db,
-                delta: Some((0, &delta)),
+                delta: Some((delta_pos, DeltaSource::Spans(&spans))),
                 negatives: None,
                 governor: None,
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                Emitted::New
-            },
-        );
-        assert_eq!(out, vec![tuple_of_syms(&["b", "d"])]);
+            };
+            let (out, _) = collect_join(&c, &input, &mut m);
+            // Position 0 in delta: d->q joined with q->? (none). Position 1:
+            // ?->d joined with delta d->q gives (c, q).
+            if delta_pos == 0 {
+                assert!(out.is_empty(), "{out:?}");
+            } else {
+                assert_eq!(out, vec![tuple_of_syms(&["c", "q"])]);
+            }
+        }
+        // With indexes built, the spans path takes the posting-list route
+        // and must agree.
+        let mut db2 = db.clone();
+        db2.ensure_index(e, Mask::of_columns(&[0]));
+        db2.ensure_index(e, Mask::of_columns(&[1]));
+        let mut m = EvalMetrics::default();
+        let input = JoinInput {
+            total: &db2,
+            delta: Some((1, DeltaSource::Spans(&spans))),
+            negatives: None,
+            governor: None,
+        };
+        let (out, _) = collect_join(&c, &input, &mut m);
+        assert_eq!(out, vec![tuple_of_syms(&["c", "q"])]);
     }
 
     #[test]
@@ -562,12 +765,8 @@ mod tests {
         let c = compile_rule(&r).unwrap();
         let db = edb();
         let mut m = EvalMetrics::default();
-        let mut n = 0;
-        let _ = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |_| {
-            n += 1;
-            Emitted::New
-        });
-        assert_eq!(n, 0);
+        let (out, _) = collect_join(&c, &JoinInput::naive(&db), &mut m);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -582,15 +781,22 @@ mod tests {
         let c = compile_rule(&r).unwrap();
         let db = edb();
         let mut m = EvalMetrics::default();
+        let mut scratch = JoinScratch::new();
         let mut calls = 0;
-        let flow = join_rule(&c, &JoinInput::naive(&db), &mut m, &mut |_| {
-            calls += 1;
-            if calls == 1 {
-                Emitted::New
-            } else {
-                Emitted::Refused
-            }
-        });
+        let flow = join_rule(
+            &c,
+            &JoinInput::naive(&db),
+            &mut scratch,
+            &mut m,
+            &mut |_| {
+                calls += 1;
+                if calls == 1 {
+                    Emitted::New
+                } else {
+                    Emitted::Refused
+                }
+            },
+        );
         assert!(flow.is_break());
         assert_eq!(calls, 2, "join must stop right at the refusal");
         assert_eq!(m.firings, 1, "the refused emission counts no firing");
@@ -611,19 +817,11 @@ mod tests {
         let db = edb();
         let gov = crate::govern::Governor::new(Budget::default().with_max_steps(1), None);
         let mut m = EvalMetrics::default();
-        let mut out = Vec::new();
-        let flow = join_rule(
-            &c,
-            &JoinInput {
-                governor: Some(&gov),
-                ..JoinInput::naive(&db)
-            },
-            &mut m,
-            &mut |t| {
-                out.push(t);
-                Emitted::New
-            },
-        );
+        let input = JoinInput {
+            governor: Some(&gov),
+            ..JoinInput::naive(&db)
+        };
+        let (out, flow) = collect_join(&c, &input, &mut m);
         assert!(flow.is_break());
         assert_eq!(out.len(), 1, "exactly one firing fits a 1-step budget");
         assert_eq!(
@@ -650,5 +848,37 @@ mod tests {
             .relation(Predicate::new("e", 2))
             .unwrap()
             .has_index(Mask::of_columns(&[0])));
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        // One scratch serves many joins over rules of different widths.
+        let r1 = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        let r2 = Rule::new(
+            atom("q", [Term::var("X")]),
+            vec![Literal::pos(atom("e", [Term::var("X"), Term::var("Y")]))],
+        );
+        let c1 = compile_rule(&r1).unwrap();
+        let c2 = compile_rule(&r2).unwrap();
+        let db = edb();
+        let mut scratch = JoinScratch::new();
+        let mut m = EvalMetrics::default();
+        for _ in 0..3 {
+            for c in [&c1, &c2] {
+                let mut n = 0;
+                let flow = join_rule(c, &JoinInput::naive(&db), &mut scratch, &mut m, &mut |_| {
+                    n += 1;
+                    Emitted::New
+                });
+                assert!(flow.is_continue());
+                assert!(n > 0);
+            }
+        }
     }
 }

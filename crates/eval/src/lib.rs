@@ -43,6 +43,12 @@
 //! let result = alexander_eval::eval_seminaive(&parsed.program, &Database::new()).unwrap();
 //! assert_eq!(result.db.len_of(Predicate::new("tc", 2)), 3);
 //! ```
+#![deny(clippy::redundant_clone)]
+// Workspace lint note: `clippy::redundant_clone` is denied in the storage
+// and eval crates (the two crates that own the allocation-free hot paths) so
+// a stray `.clone()` of a tuple, row buffer, or database cannot land
+// silently. It is a nursery lint, hence the per-crate opt-in rather than a
+// [workspace.lints] entry; treat these two attributes as the deny-list.
 
 pub mod conditional;
 pub mod error;
@@ -74,7 +80,10 @@ pub use conditional::{eval_conditional, eval_conditional_opts, ConditionalResult
 pub use error::EvalError;
 pub use govern::{Budget, CancelHandle, Completion, Consumption, Governor, Resource};
 pub use incremental::IncrementalEngine;
-pub use join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
+pub use join::{
+    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
+    JoinScratch,
+};
 pub use metrics::EvalMetrics;
 pub use naive::{eval_naive, eval_naive_opts, EvalOptions, EvalResult};
 pub use order::{order_for_evaluation, Unorderable};

@@ -4,7 +4,9 @@
 use crate::error::EvalError;
 use crate::fail_point;
 use crate::govern::{Budget, CancelHandle, Completion, Governor};
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput, JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use alexander_ir::{Polarity, Program};
 use alexander_storage::Database;
@@ -126,6 +128,7 @@ pub fn eval_naive_opts(
     let mut metrics = EvalMetrics::default();
     let gov = opts.governor();
     let gov_ref = gov.as_join_ref();
+    let mut scratch = JoinScratch::new();
 
     loop {
         if gov.note_round().is_break() {
@@ -150,15 +153,13 @@ pub fn eval_naive_opts(
                 negatives: None,
                 governor: gov_ref,
             };
-            let flow = join_rule(rule, &input, &mut metrics, &mut |t| {
-                if db.relation(head_pred).is_some_and(|r| r.contains(&t))
-                    || staged.relation(head_pred).is_some_and(|r| r.contains(&t))
-                {
+            let flow = join_rule(rule, &input, &mut scratch, &mut metrics, &mut |row| {
+                if db.contains_row(head_pred, row) || staged.contains_row(head_pred, row) {
                     Emitted::Duplicate
                 } else if gov.claim_fact().is_break() {
                     Emitted::Refused
                 } else {
-                    staged.insert(head_pred, t);
+                    staged.insert_row(head_pred, row);
                     Emitted::New
                 }
             });
@@ -321,8 +322,11 @@ mod tests {
         );
         assert_eq!(limited.db.len_of(tc), 3);
         assert!(limited.db.len_of(tc) < full.db.len_of(tc));
-        for t in limited.db.relation(tc).unwrap().iter() {
-            assert!(full.db.relation(tc).unwrap().contains(t), "subset violated");
+        for row in limited.db.relation(tc).unwrap().iter() {
+            assert!(
+                full.db.relation(tc).unwrap().contains_row(row),
+                "subset violated"
+            );
         }
     }
 

@@ -13,12 +13,14 @@
 use crate::error::EvalError;
 use crate::fail_point;
 use crate::govern::Governor;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput, JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
 use crate::seminaive::payload_string;
-use alexander_ir::{FxHashSet, Predicate, Program};
-use alexander_storage::{Database, Tuple};
+use alexander_ir::{Predicate, Program};
+use alexander_storage::Database;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs naive evaluation with `threads` worker threads per round.
@@ -61,12 +63,13 @@ pub fn eval_naive_parallel_opts(
 
         // Chunk the rules across workers; each worker derives candidate
         // tuples against the frozen database, deduplicating through a
-        // worker-local seen-set so its own counters match what a sequential
-        // pass over the same rules would report. Workers catch their own
-        // panics; a panic is surfaced after all siblings drain.
+        // worker-local staging database (plus an ordered derivation log) so
+        // its own counters match what a sequential pass over the same rules
+        // would report. Workers catch their own panics; a panic is surfaced
+        // after all siblings drain.
         let chunk = rules.len().div_ceil(threads);
         let db_ref = &db;
-        type WorkerOut = (EvalMetrics, Vec<(Predicate, Tuple)>);
+        type WorkerOut = (EvalMetrics, Database, Vec<(Predicate, u32)>);
         let results: Vec<std::thread::Result<WorkerOut>> = std::thread::scope(|scope| {
             let handles: Vec<_> = rules
                 .chunks(chunk.max(1))
@@ -74,8 +77,9 @@ pub fn eval_naive_parallel_opts(
                     scope.spawn(move || {
                         catch_unwind(AssertUnwindSafe(|| {
                             let mut local_metrics = EvalMetrics::default();
-                            let mut derived: Vec<(Predicate, Tuple)> = Vec::new();
-                            let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
+                            let mut staging = Database::new();
+                            let mut log: Vec<(Predicate, u32)> = Vec::new();
+                            let mut scratch = JoinScratch::new();
                             for rule in chunk_rules {
                                 fail_point("round-worker");
                                 let head = rule.head.pred;
@@ -85,24 +89,31 @@ pub fn eval_naive_parallel_opts(
                                     negatives: None,
                                     governor,
                                 };
-                                let flow = join_rule(rule, &input, &mut local_metrics, &mut |t| {
-                                    if db_ref.relation(head).is_some_and(|r| r.contains(&t)) {
-                                        return Emitted::Duplicate;
-                                    }
-                                    if !seen.insert((head, t.clone())) {
-                                        return Emitted::Duplicate;
-                                    }
-                                    if governor.is_some_and(|g| g.claim_fact().is_break()) {
-                                        return Emitted::Refused;
-                                    }
-                                    derived.push((head, t));
-                                    Emitted::New
-                                });
+                                let flow = join_rule(
+                                    rule,
+                                    &input,
+                                    &mut scratch,
+                                    &mut local_metrics,
+                                    &mut |row| {
+                                        if db_ref.contains_row(head, row) {
+                                            return Emitted::Duplicate;
+                                        }
+                                        if staging.contains_row(head, row) {
+                                            return Emitted::Duplicate;
+                                        }
+                                        if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                                            return Emitted::Refused;
+                                        }
+                                        staging.insert_row(head, row);
+                                        log.push((head, staging.len_of(head) as u32 - 1));
+                                        Emitted::New
+                                    },
+                                );
                                 if flow.is_break() {
                                     break;
                                 }
                             }
-                            (local_metrics, derived)
+                            (local_metrics, staging, log)
                         }))
                     })
                 })
@@ -135,10 +146,16 @@ pub fn eval_naive_parallel_opts(
         }
 
         let mut grew = false;
-        for (m, derived) in survived {
+        for (m, staging, log) in survived {
             metrics += m;
-            for (p, t) in derived {
-                if db.insert(p, t) {
+            for (p, id) in log {
+                // invariant: every log entry was appended right after its
+                // row was inserted into the worker's staging database.
+                let row = staging
+                    .relation(p)
+                    .expect("logged predicate exists in staging")
+                    .row(id);
+                if db.insert_row(p, row) {
                     grew = true;
                 } else {
                     // Two workers derived the same fresh fact: the sequential
@@ -245,8 +262,8 @@ mod tests {
                 r.completion
             );
             assert!(r.db.len_of(tc) <= 3, "@ {threads} threads");
-            for t in r.db.relation(tc).unwrap().iter() {
-                assert!(full.db.relation(tc).unwrap().contains(t));
+            for row in r.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains_row(row));
             }
         }
     }

@@ -15,7 +15,9 @@
 
 use crate::error::EvalError;
 use crate::govern::Completion;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule_bindings, CompiledRule, JoinInput, JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use crate::naive::{seed_database, EvalResult};
 use alexander_ir::analysis::stratify;
@@ -179,6 +181,7 @@ pub fn eval_with_provenance(
     let mut db = seed_database(program, edb);
     let mut metrics = EvalMetrics::default();
     let mut prov = Provenance::default();
+    let mut scratch = JoinScratch::new();
 
     // Indexed rule list per stratum, keeping source indices for the
     // justification records.
@@ -212,8 +215,12 @@ pub fn eval_with_provenance(
                     negatives: None,
                     governor: None,
                 };
-                let _ =
-                    join_rule_bindings(rule, &input, &mut metrics, &mut |rule, bind, metrics| {
+                let _ = join_rule_bindings(
+                    rule,
+                    &input,
+                    &mut scratch,
+                    &mut metrics,
+                    &mut |rule, bind, metrics| {
                         metrics.firings += 1;
                         let head = rule
                             .head
@@ -251,7 +258,8 @@ pub fn eval_with_provenance(
                             },
                         ));
                         ControlFlow::Continue(())
-                    });
+                    },
+                );
             }
             let mut grew = false;
             for (atom, j) in fresh {

@@ -2,19 +2,29 @@
 //! against the facts discovered in the previous round (the *delta*),
 //! eliminating the bulk of naive evaluation's re-derivations.
 //!
+//! ## Range deltas
+//!
+//! Because [`Database::merge`] appends each relation's new rows as a
+//! contiguous id suffix, a round's delta is not a separate database but a
+//! [`DeltaSpans`] — per-predicate `(lo, hi)` id ranges into the total. A
+//! delta-restricted literal probes the total's own indexes and narrows the
+//! (id-sorted) posting list to the range with two binary searches, so no
+//! per-round delta relations or delta indexes are ever built.
+//!
 //! ## Parallel rounds
 //!
 //! With `EvalOptions::threads > 1` each round fans its work items out over
-//! scoped worker threads. The round's `(total, delta)` pair is frozen (see
+//! scoped worker threads. The round's total is frozen (see
 //! [`alexander_storage::Database::freeze`]) before the fan-out, so workers
 //! share plain `&Database` views with no interior mutation; all indexes are
 //! built up front by the single-threaded prelude. A work item is one
 //! delta-rewriting variant — a `(rule, delta position)` pair — so even a
 //! program with fewer rules than threads still splits across workers. Each
 //! worker deduplicates its derivations against the frozen total *and* a
-//! worker-local seen-set, then a single-threaded merge builds the next delta
-//! in task order, reclassifying cross-worker duplicates so the metrics are
-//! bit-identical to a sequential run at any thread count.
+//! worker-local staging database (keeping an ordered derivation log), then a
+//! single-threaded merge builds the next delta in task order, reclassifying
+//! cross-worker duplicates so the metrics are bit-identical to a sequential
+//! run at any thread count.
 //!
 //! Workers are panic-isolated: each round unit runs under `catch_unwind`,
 //! every sibling is joined, and a panic surfaces as
@@ -32,11 +42,14 @@
 use crate::error::EvalError;
 use crate::fail_point;
 use crate::govern::Governor;
-use crate::join::{compile_rule, ensure_rule_indexes, join_rule, CompiledRule, Emitted, JoinInput};
+use crate::join::{
+    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
+    JoinScratch,
+};
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
-use alexander_ir::{FxHashSet, Polarity, Predicate, Program, Rule};
-use alexander_storage::{Database, Tuple};
+use alexander_ir::{Polarity, Predicate, Program, Rule};
+use alexander_storage::{Database, DeltaSpans};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs semi-naive evaluation of a semipositive `program` over `edb`.
@@ -96,7 +109,12 @@ pub(crate) fn run_rules(
         .iter()
         .map(|r| compile_rule(r).map_err(EvalError::from))
         .collect::<Result<_, _>>()?;
-    let derived: FxHashSet<Predicate> = compiled.iter().map(|r| r.head.pred).collect();
+    let derived: Vec<Predicate> = {
+        let mut ps: Vec<Predicate> = compiled.iter().map(|r| r.head.pred).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    };
 
     let governor = gov.filter(|g| g.active());
     let threads = opts.threads.max(1);
@@ -112,7 +130,7 @@ pub(crate) fn run_rules(
             ensure_rule_indexes(r, db);
         }
     }
-    let mut delta = Database::new();
+    let mut staged = Database::new();
     let tasks: Vec<RoundTask<'_>> = compiled
         .iter()
         .map(|rule| RoundTask {
@@ -121,9 +139,17 @@ pub(crate) fn run_rules(
         })
         .collect();
     run_round_tasks(
-        &tasks, db, None, negatives, threads, metrics, &mut delta, governor,
+        &tasks,
+        db,
+        None,
+        negatives,
+        threads,
+        metrics,
+        &mut staged,
+        governor,
     )?;
-    db.merge(&delta);
+    db.merge(&staged);
+    let mut spans = DeltaSpans::after_merge(db, &staged);
     if governor.is_some_and(|g| g.should_stop()) {
         return Ok(());
     }
@@ -131,8 +157,10 @@ pub(crate) fn run_rules(
     // Delta rounds: every derived-predicate literal takes a turn as the
     // delta position. Each (rule, position) pair is one work item — the
     // delta-rewriting variants of a rule split across workers even when the
-    // program has fewer rules than threads.
-    while delta.total_tuples() > 0 {
+    // program has fewer rules than threads. The delta itself is just the id
+    // ranges the previous merge appended; the round probes the total's
+    // indexes (kept fresh by `insert_row`) and never builds delta indexes.
+    while !spans.is_empty() {
         if governor.is_some_and(|g| g.note_round().is_break()) {
             return Ok(());
         }
@@ -141,7 +169,6 @@ pub(crate) fn run_rules(
         if opts.use_indexes {
             for r in &compiled {
                 ensure_rule_indexes(r, db);
-                ensure_rule_indexes(r, &mut delta);
             }
         }
         let mut next = Database::new();
@@ -149,8 +176,8 @@ pub(crate) fn run_rules(
         for rule in &compiled {
             for (i, lit) in rule.body.iter().enumerate() {
                 if lit.polarity == Polarity::Positive
-                    && derived.contains(&lit.atom.pred)
-                    && delta.len_of(lit.atom.pred) > 0
+                    && derived.binary_search(&lit.atom.pred).is_ok()
+                    && spans.len_of(lit.atom.pred) > 0
                 {
                     tasks.push(RoundTask {
                         rule,
@@ -162,7 +189,7 @@ pub(crate) fn run_rules(
         run_round_tasks(
             &tasks,
             db,
-            Some(&delta),
+            Some(&spans),
             negatives,
             threads,
             metrics,
@@ -170,10 +197,10 @@ pub(crate) fn run_rules(
             governor,
         )?;
         db.merge(&next);
+        spans = DeltaSpans::after_merge(db, &next);
         if governor.is_some_and(|g| g.should_stop()) {
             return Ok(());
         }
-        delta = next;
     }
     Ok(())
 }
@@ -198,12 +225,12 @@ pub(crate) fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Executes one round's work items, inserting fresh derivations into `next`.
 ///
-/// `db` (and `delta`, when present) are not mutated for the duration: with
-/// more than one thread they are frozen and the items fan out over scoped
-/// workers; otherwise the items run in order on the calling thread. Either
-/// way the facts in `next` and every metrics counter come out identical —
-/// `new_facts` counts the distinct facts absent from `db`, which is a
-/// property of the round's input, not of task scheduling.
+/// `db` is not mutated for the duration: with more than one thread it is
+/// frozen and the items fan out over scoped workers; otherwise the items run
+/// in order on the calling thread. Either way the facts in `next` and every
+/// metrics counter come out identical — `new_facts` counts the distinct
+/// facts absent from `db`, which is a property of the round's input, not of
+/// task scheduling.
 ///
 /// Every execution unit runs under `catch_unwind`; a panic anywhere joins
 /// all surviving workers and returns [`EvalError::WorkerPanicked`].
@@ -211,7 +238,7 @@ pub(crate) fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 fn run_round_tasks(
     tasks: &[RoundTask<'_>],
     db: &Database,
-    delta: Option<&Database>,
+    spans: Option<&DeltaSpans>,
     negatives: Option<&Database>,
     threads: usize,
     metrics: &mut EvalMetrics,
@@ -220,11 +247,17 @@ fn run_round_tasks(
 ) -> Result<(), EvalError> {
     let delta_of = |pos: Option<usize>| {
         // invariant: callers set `delta_pos` only on tasks they build for
-        // delta rounds, which always pass a delta database.
-        pos.map(|i| (i, delta.expect("delta tasks only occur in delta rounds")))
+        // delta rounds, which always pass the round's spans.
+        pos.map(|i| {
+            (
+                i,
+                DeltaSource::Spans(spans.expect("delta tasks only occur in delta rounds")),
+            )
+        })
     };
     if threads <= 1 || tasks.len() <= 1 {
         let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut scratch = JoinScratch::new();
             for task in tasks {
                 fail_point("round-worker");
                 let head_pred = task.rule.head.pred;
@@ -234,15 +267,13 @@ fn run_round_tasks(
                     negatives,
                     governor,
                 };
-                let flow = join_rule(task.rule, &input, metrics, &mut |t| {
-                    if db.relation(head_pred).is_some_and(|r| r.contains(&t))
-                        || next.relation(head_pred).is_some_and(|r| r.contains(&t))
-                    {
+                let flow = join_rule(task.rule, &input, &mut scratch, metrics, &mut |row| {
+                    if db.contains_row(head_pred, row) || next.contains_row(head_pred, row) {
                         Emitted::Duplicate
                     } else if governor.is_some_and(|g| g.claim_fact().is_break()) {
                         Emitted::Refused
                     } else {
-                        next.insert(head_pred, t);
+                        next.insert_row(head_pred, row);
                         Emitted::New
                     }
                 });
@@ -258,7 +289,11 @@ fn run_round_tasks(
 
     let frozen = db.freeze();
     let chunk = tasks.len().div_ceil(threads);
-    type WorkerOut = (EvalMetrics, Vec<(Predicate, Tuple)>);
+    // A worker's output: its metrics, its staging database (which doubles as
+    // the worker-local dedup set — no boxed seen-set keys), and the ordered
+    // derivation log of (predicate, staging id) pairs that preserves
+    // insertion order for the deterministic merge.
+    type WorkerOut = (EvalMetrics, Database, Vec<(Predicate, u32)>);
     let results: Vec<std::thread::Result<WorkerOut>> = std::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .chunks(chunk)
@@ -266,8 +301,9 @@ fn run_round_tasks(
                 scope.spawn(move || {
                     catch_unwind(AssertUnwindSafe(|| {
                         let mut local = EvalMetrics::default();
-                        let mut seen: FxHashSet<(Predicate, Tuple)> = FxHashSet::default();
-                        let mut buf: Vec<(Predicate, Tuple)> = Vec::new();
+                        let mut staging = Database::new();
+                        let mut log: Vec<(Predicate, u32)> = Vec::new();
+                        let mut scratch = JoinScratch::new();
                         for task in chunk_tasks {
                             fail_point("round-worker");
                             let head_pred = task.rule.head.pred;
@@ -277,26 +313,38 @@ fn run_round_tasks(
                                 negatives,
                                 governor,
                             };
-                            let flow = join_rule(task.rule, &input, &mut local, &mut |t| {
-                                if frozen.relation(head_pred).is_some_and(|r| r.contains(&t)) {
-                                    return Emitted::Duplicate;
-                                }
-                                // Worker-local dedup; cross-worker collisions
-                                // are reclassified at merge time.
-                                if !seen.insert((head_pred, t.clone())) {
-                                    return Emitted::Duplicate;
-                                }
-                                if governor.is_some_and(|g| g.claim_fact().is_break()) {
-                                    return Emitted::Refused;
-                                }
-                                buf.push((head_pred, t));
-                                Emitted::New
-                            });
+                            let flow = join_rule(
+                                task.rule,
+                                &input,
+                                &mut scratch,
+                                &mut local,
+                                &mut |row| {
+                                    if frozen
+                                        .relation(head_pred)
+                                        .is_some_and(|r| r.contains_row(row))
+                                    {
+                                        return Emitted::Duplicate;
+                                    }
+                                    // Worker-local dedup via the staging
+                                    // relation; cross-worker collisions are
+                                    // reclassified at merge time.
+                                    if staging.contains_row(head_pred, row) {
+                                        return Emitted::Duplicate;
+                                    }
+                                    if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                                        return Emitted::Refused;
+                                    }
+                                    staging.insert_row(head_pred, row);
+                                    let id = staging.len_of(head_pred) as u32 - 1;
+                                    log.push((head_pred, id));
+                                    Emitted::New
+                                },
+                            );
                             if flow.is_break() {
                                 break;
                             }
                         }
-                        (local, buf)
+                        (local, staging, log)
                     }))
                 })
             })
@@ -334,10 +382,16 @@ fn run_round_tasks(
     // hence all downstream iteration) matches the sequential run. A fact two
     // workers both derived was provisionally counted new by each; demote the
     // later copies so the totals equal the sequential classification.
-    for (local, buf) in survived {
+    for (local, staging, log) in survived {
         *metrics += local;
-        for (p, t) in buf {
-            if !next.insert(p, t) {
+        for (p, id) in log {
+            // invariant: every log entry was appended right after its row
+            // was inserted into the worker's staging database.
+            let row = staging
+                .relation(p)
+                .expect("logged predicate exists in staging")
+                .row(id);
+            if !next.insert_row(p, row) {
                 metrics.new_facts -= 1;
                 metrics.duplicate_facts += 1;
             }
@@ -529,8 +583,8 @@ mod tests {
                 }
             );
             assert_eq!(limited.db.len_of(tc), budget as usize);
-            for t in limited.db.relation(tc).unwrap().iter() {
-                assert!(full.db.relation(tc).unwrap().contains(t));
+            for row in limited.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains_row(row));
             }
         }
         // A budget the fixpoint exactly fits in must complete.
@@ -557,8 +611,8 @@ mod tests {
             let limited = eval_seminaive_opts(&parsed.program, &edb, opts).unwrap();
             assert!(!limited.completion.is_complete(), "@ {threads} threads");
             assert!(limited.db.len_of(tc) <= 6);
-            for t in limited.db.relation(tc).unwrap().iter() {
-                assert!(full.db.relation(tc).unwrap().contains(t));
+            for row in limited.db.relation(tc).unwrap().iter() {
+                assert!(full.db.relation(tc).unwrap().contains_row(row));
             }
         }
     }

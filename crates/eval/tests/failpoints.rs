@@ -110,13 +110,13 @@ fn slow_rounds_trip_the_wall_clock_deadline_deterministically() {
     let full =
         eval_seminaive_opts(&parsed.program, &Database::new(), EvalOptions::default()).unwrap();
     let tc = alexander_ir::Predicate::new("tc", 2);
-    let partial: Vec<_> =
+    let partial: Vec<Vec<alexander_ir::Const>> =
         r.db.relation(tc)
-            .map(|rel| rel.iter().cloned().collect())
+            .map(|rel| rel.iter().map(<[_]>::to_vec).collect())
             .unwrap_or_default();
     for t in &partial {
         assert!(
-            full.db.relation(tc).is_some_and(|rel| rel.contains(t)),
+            full.db.relation(tc).is_some_and(|rel| rel.contains_row(t)),
             "partial fact {t:?} not in the full fixpoint"
         );
     }

@@ -48,7 +48,7 @@ pub mod unify;
 pub use adornment::{AdornedPredicate, Adornment, Bf};
 pub use atom::{atom, Atom, Predicate};
 pub use builtin::Builtin;
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{hash_row, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, RowHasher};
 pub use literal::{Literal, Polarity};
 pub use program::{Program, ProgramError};
 pub use rule::Rule;

@@ -1,8 +1,8 @@
 //! A database: one relation per predicate.
 
 use crate::relation::{Mask, Relation};
-use crate::tuple::Tuple;
-use alexander_ir::{Atom, FxHashMap, Predicate, Program};
+use crate::tuple::{row_atom, Tuple};
+use alexander_ir::{Atom, Const, FxHashMap, Predicate, Program};
 use std::fmt;
 
 /// A set of named relations. Used for the EDB, for materialised IDB results,
@@ -44,6 +44,20 @@ impl Database {
     /// Inserts a tuple for `pred`; returns `true` if new.
     pub fn insert(&mut self, pred: Predicate, t: Tuple) -> bool {
         self.relation_mut(pred).insert(t)
+    }
+
+    /// Inserts a row slice for `pred`; returns `true` if new. The
+    /// allocation-free twin of [`Database::insert`] — the row is copied
+    /// straight into the relation's arena.
+    pub fn insert_row(&mut self, pred: Predicate, row: &[Const]) -> bool {
+        self.relation_mut(pred).insert_row(row)
+    }
+
+    /// True iff `pred` stores exactly this row.
+    pub fn contains_row(&self, pred: Predicate, row: &[Const]) -> bool {
+        self.relations
+            .get(&pred)
+            .is_some_and(|r| r.contains_row(row))
     }
 
     /// Inserts a ground atom as a fact. Returns `Ok(true)` if new,
@@ -90,18 +104,20 @@ impl Database {
     pub fn atoms_of(&self, pred: Predicate) -> Vec<Atom> {
         self.relations
             .get(&pred)
-            .map(|r| r.iter().map(|t| t.to_atom(pred.name)).collect())
+            .map(|r| r.iter().map(|row| row_atom(pred.name, row)).collect())
             .unwrap_or_default()
     }
 
     /// Merges every tuple of `other` into `self`; returns the number of new
-    /// tuples.
+    /// tuples. Rows are appended to the target arenas in `other`'s
+    /// insertion order, so after a semi-naive merge the round's new facts
+    /// occupy a contiguous id range per predicate (see [`DeltaSpans`]).
     pub fn merge(&mut self, other: &Database) -> usize {
         let mut added = 0;
         for (p, r) in other.iter() {
             let target = self.relation_mut(p);
-            for t in r.iter() {
-                if target.insert(t.clone()) {
+            for row in r.iter() {
+                if target.insert_row(row) {
                     added += 1;
                 }
             }
@@ -148,13 +164,13 @@ impl Database {
 
     /// Every constant appearing in any stored tuple, deduplicated, in first-
     /// seen order (the database's active domain).
-    pub fn active_domain(&self) -> Vec<alexander_ir::Const> {
+    pub fn active_domain(&self) -> Vec<Const> {
         let mut seen = alexander_ir::FxHashSet::default();
         let mut out = Vec::new();
         for p in self.predicates() {
             if let Some(r) = self.relations.get(&p) {
-                for t in r.iter() {
-                    for &c in t.values() {
+                for row in r.iter() {
+                    for &c in row {
                         if seen.insert(c) {
                             out.push(c);
                         }
@@ -163,6 +179,67 @@ impl Database {
             }
         }
         out
+    }
+}
+
+/// A semi-naive delta as per-predicate id ranges into the *total* database:
+/// after `db.merge(&next)` appended a round's new facts, the round's delta
+/// is "ids `[lo, hi)` of each touched relation", not a copied database.
+/// Probing a delta literal then reuses the total's indexes (posting lists
+/// are id-sorted, so the range restriction is two binary searches) and the
+/// per-round delta-index builds of the old representation disappear.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaSpans {
+    spans: FxHashMap<Predicate, (u32, u32)>,
+    total: u64,
+}
+
+impl DeltaSpans {
+    /// The spans of `delta`'s rows inside `db`. Call immediately after
+    /// `db.merge(&delta)`: because a round's fresh facts are deduplicated
+    /// against the pre-round total before they enter `delta`, the merge
+    /// appended exactly `delta.len_of(p)` rows to each relation, and those
+    /// rows are the relation's current suffix.
+    pub fn after_merge(db: &Database, delta: &Database) -> DeltaSpans {
+        let mut spans = FxHashMap::default();
+        let mut total = 0u64;
+        for (p, r) in delta.iter() {
+            let n = r.len();
+            if n == 0 {
+                continue;
+            }
+            let hi = db.len_of(p);
+            debug_assert!(hi >= n, "delta rows must have merged as a suffix");
+            // invariant: relations cap at u32::MAX rows (`Relation` asserts
+            // on overflow), so the narrowing conversions are lossless.
+            spans.insert(
+                p,
+                (u32::try_from(hi - n).unwrap(), u32::try_from(hi).unwrap()),
+            );
+            total += n as u64;
+        }
+        DeltaSpans { spans, total }
+    }
+
+    /// The id range of `pred`'s delta rows, if it has any.
+    #[inline]
+    pub fn get(&self, pred: Predicate) -> Option<(u32, u32)> {
+        self.spans.get(&pred).copied()
+    }
+
+    /// Number of delta rows for `pred`.
+    pub fn len_of(&self, pred: Predicate) -> usize {
+        self.get(pred).map_or(0, |(lo, hi)| (hi - lo) as usize)
+    }
+
+    /// Total delta rows across all predicates.
+    pub fn total_tuples(&self) -> u64 {
+        self.total
+    }
+
+    /// True iff the delta is empty (the fixpoint is reached).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
     }
 }
 
@@ -287,6 +364,31 @@ mod tests {
         assert_eq!(frozen.total_tuples(), 1);
         assert_eq!(again.len_of(Predicate::new("e", 2)), 1);
         assert!(frozen.db().relation(Predicate::new("e", 2)).is_some());
+    }
+
+    #[test]
+    fn delta_spans_track_merge_suffixes() {
+        let e = Predicate::new("e", 1);
+        let f = Predicate::new("f", 1);
+        let mut db = Database::new();
+        db.insert(e, tuple_of_syms(&["a"]));
+        let mut delta = Database::new();
+        delta.insert(e, tuple_of_syms(&["b"]));
+        delta.insert(e, tuple_of_syms(&["c"]));
+        delta.insert(f, tuple_of_syms(&["x"]));
+        db.merge(&delta);
+        let spans = DeltaSpans::after_merge(&db, &delta);
+        assert_eq!(spans.get(e), Some((1, 3)));
+        assert_eq!(spans.get(f), Some((0, 1)));
+        assert_eq!(spans.get(Predicate::new("ghost", 1)), None);
+        assert_eq!(spans.len_of(e), 2);
+        assert_eq!(spans.total_tuples(), 3);
+        assert!(!spans.is_empty());
+        // The ranged rows are exactly the delta rows, in order.
+        let rows: Vec<_> = db.relation(e).unwrap().rows_in(1, 3).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], tuple_of_syms(&["b"]).values());
+        assert_eq!(DeltaSpans::default().total_tuples(), 0);
     }
 
     #[test]

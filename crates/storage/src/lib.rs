@@ -1,10 +1,12 @@
 //! # alexander-storage
 //!
 //! Relation storage for the Alexander-templates reproduction: duplicate-free
-//! tuple sets per predicate, with lazily built hash indexes keyed by binding
-//! pattern ([`Mask`]). The evaluators' join loops probe these indexes; the
-//! EDB, the materialised IDB, and the semi-naive deltas are all
-//! [`Database`]s.
+//! tuple sets per predicate, arena-backed (one flat `Vec<Const>` pool per
+//! relation, tuples addressed by dense `u32` ids), with lazily built
+//! hash-of-projection indexes keyed by binding pattern ([`Mask`]). The
+//! evaluators' join loops probe these indexes without materialising keys;
+//! the EDB, the materialised IDB, and the semi-naive deltas (id ranges, see
+//! [`DeltaSpans`]) all live in [`Database`]s.
 //!
 //! ```
 //! use alexander_ir::Predicate;
@@ -21,13 +23,19 @@
 //! assert!(indexed);
 //! assert_eq!(hits.count(), 1);
 //! ```
+#![deny(clippy::redundant_clone)]
+// Workspace lint note: `clippy::redundant_clone` is denied in the storage
+// and eval crates (the two crates that own the allocation-free hot paths) so
+// a stray `.clone()` of a tuple, row buffer, or database cannot land
+// silently. It is a nursery lint, hence the per-crate opt-in rather than a
+// [workspace.lints] entry; treat these two attributes as the deny-list.
 
 pub mod database;
 pub mod load;
 pub mod relation;
 pub mod tuple;
 
-pub use database::{Database, Frozen, NonGround};
+pub use database::{Database, DeltaSpans, Frozen, NonGround};
 pub use load::{load_delimited, load_file, LoadError};
-pub use relation::{Mask, Relation};
-pub use tuple::{tuple_of_syms, Tuple};
+pub use relation::{Mask, MaskColumns, Relation, Rows};
+pub use tuple::{row_atom, tuple_of_syms, Tuple};

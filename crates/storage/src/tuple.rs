@@ -78,6 +78,16 @@ impl From<Vec<Const>> for Tuple {
     }
 }
 
+/// Rebuilds a ground atom from an arena row (the row-slice counterpart of
+/// [`Tuple::to_atom`], for call sites that iterate relations without
+/// materialising tuples).
+pub fn row_atom(pred: alexander_ir::Symbol, row: &[Const]) -> Atom {
+    Atom {
+        pred,
+        terms: row.iter().map(|&c| Term::Const(c)).collect(),
+    }
+}
+
 /// Shorthand for building a tuple of symbolic constants in tests/examples.
 pub fn tuple_of_syms(names: &[&str]) -> Tuple {
     Tuple::new(

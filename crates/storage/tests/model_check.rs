@@ -60,7 +60,7 @@ proptest! {
                 }
                 Op::Probe(m, key_cells) => {
                     let mask = mask_of(m);
-                    let cols = mask.columns();
+                    let cols: Vec<usize> = mask.columns().collect();
                     let key: Vec<Const> = cols
                         .iter()
                         .map(|&c| Const::Int(key_cells[c] as i64))
@@ -80,7 +80,7 @@ proptest! {
             prop_assert_eq!(rel.len(), model.len());
         }
         // Final full-content check.
-        let mut got: Vec<Tuple> = rel.iter().cloned().collect();
+        let mut got: Vec<Tuple> = rel.iter().map(Tuple::new).collect();
         got.sort();
         let mut want: Vec<Tuple> = model.into_iter().collect();
         want.sort();
@@ -116,7 +116,7 @@ proptest! {
             let got = hits.count();
             let want = b
                 .iter()
-                .filter(|t| t.get(0) == Const::Int(key0 as i64))
+                .filter(|row| row[0] == Const::Int(key0 as i64))
                 .count();
             prop_assert_eq!(got, want);
         }

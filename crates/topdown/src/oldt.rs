@@ -348,7 +348,7 @@ impl<'a> Engine<'a> {
                     let matches: Vec<Atom> = rel
                         .probe(mask, &key)
                         .0
-                        .map(|t| t.to_atom(goal.pred))
+                        .map(|row| alexander_storage::row_atom(goal.pred, row))
                         .collect();
                     for fact in matches {
                         self.metrics.resolution_steps += 1;

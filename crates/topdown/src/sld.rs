@@ -202,7 +202,10 @@ pub fn sld_query(
             }
             (Polarity::Positive, false) => {
                 if let Some(rel) = full_edb.relation(goal.predicate()) {
-                    let facts: Vec<Atom> = rel.iter().map(|t| t.to_atom(goal.pred)).collect();
+                    let facts: Vec<Atom> = rel
+                        .iter()
+                        .map(|row| alexander_storage::row_atom(goal.pred, row))
+                        .collect();
                     for fact in facts {
                         metrics.resolution_steps += 1;
                         let mut s = node.subst.clone();

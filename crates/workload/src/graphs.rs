@@ -137,9 +137,9 @@ pub fn sg_tree(depth: usize) -> (Database, Const) {
     let flat = Predicate::new("flat", 2);
     // down edges from the tree; up edges are their reverses.
     if let Some(rel) = tree_db.relation(down) {
-        for t in rel.iter() {
-            db.insert(down, t.clone());
-            db.insert(up, Tuple::new(vec![t.get(1), t.get(0)]));
+        for row in rel.iter() {
+            db.insert_row(down, row);
+            db.insert_row(up, &[row[1], row[0]]);
         }
     }
     // flat: adjacent siblings among all nodes sharing a parent, plus a

@@ -2,6 +2,7 @@
 //! evaluator agreement on definite programs, and the stratification
 //! hierarchy theorems from the analysis layer.
 
+use alexander_bench::legacy::{eval_seminaive_legacy, LegacyDb};
 use alexander_eval::{
     eval_conditional, eval_naive, eval_naive_parallel_opts, eval_seminaive, eval_seminaive_opts,
     eval_stratified, eval_stratified_opts, Budget, Completion, EvalOptions, Resource,
@@ -10,6 +11,7 @@ use alexander_ir::analysis::{locally_stratified, loosely_stratified, stratify};
 use alexander_ir::{Atom, Literal, Polarity, Predicate, Program, Rule, Term};
 use alexander_storage::Database;
 use alexander_topdown::oldt_query;
+use alexander_transform::{alexander, sup_magic_sets, SipOptions};
 use proptest::prelude::*;
 
 const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
@@ -133,6 +135,15 @@ fn random_edb() -> impl Strategy<Value = Database> {
             }
             db
         })
+}
+
+fn legacy_snapshot(db: &LegacyDb) -> Vec<String> {
+    let mut out: Vec<String> = db
+        .iter()
+        .map(|(p, t)| t.to_atom(p.name).to_string())
+        .collect();
+    out.sort();
+    out
 }
 
 fn db_snapshot(db: &Database) -> Vec<String> {
@@ -265,6 +276,60 @@ proptest! {
                 "relations differ at {} threads", threads);
             prop_assert_eq!(par.metrics, seq.metrics,
                 "metrics differ at {} threads", threads);
+        }
+    }
+
+    /// The arena storage rewrite is semantics- and counter-preserving: on
+    /// random definite programs the arena engine produces the same model,
+    /// fact totals and inference counters as the pre-rewrite boxed-tuple
+    /// engine, and stays bit-identical across rewriting strategies
+    /// (base/alexander/supmagic) × {1,4} threads × budget/no-budget. The
+    /// budget leg uses a non-binding budget — binding budgets legitimately
+    /// truncate, and their soundness is covered by the budget properties
+    /// below.
+    #[test]
+    fn arena_matches_legacy_across_strategies_threads_and_budgets(
+        program in definite_program(),
+        edb in random_edb(),
+    ) {
+        prop_assume!(program.validate().is_ok());
+        let q = Atom::new("p", vec![Term::var("X"), Term::var("Y")]);
+        let opts = SipOptions::default();
+        let mut strategies: Vec<(&str, Program)> = vec![("base", program.clone())];
+        if let Ok(r) = alexander(&program, &q, opts) {
+            strategies.push(("alexander", r.program));
+        }
+        if let Ok(r) = sup_magic_sets(&program, &q, opts) {
+            strategies.push(("supmagic", r.program));
+        }
+        for (sname, prog) in &strategies {
+            let legacy = eval_seminaive_legacy(prog, &edb);
+            let seq = eval_seminaive(prog, &edb).unwrap();
+            let want = db_snapshot(&seq.db);
+            prop_assert_eq!(&legacy_snapshot(&legacy.db), &want,
+                "{}: legacy and arena models differ", sname);
+            prop_assert_eq!(legacy.db.total_tuples(), seq.db.total_tuples() as u64,
+                "{}: fact totals differ", sname);
+            prop_assert_eq!(&legacy.metrics, &seq.metrics,
+                "{}: inference counters differ", sname);
+            let budgets = [None, Some(Budget::default().with_max_facts(u64::MAX))];
+            for threads in [1usize, 4] {
+                for budget in budgets {
+                    let mut o = EvalOptions::with_threads(threads);
+                    if let Some(b) = budget {
+                        o = o.with_budget(b);
+                    }
+                    let r = eval_seminaive_opts(prog, &edb, o).unwrap();
+                    prop_assert!(r.completion.is_complete(),
+                        "{}/{} threads: non-binding budget cut the run", sname, threads);
+                    prop_assert_eq!(&db_snapshot(&r.db), &want,
+                        "{}/{} threads/budget {}: model differs",
+                        sname, threads, budget.is_some());
+                    prop_assert_eq!(&r.metrics, &seq.metrics,
+                        "{}/{} threads/budget {}: counters differ",
+                        sname, threads, budget.is_some());
+                }
+            }
         }
     }
 
