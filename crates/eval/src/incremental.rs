@@ -13,12 +13,13 @@
 //! both directions and need counting or stratified DRed, out of scope here.
 
 use crate::error::EvalError;
+use crate::exec::{exec_plan, ExecScratch};
 use crate::join::{
-    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
-    JoinScratch,
+    compile_rule, ensure_rule_indexes, CompiledRule, DeltaSource, Emitted, JoinInput,
 };
 use crate::metrics::EvalMetrics;
 use crate::naive::{seed_database, EvalOptions};
+use crate::plan::{compile_plan, RulePlan};
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Predicate, Program};
 use alexander_storage::{Database, Tuple};
 
@@ -26,6 +27,10 @@ use alexander_storage::{Database, Tuple};
 pub struct IncrementalEngine {
     program: Program,
     compiled: Vec<CompiledRule>,
+    /// One blocked-executor plan per compiled rule; maintenance always runs
+    /// the blocked executor (updates are not governed, so the tuple oracle
+    /// has nothing extra to offer here).
+    plans: Vec<RulePlan>,
     /// EDB + all derived facts.
     total: Database,
     /// The extensional predicates (facts the user may insert/delete).
@@ -57,6 +62,8 @@ impl IncrementalEngine {
             .collect::<Result<_, _>>()?;
         let mut total = seed_database(&program, &edb);
         let mut metrics = EvalMetrics::default();
+        let plans: Vec<RulePlan> = compiled.iter().map(compile_plan).collect();
+        metrics.exec.plans_compiled += plans.len() as u64;
         let mut edb_preds: FxHashSet<Predicate> = edb.predicates().into_iter().collect();
         for f in &program.facts {
             edb_preds.insert(f.predicate());
@@ -75,6 +82,7 @@ impl IncrementalEngine {
         Ok(IncrementalEngine {
             program,
             compiled,
+            plans,
             total,
             edb_preds,
             metrics,
@@ -119,7 +127,7 @@ impl IncrementalEngine {
     /// them through [`DeltaSource::Db`].
     fn propagate_insertions(&mut self, mut delta: Database) -> usize {
         let mut added = 0usize;
-        let mut scratch = JoinScratch::new();
+        let mut scratch = ExecScratch::new();
         while delta.total_tuples() > 0 {
             self.metrics.iterations += 1;
             for r in &self.compiled {
@@ -127,7 +135,7 @@ impl IncrementalEngine {
                 ensure_rule_indexes(r, &mut delta);
             }
             let mut next = Database::new();
-            for rule in &self.compiled {
+            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
                 let head = rule.head.pred;
                 for (i, lit) in rule.body.iter().enumerate() {
                     if delta.len_of(lit.atom.pred) == 0 {
@@ -140,15 +148,21 @@ impl IncrementalEngine {
                         governor: None,
                     };
                     let total_ref = &self.total;
-                    let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
-                        if total_ref.contains_row(head, row) {
-                            Emitted::Duplicate
-                        } else if next.insert_row(head, row) {
-                            Emitted::New
-                        } else {
-                            Emitted::Duplicate
-                        }
-                    });
+                    let _ = exec_plan(
+                        plan,
+                        &input,
+                        &mut scratch,
+                        &mut self.metrics,
+                        &mut |h, row| {
+                            if total_ref.contains_row_hashed(head, h, row) {
+                                Emitted::Duplicate
+                            } else if next.insert_row_hashed(head, h, row) {
+                                Emitted::New
+                            } else {
+                                Emitted::Duplicate
+                            }
+                        },
+                    );
                 }
             }
             added += self.total.merge(&next);
@@ -178,7 +192,7 @@ impl IncrementalEngine {
         let mut delta = Database::new();
         delta.insert(pred, t);
 
-        let mut scratch = JoinScratch::new();
+        let mut scratch = ExecScratch::new();
         while delta.total_tuples() > 0 {
             self.metrics.iterations += 1;
             for r in &self.compiled {
@@ -186,7 +200,7 @@ impl IncrementalEngine {
                 ensure_rule_indexes(r, &mut delta);
             }
             let mut next = Database::new();
-            for rule in &self.compiled {
+            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
                 let head = rule.head.pred;
                 for (i, lit) in rule.body.iter().enumerate() {
                     if delta.len_of(lit.atom.pred) == 0 {
@@ -199,18 +213,24 @@ impl IncrementalEngine {
                         governor: None,
                     };
                     let doomed_ref = &doomed;
-                    let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
-                        let seen = doomed_ref
-                            .get(&head)
-                            .is_some_and(|s| s.contains(&Tuple::new(row)));
-                        if seen {
-                            Emitted::Duplicate
-                        } else if next.insert_row(head, row) {
-                            Emitted::New
-                        } else {
-                            Emitted::Duplicate
-                        }
-                    });
+                    let _ = exec_plan(
+                        plan,
+                        &input,
+                        &mut scratch,
+                        &mut self.metrics,
+                        &mut |h, row| {
+                            let seen = doomed_ref
+                                .get(&head)
+                                .is_some_and(|s| s.contains(&Tuple::new(row)));
+                            if seen {
+                                Emitted::Duplicate
+                            } else if next.insert_row_hashed(head, h, row) {
+                                Emitted::New
+                            } else {
+                                Emitted::Duplicate
+                            }
+                        },
+                    );
                 }
             }
             for p in next.predicates() {
@@ -241,7 +261,7 @@ impl IncrementalEngine {
                 ensure_rule_indexes(r, &mut self.total);
             }
             let mut next = Database::new();
-            for rule in &self.compiled {
+            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
                 let head = rule.head.pred;
                 let Some(candidates) = doomed.get(&head) else {
                     continue;
@@ -253,16 +273,22 @@ impl IncrementalEngine {
                     governor: None,
                 };
                 let total_ref = &self.total;
-                let _ = join_rule(rule, &input, &mut scratch, &mut self.metrics, &mut |row| {
-                    if candidates.contains(&Tuple::new(row))
-                        && !total_ref.contains_row(head, row)
-                        && next.insert_row(head, row)
-                    {
-                        Emitted::New
-                    } else {
-                        Emitted::Duplicate
-                    }
-                });
+                let _ = exec_plan(
+                    plan,
+                    &input,
+                    &mut scratch,
+                    &mut self.metrics,
+                    &mut |h, row| {
+                        if candidates.contains(&Tuple::new(row))
+                            && !total_ref.contains_row_hashed(head, h, row)
+                            && next.insert_row_hashed(head, h, row)
+                        {
+                            Emitted::New
+                        } else {
+                            Emitted::Duplicate
+                        }
+                    },
+                );
             }
             let n = self.total.merge(&next);
             rederived += n;

@@ -16,6 +16,14 @@
 //! All evaluators return machine-independent [`EvalMetrics`] counters; the
 //! benchmark tables of the reproduction are built from these.
 //!
+//! By default rule bodies are compiled once per run into flat columnar
+//! plans ([`plan`]) and driven by a blocked executor ([`exec`]) that moves
+//! fixed-size blocks of binding rows through the operator pipeline and
+//! hashes each derived head row exactly once. The per-tuple join
+//! ([`ExecMode::Tuple`], via [`EvalOptions::with_exec`]) is retained as a
+//! differential oracle: both executors produce identical relations,
+//! identical emission order, and identical [`EvalMetrics`].
+//!
 //! The semi-naive engine (and everything layered on it) can parallelise each
 //! fixpoint round across worker threads via [`EvalOptions::threads`]; the
 //! resulting relations *and* metrics are identical to a sequential run at
@@ -52,6 +60,7 @@
 
 pub mod conditional;
 pub mod error;
+pub mod exec;
 #[cfg(feature = "failpoints")]
 pub mod failpoints;
 pub mod govern;
@@ -61,6 +70,7 @@ pub mod metrics;
 pub mod naive;
 pub mod order;
 pub mod parallel;
+pub mod plan;
 pub mod provenance;
 pub mod seminaive;
 pub mod stratified;
@@ -78,16 +88,18 @@ pub(crate) fn fail_point(_site: &str) {}
 
 pub use conditional::{eval_conditional, eval_conditional_opts, ConditionalResult, Conditions};
 pub use error::EvalError;
+pub use exec::{exec_plan, ExecMode, ExecScratch, BLOCK_ROWS};
 pub use govern::{Budget, CancelHandle, Completion, Consumption, Governor, Resource};
 pub use incremental::IncrementalEngine;
 pub use join::{
     compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
     JoinScratch,
 };
-pub use metrics::EvalMetrics;
+pub use metrics::{EvalMetrics, ExecStats};
 pub use naive::{eval_naive, eval_naive_opts, EvalOptions, EvalResult};
 pub use order::{order_for_evaluation, Unorderable};
 pub use parallel::{eval_naive_parallel, eval_naive_parallel_opts};
+pub use plan::{compile_plan, PlanOp, RulePlan};
 pub use provenance::{eval_with_provenance, Justification, ProofTree, Provenance};
 pub use seminaive::{eval_seminaive, eval_seminaive_opts};
 pub use stratified::{eval_stratified, eval_stratified_opts, StratifiedResult};

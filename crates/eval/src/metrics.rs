@@ -8,7 +8,7 @@ use std::fmt;
 use std::ops::AddAssign;
 
 /// Counters accumulated by an evaluation run.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Default, Debug)]
 pub struct EvalMetrics {
     /// Successful full-body rule instantiations (inference steps). Includes
     /// firings that re-derive an already-known fact.
@@ -25,6 +25,42 @@ pub struct EvalMetrics {
     pub iterations: u64,
     /// Conditional statements generated (conditional-fixpoint runs only).
     pub conditional_statements: u64,
+    /// Execution-shape statistics of the blocked executor. Excluded from
+    /// equality: the logical counters above must agree between the blocked
+    /// and tuple-at-a-time paths, but only the blocked path executes blocks.
+    pub exec: ExecStats,
+}
+
+/// How the blocked executor shaped its work: how many rule plans were
+/// compiled, how many binding blocks flowed through operators, and how many
+/// binding rows those blocks carried (so rows/block is derivable).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ExecStats {
+    /// Rule plans compiled (and cached for the run) by the plan compiler.
+    pub plans_compiled: u64,
+    /// Binding blocks pushed through a plan operator or the emission sink.
+    pub blocks_executed: u64,
+    /// Binding rows carried by those blocks.
+    pub block_rows: u64,
+}
+
+impl ExecStats {
+    /// Mean binding rows per executed block (0 when nothing ran blocked).
+    pub fn rows_per_block(&self) -> f64 {
+        if self.blocks_executed == 0 {
+            0.0
+        } else {
+            self.block_rows as f64 / self.blocks_executed as f64
+        }
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, o: ExecStats) {
+        self.plans_compiled += o.plans_compiled;
+        self.blocks_executed += o.blocks_executed;
+        self.block_rows += o.block_rows;
+    }
 }
 
 impl EvalMetrics {
@@ -33,6 +69,34 @@ impl EvalMetrics {
         self.new_facts + self.duplicate_facts
     }
 }
+
+/// Equality compares the logical counters only. The differential tests
+/// assert `blocked == tuple == legacy` metric-for-metric; the blocked
+/// executor's [`ExecStats`] are shape, not semantics, and necessarily differ
+/// across executors.
+impl PartialEq for EvalMetrics {
+    fn eq(&self, o: &EvalMetrics) -> bool {
+        (
+            self.firings,
+            self.new_facts,
+            self.duplicate_facts,
+            self.probes,
+            self.tuples_considered,
+            self.iterations,
+            self.conditional_statements,
+        ) == (
+            o.firings,
+            o.new_facts,
+            o.duplicate_facts,
+            o.probes,
+            o.tuples_considered,
+            o.iterations,
+            o.conditional_statements,
+        )
+    }
+}
+
+impl Eq for EvalMetrics {}
 
 impl AddAssign for EvalMetrics {
     fn add_assign(&mut self, o: EvalMetrics) {
@@ -43,6 +107,7 @@ impl AddAssign for EvalMetrics {
         self.tuples_considered += o.tuples_considered;
         self.iterations += o.iterations;
         self.conditional_statements += o.conditional_statements;
+        self.exec += o.exec;
     }
 }
 
@@ -60,6 +125,14 @@ impl fmt::Display for EvalMetrics {
         )?;
         if self.conditional_statements > 0 {
             write!(f, " cond={}", self.conditional_statements)?;
+        }
+        if self.exec.blocks_executed > 0 {
+            write!(
+                f,
+                " blocks={} rows/block={:.1}",
+                self.exec.blocks_executed,
+                self.exec.rows_per_block()
+            )?;
         }
         Ok(())
     }
@@ -79,12 +152,20 @@ mod tests {
             tuples_considered: 5,
             iterations: 6,
             conditional_statements: 7,
+            exec: ExecStats {
+                plans_compiled: 1,
+                blocks_executed: 2,
+                block_rows: 8,
+            },
         };
         a += a;
         assert_eq!(a.firings, 2);
         assert_eq!(a.new_facts, 4);
         assert_eq!(a.conditional_statements, 14);
         assert_eq!(a.derivations(), 4 + 6);
+        assert_eq!(a.exec.plans_compiled, 2);
+        assert_eq!(a.exec.blocks_executed, 4);
+        assert_eq!(a.exec.block_rows, 16);
     }
 
     #[test]
@@ -93,5 +174,33 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("firings=0"));
         assert!(!s.contains("cond="));
+        assert!(!s.contains("blocks="));
+    }
+
+    #[test]
+    fn equality_ignores_exec_shape() {
+        // blocked vs tuple runs produce the same logical counters but only
+        // the blocked one executes blocks; they must still compare equal.
+        let a = EvalMetrics {
+            firings: 3,
+            ..EvalMetrics::default()
+        };
+        let mut b = a;
+        b.exec.blocks_executed = 7;
+        b.exec.block_rows = 700;
+        assert_eq!(a, b);
+        b.firings = 4;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rows_per_block_is_safe_on_zero() {
+        assert_eq!(ExecStats::default().rows_per_block(), 0.0);
+        let s = ExecStats {
+            plans_compiled: 1,
+            blocks_executed: 4,
+            block_rows: 10,
+        };
+        assert_eq!(s.rows_per_block(), 2.5);
     }
 }

@@ -40,6 +40,7 @@
 //! [`crate::Completion`].
 
 use crate::error::EvalError;
+use crate::exec::{exec_plan, ExecScratch};
 use crate::fail_point;
 use crate::govern::Governor;
 use crate::join::{
@@ -48,6 +49,7 @@ use crate::join::{
 };
 use crate::metrics::EvalMetrics;
 use crate::naive::{check_semipositive, seed_database, EvalOptions, EvalResult};
+use crate::plan::{compile_plans, RulePlan};
 use alexander_ir::{Polarity, Predicate, Program, Rule};
 use alexander_storage::{Database, DeltaSpans};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,8 +118,20 @@ pub(crate) fn run_rules(
         ps
     };
 
+    // Rule plans for the blocked executor, compiled once and shared
+    // read-only by every round and worker (`None` selects the
+    // tuple-at-a-time oracle).
+    let plans: Option<Vec<RulePlan>> = compile_plans(&compiled, opts.exec, metrics);
+    let plan_of = |rule_index: usize| plans.as_ref().map(|ps| &ps[rule_index]);
+
     let governor = gov.filter(|g| g.active());
     let threads = opts.threads.max(1);
+
+    // One scratch of each kind for the whole fixpoint: round N+1 reuses
+    // round N's grown buffers, so the steady state allocates nothing. The
+    // parallel fan-out keeps per-worker scratches instead.
+    let mut scratch = JoinScratch::new();
+    let mut exec_scratch = ExecScratch::new();
 
     // Round 0: full join over the seed database, one work item per rule.
     if governor.is_some_and(|g| g.note_round().is_break()) {
@@ -131,10 +145,12 @@ pub(crate) fn run_rules(
         }
     }
     let mut staged = Database::new();
-    let tasks: Vec<RoundTask<'_>> = compiled
+    let mut tasks: Vec<RoundTask<'_>> = compiled
         .iter()
-        .map(|rule| RoundTask {
+        .enumerate()
+        .map(|(ri, rule)| RoundTask {
             rule,
+            plan: plan_of(ri),
             delta_pos: None,
         })
         .collect();
@@ -147,8 +163,10 @@ pub(crate) fn run_rules(
         metrics,
         &mut staged,
         governor,
+        &mut scratch,
+        &mut exec_scratch,
     )?;
-    db.merge(&staged);
+    db.absorb_staged(&staged);
     let mut spans = DeltaSpans::after_merge(db, &staged);
     if governor.is_some_and(|g| g.should_stop()) {
         return Ok(());
@@ -160,6 +178,9 @@ pub(crate) fn run_rules(
     // program has fewer rules than threads. The delta itself is just the id
     // ranges the previous merge appended; the round probes the total's
     // indexes (kept fresh by `insert_row`) and never builds delta indexes.
+    // The staging database and task list are recycled round to round (rows
+    // cleared, allocations kept), so steady-state rounds stage and merge
+    // without touching the allocator.
     while !spans.is_empty() {
         if governor.is_some_and(|g| g.note_round().is_break()) {
             return Ok(());
@@ -171,9 +192,9 @@ pub(crate) fn run_rules(
                 ensure_rule_indexes(r, db);
             }
         }
-        let mut next = Database::new();
-        let mut tasks: Vec<RoundTask<'_>> = Vec::new();
-        for rule in &compiled {
+        staged.clear_retaining();
+        tasks.clear();
+        for (ri, rule) in compiled.iter().enumerate() {
             for (i, lit) in rule.body.iter().enumerate() {
                 if lit.polarity == Polarity::Positive
                     && derived.binary_search(&lit.atom.pred).is_ok()
@@ -181,6 +202,7 @@ pub(crate) fn run_rules(
                 {
                     tasks.push(RoundTask {
                         rule,
+                        plan: plan_of(ri),
                         delta_pos: Some(i),
                     });
                 }
@@ -193,11 +215,13 @@ pub(crate) fn run_rules(
             negatives,
             threads,
             metrics,
-            &mut next,
+            &mut staged,
             governor,
+            &mut scratch,
+            &mut exec_scratch,
         )?;
-        db.merge(&next);
-        spans = DeltaSpans::after_merge(db, &next);
+        db.absorb_staged(&staged);
+        spans = DeltaSpans::after_merge(db, &staged);
         if governor.is_some_and(|g| g.should_stop()) {
             return Ok(());
         }
@@ -206,9 +230,11 @@ pub(crate) fn run_rules(
 }
 
 /// One unit of per-round work: a compiled rule, optionally specialised to a
-/// delta position (one delta-rewriting variant).
+/// delta position (one delta-rewriting variant). Carries the rule's blocked
+/// plan when that executor is selected.
 struct RoundTask<'a> {
     rule: &'a CompiledRule,
+    plan: Option<&'a RulePlan>,
     delta_pos: Option<usize>,
 }
 
@@ -244,6 +270,8 @@ fn run_round_tasks(
     metrics: &mut EvalMetrics,
     next: &mut Database,
     governor: Option<&Governor>,
+    scratch: &mut JoinScratch,
+    exec_scratch: &mut ExecScratch,
 ) -> Result<(), EvalError> {
     let delta_of = |pos: Option<usize>| {
         // invariant: callers set `delta_pos` only on tasks they build for
@@ -257,7 +285,6 @@ fn run_round_tasks(
     };
     if threads <= 1 || tasks.len() <= 1 {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            let mut scratch = JoinScratch::new();
             for task in tasks {
                 fail_point("round-worker");
                 let head_pred = task.rule.head.pred;
@@ -267,16 +294,47 @@ fn run_round_tasks(
                     negatives,
                     governor,
                 };
-                let flow = join_rule(task.rule, &input, &mut scratch, metrics, &mut |row| {
-                    if db.contains_row(head_pred, row) || next.contains_row(head_pred, row) {
-                        Emitted::Duplicate
-                    } else if governor.is_some_and(|g| g.claim_fact().is_break()) {
-                        Emitted::Refused
-                    } else {
-                        next.insert_row(head_pred, row);
-                        Emitted::New
+                let flow = match task.plan {
+                    Some(plan) if governor.is_some() => {
+                        let gov = governor.expect("guarded by the match arm");
+                        exec_plan(plan, &input, exec_scratch, metrics, &mut |h, row| {
+                            if db.contains_row_hashed(head_pred, h, row)
+                                || next.contains_row_hashed(head_pred, h, row)
+                            {
+                                Emitted::Duplicate
+                            } else if gov.claim_fact().is_break() {
+                                Emitted::Refused
+                            } else {
+                                // Both contains checks above just proved the
+                                // row absent, so skip insert's dedup find.
+                                next.push_new_row_hashed(head_pred, h, row);
+                                Emitted::New
+                            }
+                        })
                     }
-                });
+                    // Ungoverned fast path: no claim can refuse, so newness
+                    // comes straight off the staging insert — one staging
+                    // lookup instead of a contains/insert pair.
+                    Some(plan) => exec_plan(plan, &input, exec_scratch, metrics, &mut |h, row| {
+                        if db.contains_row_hashed(head_pred, h, row) {
+                            Emitted::Duplicate
+                        } else if next.insert_row_hashed(head_pred, h, row) {
+                            Emitted::New
+                        } else {
+                            Emitted::Duplicate
+                        }
+                    }),
+                    None => join_rule(task.rule, &input, scratch, metrics, &mut |row| {
+                        if db.contains_row(head_pred, row) || next.contains_row(head_pred, row) {
+                            Emitted::Duplicate
+                        } else if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                            Emitted::Refused
+                        } else {
+                            next.insert_row(head_pred, row);
+                            Emitted::New
+                        }
+                    }),
+                };
                 if flow.is_break() {
                     break;
                 }
@@ -304,6 +362,7 @@ fn run_round_tasks(
                         let mut staging = Database::new();
                         let mut log: Vec<(Predicate, u32)> = Vec::new();
                         let mut scratch = JoinScratch::new();
+                        let mut exec_scratch = ExecScratch::new();
                         for task in chunk_tasks {
                             fail_point("round-worker");
                             let head_pred = task.rule.head.pred;
@@ -313,33 +372,91 @@ fn run_round_tasks(
                                 negatives,
                                 governor,
                             };
-                            let flow = join_rule(
-                                task.rule,
-                                &input,
-                                &mut scratch,
-                                &mut local,
-                                &mut |row| {
-                                    if frozen
-                                        .relation(head_pred)
-                                        .is_some_and(|r| r.contains_row(row))
-                                    {
-                                        return Emitted::Duplicate;
-                                    }
-                                    // Worker-local dedup via the staging
-                                    // relation; cross-worker collisions are
-                                    // reclassified at merge time.
-                                    if staging.contains_row(head_pred, row) {
-                                        return Emitted::Duplicate;
-                                    }
-                                    if governor.is_some_and(|g| g.claim_fact().is_break()) {
-                                        return Emitted::Refused;
-                                    }
-                                    staging.insert_row(head_pred, row);
-                                    let id = staging.len_of(head_pred) as u32 - 1;
-                                    log.push((head_pred, id));
-                                    Emitted::New
-                                },
-                            );
+                            let flow = match task.plan {
+                                Some(plan) if governor.is_some() => {
+                                    let gov = governor.expect("guarded by the match arm");
+                                    exec_plan(
+                                        plan,
+                                        &input,
+                                        &mut exec_scratch,
+                                        &mut local,
+                                        &mut |h, row| {
+                                            if frozen
+                                                .relation(head_pred)
+                                                .is_some_and(|r| r.contains_row_hashed(h, row))
+                                            {
+                                                return Emitted::Duplicate;
+                                            }
+                                            // Worker-local dedup via the staging
+                                            // relation; cross-worker collisions
+                                            // are reclassified at merge time.
+                                            if staging.contains_row_hashed(head_pred, h, row) {
+                                                return Emitted::Duplicate;
+                                            }
+                                            if gov.claim_fact().is_break() {
+                                                return Emitted::Refused;
+                                            }
+                                            // The staging contains check above
+                                            // proved the row absent.
+                                            staging.push_new_row_hashed(head_pred, h, row);
+                                            let id = staging.len_of(head_pred) as u32 - 1;
+                                            log.push((head_pred, id));
+                                            Emitted::New
+                                        },
+                                    )
+                                }
+                                // Ungoverned fast path, as in the sequential
+                                // branch: worker-local dedup straight off the
+                                // staging insert.
+                                Some(plan) => exec_plan(
+                                    plan,
+                                    &input,
+                                    &mut exec_scratch,
+                                    &mut local,
+                                    &mut |h, row| {
+                                        if frozen
+                                            .relation(head_pred)
+                                            .is_some_and(|r| r.contains_row_hashed(h, row))
+                                        {
+                                            return Emitted::Duplicate;
+                                        }
+                                        if staging.insert_row_hashed(head_pred, h, row) {
+                                            let id = staging.len_of(head_pred) as u32 - 1;
+                                            log.push((head_pred, id));
+                                            Emitted::New
+                                        } else {
+                                            Emitted::Duplicate
+                                        }
+                                    },
+                                ),
+                                None => join_rule(
+                                    task.rule,
+                                    &input,
+                                    &mut scratch,
+                                    &mut local,
+                                    &mut |row| {
+                                        if frozen
+                                            .relation(head_pred)
+                                            .is_some_and(|r| r.contains_row(row))
+                                        {
+                                            return Emitted::Duplicate;
+                                        }
+                                        // Worker-local dedup via the staging
+                                        // relation; cross-worker collisions
+                                        // are reclassified at merge time.
+                                        if staging.contains_row(head_pred, row) {
+                                            return Emitted::Duplicate;
+                                        }
+                                        if governor.is_some_and(|g| g.claim_fact().is_break()) {
+                                            return Emitted::Refused;
+                                        }
+                                        staging.insert_row(head_pred, row);
+                                        let id = staging.len_of(head_pred) as u32 - 1;
+                                        log.push((head_pred, id));
+                                        Emitted::New
+                                    },
+                                ),
+                            };
                             if flow.is_break() {
                                 break;
                             }
@@ -387,11 +504,11 @@ fn run_round_tasks(
         for (p, id) in log {
             // invariant: every log entry was appended right after its row
             // was inserted into the worker's staging database.
-            let row = staging
+            let rel = staging
                 .relation(p)
-                .expect("logged predicate exists in staging")
-                .row(id);
-            if !next.insert_row(p, row) {
+                .expect("logged predicate exists in staging");
+            let (row, h) = (rel.row(id), rel.row_hashes()[id as usize]);
+            if !next.insert_row_hashed(p, h, row) {
                 metrics.new_facts -= 1;
                 metrics.duplicate_facts += 1;
             }

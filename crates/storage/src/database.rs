@@ -53,11 +53,39 @@ impl Database {
         self.relation_mut(pred).insert_row(row)
     }
 
+    /// [`Database::insert_row`] with a caller-supplied [`hash_row`] digest
+    /// (hash once, then membership-check and insert off the same digest).
+    ///
+    /// [`hash_row`]: alexander_ir::hash_row
+    pub fn insert_row_hashed(&mut self, pred: Predicate, h: u64, row: &[Const]) -> bool {
+        self.relation_mut(pred).insert_row_hashed(h, row)
+    }
+
+    /// [`Relation::push_new_row_hashed`] on `pred`'s relation: appends a row
+    /// the caller has already proven absent (e.g. via
+    /// [`Database::contains_row_hashed`] with the same digest), skipping the
+    /// dedup find that [`Database::insert_row_hashed`] would repeat.
+    ///
+    /// [`Relation::push_new_row_hashed`]: crate::relation::Relation::push_new_row_hashed
+    pub fn push_new_row_hashed(&mut self, pred: Predicate, h: u64, row: &[Const]) {
+        self.relation_mut(pred).push_new_row_hashed(h, row);
+    }
+
     /// True iff `pred` stores exactly this row.
     pub fn contains_row(&self, pred: Predicate, row: &[Const]) -> bool {
         self.relations
             .get(&pred)
             .is_some_and(|r| r.contains_row(row))
+    }
+
+    /// [`Database::contains_row`] with a caller-supplied [`hash_row`]
+    /// digest.
+    ///
+    /// [`hash_row`]: alexander_ir::hash_row
+    pub fn contains_row_hashed(&self, pred: Predicate, h: u64, row: &[Const]) -> bool {
+        self.relations
+            .get(&pred)
+            .is_some_and(|r| r.contains_row_hashed(h, row))
     }
 
     /// Inserts a ground atom as a fact. Returns `Ok(true)` if new,
@@ -116,10 +144,31 @@ impl Database {
         let mut added = 0;
         for (p, r) in other.iter() {
             let target = self.relation_mut(p);
-            for row in r.iter() {
-                if target.insert_row(row) {
+            // Reuse the source relation's stored digests: a merge never
+            // re-hashes what insertion already hashed.
+            for (row, &h) in r.iter().zip(r.row_hashes()) {
+                if target.insert_row_hashed(h, row) {
                     added += 1;
                 }
+            }
+        }
+        added
+    }
+
+    /// Appends every row of `staged`, skipping the per-row dedup probe
+    /// [`Database::merge`] pays — the fixpoint engines' round merges, where
+    /// each staged row was membership-checked against `self` when it was
+    /// derived and `self` stayed immutable for the round, so the probe is
+    /// known to miss. Returns the number of rows appended (all of them).
+    /// Hashes are reused from the staging relations; debug builds re-verify
+    /// the absence of every row.
+    pub fn absorb_staged(&mut self, staged: &Database) -> usize {
+        let mut added = 0;
+        for (p, r) in staged.iter() {
+            let target = self.relation_mut(p);
+            for (row, &h) in r.iter().zip(r.row_hashes()) {
+                target.push_new_row_hashed(h, row);
+                added += 1;
             }
         }
         added
@@ -152,6 +201,15 @@ impl Database {
         self.relations
             .get_mut(&pred)
             .map_or(0, |r| r.remove_all(victims))
+    }
+
+    /// Empties every relation while keeping their allocations (their
+    /// indexes are dropped — see [`Relation::clear_rows`]). Fixpoint
+    /// engines recycle their staging database through this between rounds.
+    pub fn clear_retaining(&mut self) {
+        for r in self.relations.values_mut() {
+            r.clear_rows();
+        }
     }
 
     /// An explicitly read-only view of this database for the duration of a

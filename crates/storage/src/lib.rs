@@ -37,5 +37,5 @@ pub mod tuple;
 
 pub use database::{Database, DeltaSpans, Frozen, NonGround};
 pub use load::{load_delimited, load_file, LoadError};
-pub use relation::{Mask, MaskColumns, Relation, Rows};
+pub use relation::{IndexProbe, Mask, MaskColumns, Relation, Rows};
 pub use tuple::{row_atom, tuple_of_syms, Tuple};

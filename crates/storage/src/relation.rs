@@ -166,6 +166,13 @@ impl RawTable {
         self.slots.clear();
         self.len = 0;
     }
+
+    /// Empties the table while keeping its slot array, so a recycled
+    /// staging relation stays allocation-free round to round.
+    fn clear_retaining(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
 }
 
 /// One key group of an index: every row whose projection onto the index
@@ -313,14 +320,62 @@ impl Relation {
         &self.pool[id as usize * a..id as usize * a + a]
     }
 
+    /// The whole arena: every row concatenated, stride = arity. Row `id`
+    /// occupies `pool()[id * arity .. (id + 1) * arity]`. This is the
+    /// contiguous surface blocked executors scan directly.
+    #[inline]
+    pub fn pool(&self) -> &[Const] {
+        &self.pool
+    }
+
+    /// The precomputed [`hash_row`] digest of every row, indexed by id.
+    #[inline]
+    pub fn row_hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
     /// Inserts a row; returns `true` if it was new. Panics on arity
     /// mismatch.
     pub fn insert_row(&mut self, row: &[Const]) -> bool {
-        assert_eq!(row.len(), self.arity, "tuple arity mismatch");
-        let h = hash_row(row);
+        self.insert_row_hashed(hash_row(row), row)
+    }
+
+    /// Inserts a row whose [`hash_row`] digest the caller already computed
+    /// (blocked executors hash each head row once and reuse the digest for
+    /// the membership check and the insert); returns `true` if it was new.
+    /// Panics on arity mismatch.
+    pub fn insert_row_hashed(&mut self, h: u64, row: &[Const]) -> bool {
         if self.find_id(h, row).is_some() {
+            debug_assert_eq!(
+                h,
+                hash_row(row),
+                "caller-supplied hash must be the row digest"
+            );
             return false;
         }
+        self.push_new_row_hashed(h, row);
+        true
+    }
+
+    /// Appends a row the caller guarantees is **absent**, with its
+    /// [`hash_row`] digest already computed — the dedup probe is skipped
+    /// entirely. This is the round-merge entry point: every staged row was
+    /// membership-checked against the target while the target was immutable
+    /// for the round, so probing again on merge would only repeat a lookup
+    /// that is known to miss. Debug builds re-verify the absence.
+    ///
+    /// Panics on arity mismatch.
+    pub fn push_new_row_hashed(&mut self, h: u64, row: &[Const]) {
+        assert_eq!(row.len(), self.arity, "tuple arity mismatch");
+        debug_assert_eq!(
+            h,
+            hash_row(row),
+            "caller-supplied hash must be the row digest"
+        );
+        debug_assert!(
+            self.find_id(h, row).is_none(),
+            "push_new_row_hashed caller promised the row was absent"
+        );
         // invariant: tuple ids are dense u32s; 2^32 tuples per relation
         // exceeds addressable memory for any workload this engine targets.
         let id = self.len;
@@ -342,7 +397,6 @@ impl Relation {
         self.pool.extend_from_slice(row);
         self.hashes.push(h);
         self.len = id + 1;
-        true
     }
 
     /// Inserts a tuple; returns `true` if it was new.
@@ -361,6 +415,18 @@ impl Relation {
     #[inline]
     pub fn contains_row(&self, row: &[Const]) -> bool {
         row.len() == self.arity && self.find_id(hash_row(row), row).is_some()
+    }
+
+    /// Membership test for a row whose [`hash_row`] digest the caller
+    /// already computed.
+    #[inline]
+    pub fn contains_row_hashed(&self, h: u64, row: &[Const]) -> bool {
+        debug_assert_eq!(
+            h,
+            hash_row(row),
+            "caller-supplied hash must be the row digest"
+        );
+        row.len() == self.arity && self.find_id(h, row).is_some()
     }
 
     /// Membership test without materialising the row: `get(i)` resolves the
@@ -449,6 +515,32 @@ impl Relation {
         Some(index.probe(hash, |rid| self.row(rid), key_eq))
     }
 
+    /// [`Relation::probe_ids`] restricted to the id range `[lo, hi)` — the
+    /// semi-naive delta restriction as a single entry point. Posting lists
+    /// are ascending, so the restriction is at most two binary searches;
+    /// `None` still means "no index for this mask, fall back to a scan".
+    #[inline]
+    pub fn probe_ids_in(
+        &self,
+        mask: Mask,
+        hash: u64,
+        range: Option<(u32, u32)>,
+        key_eq: impl FnMut(&[Const]) -> bool,
+    ) -> Option<&[u32]> {
+        let ids = self.probe_ids(mask, hash, key_eq)?;
+        Some(narrow(ids, range, self.len))
+    }
+
+    /// Resolves the index for `mask` once — `None` when no index exists
+    /// (the caller falls back to a scan). Blocked executors hold the handle
+    /// for a whole block of probes, so the per-probe mask lookup the
+    /// tuple-at-a-time path pays disappears.
+    #[inline]
+    pub fn index_probe(&self, mask: Mask) -> Option<IndexProbe<'_>> {
+        let index = self.indexes.get(&mask)?;
+        Some(IndexProbe { rel: self, index })
+    }
+
     /// Looks up the rows whose `mask` columns equal `key`. Uses the index
     /// when present, otherwise falls back to a filtered scan (the second
     /// element of the returned pair is `true` when the index was used).
@@ -525,6 +617,65 @@ impl Relation {
         let mut set = alexander_ir::FxHashSet::default();
         set.insert(t.clone());
         self.remove_all(&set) == 1
+    }
+
+    /// Removes every row while retaining the arena's and dedup table's
+    /// allocations (indexes are dropped). Fixpoint engines recycle their
+    /// staging relations through this, so the steady state stages rounds
+    /// without allocating.
+    pub fn clear_rows(&mut self) {
+        self.pool.clear();
+        self.hashes.clear();
+        self.dedup.clear_retaining();
+        self.indexes.clear();
+        self.len = 0;
+    }
+}
+
+/// A resolved `(relation, index)` pair: one mask lookup buys a whole block
+/// of probes. See [`Relation::index_probe`].
+#[derive(Clone, Copy)]
+pub struct IndexProbe<'r> {
+    rel: &'r Relation,
+    index: &'r Index,
+}
+
+impl<'r> IndexProbe<'r> {
+    /// As [`Relation::probe_ids_in`], minus the per-call index resolution
+    /// (and never `None` — holding the handle proves the index exists).
+    #[inline]
+    pub fn probe_in(
+        &self,
+        hash: u64,
+        range: Option<(u32, u32)>,
+        key_eq: impl FnMut(&[Const]) -> bool,
+    ) -> &'r [u32] {
+        let ids = self.index.probe(hash, |rid| self.rel.row(rid), key_eq);
+        narrow(ids, range, self.rel.len)
+    }
+}
+
+/// Restricts an ascending posting list to the id range `[lo, hi)`. Deltas
+/// are suffixes of their relation, so `hi` is almost always the current
+/// length and `lo == 0` means no lower restriction — both cases skip their
+/// binary search.
+#[inline]
+fn narrow(ids: &[u32], range: Option<(u32, u32)>, len: u32) -> &[u32] {
+    match range {
+        Some((lo, hi)) => {
+            let from = if lo == 0 {
+                0
+            } else {
+                ids.partition_point(|&id| id < lo)
+            };
+            let to = if hi >= len {
+                ids.len()
+            } else {
+                ids.partition_point(|&id| id < hi)
+            };
+            &ids[from..to]
+        }
+        None => ids,
     }
 }
 

@@ -3,7 +3,7 @@
 //! every strategy, at 1 and 4 threads, in time proportional to the budget —
 //! never the (much larger) time of the full fixpoint.
 
-use alexander_core::eval::{Budget, Completion};
+use alexander_core::eval::{Budget, Completion, ExecMode};
 use alexander_core::{Engine, Strategy};
 use alexander_parser::parse_atom;
 use std::fmt::Write as _;
@@ -141,4 +141,64 @@ fn budget_consumption_is_reported() {
     assert!(result.report.consumed.steps >= result.report.consumed.facts);
     let shown = result.report.to_string();
     assert!(shown.contains("PARTIAL"), "{shown}");
+
+    // The budget tripped on the (default) blocked executor, and the report
+    // carries the plan-compilation statistics to prove it ran compiled.
+    assert_eq!(result.report.exec, Some(ExecMode::Blocked));
+    let stats = result
+        .report
+        .eval
+        .expect("bottom-up run reports metrics")
+        .exec;
+    assert!(stats.plans_compiled > 0, "no plans cached: {stats:?}");
+    assert!(stats.blocks_executed > 0, "no blocks executed: {stats:?}");
+    assert!(stats.rows_per_block() > 0.0, "{stats:?}");
+}
+
+#[test]
+fn budget_trips_identically_on_the_tuple_oracle() {
+    // Same budget trip through the per-tuple oracle: claims stay exact and
+    // the executor stats confirm no blocked execution happened.
+    let src = cross_product_source(8);
+    let query = parse_atom("p(X, Y, Z, W)").unwrap();
+    let engine = Engine::from_source(&src)
+        .unwrap()
+        .with_exec(ExecMode::Tuple)
+        .with_budget(Budget::default().with_max_facts(100));
+    let result = engine.query(&query, Strategy::SemiNaive).unwrap();
+    assert!(!result.report.completion.is_complete());
+    assert_eq!(result.report.consumed.facts, 100, "claims are exact");
+    assert_eq!(result.report.exec, Some(ExecMode::Tuple));
+    let stats = result.report.eval.unwrap().exec;
+    assert_eq!(stats.plans_compiled, 0, "{stats:?}");
+    assert_eq!(stats.blocks_executed, 0, "{stats:?}");
+}
+
+#[test]
+fn blocked_budget_trip_is_exact_and_identical_across_thread_counts() {
+    // The acceptance bar for the blocked path: a tripped fact budget claims
+    // exactly `max` facts at every thread count, and the materialised
+    // partial databases carry exactly the claimed number of answers.
+    let src = cross_product_source(8);
+    let query = parse_atom("p(X, Y, Z, W)").unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = Engine::from_source(&src)
+            .unwrap()
+            .with_threads(threads)
+            .with_budget(Budget::default().with_max_facts(100));
+        let result = engine.query(&query, Strategy::SemiNaive).unwrap();
+        assert!(
+            !result.report.completion.is_complete(),
+            "@ {threads} threads"
+        );
+        assert_eq!(
+            result.report.consumed.facts, 100,
+            "@ {threads} threads: claims are exact"
+        );
+        assert_eq!(
+            result.answers.len(),
+            100,
+            "@ {threads} threads: materialised facts match the claims"
+        );
+    }
 }
