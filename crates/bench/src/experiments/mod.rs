@@ -24,6 +24,7 @@ pub mod f4;
 pub mod f5;
 pub mod f6;
 pub mod f7;
+pub mod f8;
 
 use crate::table::{ms, timed, Table};
 use alexander_core::{Engine, Strategy};
@@ -52,6 +53,7 @@ pub fn all() -> Vec<Table> {
         f5::run(),
         f6::run(),
         f7::run(),
+        f8::run(),
     ]
 }
 
@@ -78,15 +80,16 @@ pub fn by_id(id: &str) -> Option<Table> {
         "f5" => f5::run,
         "f6" => f6::run,
         "f7" => f7::run,
+        "f8" => f8::run,
         _ => return None,
     };
     Some(run())
 }
 
 /// All experiment ids, in report order.
-pub const IDS: [&str; 20] = [
+pub const IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2",
-    "f3", "f4", "f5", "f6", "f7",
+    "f3", "f4", "f5", "f6", "f7", "f8",
 ];
 
 /// The per-strategy row every comparison table shares: run the query, report

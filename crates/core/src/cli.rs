@@ -41,6 +41,14 @@ pub struct CliOptions {
     pub max_facts: Option<u64>,
     /// Fixpoint-round / restart budget per query.
     pub max_rounds: Option<u64>,
+    /// Snapshot file: written after loading (default) or read as the EDB
+    /// when `--recover` is set.
+    pub snapshot: Option<String>,
+    /// WAL file replayed on top of the snapshot under `--recover`.
+    pub wal: Option<String>,
+    /// Rebuild the EDB from `--snapshot` (+ optional `--wal`) instead of
+    /// starting empty.
+    pub recover: bool,
 }
 
 /// Usage text.
@@ -58,6 +66,12 @@ usage: alexander <file.dl | -> [options]
                       answers derived so far are printed and flagged
       --max-facts N   stop after deriving N facts (partial answers, flagged)
       --max-rounds N  stop after N fixpoint rounds / restarts
+      --snapshot FILE write the loaded EDB to FILE as a checksummed snapshot
+                      (with --recover: read the EDB from FILE instead)
+      --wal FILE      with --recover: replay the committed batches of this
+                      write-ahead log on top of the snapshot
+      --recover       rebuild the EDB from --snapshot/--wal instead of
+                      starting empty; torn WAL tails are reported and skipped
       --stats         print instrumentation counters per query
       --proof         print a constructive proof tree per answer
       --analyze       print stratification analysis and exit
@@ -123,6 +137,17 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
                     _ => opts.max_rounds = Some(n),
                 }
             }
+            "--snapshot" => {
+                i += 1;
+                let p = args.get(i).ok_or("missing argument to --snapshot")?;
+                opts.snapshot = Some(p.clone());
+            }
+            "--wal" => {
+                i += 1;
+                let p = args.get(i).ok_or("missing argument to --wal")?;
+                opts.wal = Some(p.clone());
+            }
+            "--recover" => opts.recover = true,
             "--stats" => opts.stats = true,
             "--proof" => opts.proof = true,
             "--analyze" => opts.analyze = true,
@@ -182,7 +207,64 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
         writeln!(out, "loaded {n} tuples into {pred} from {path}").unwrap();
     }
 
+    // Durability flags. `--recover` reads the EDB pair back; a bare
+    // `--snapshot` persists the EDB after everything is loaded.
+    if opts.wal.is_some() && !opts.recover {
+        return Err(
+            "--wal only makes sense with --recover (a query run never writes a log)".into(),
+        );
+    }
+    if opts.recover {
+        let snap_path = opts
+            .snapshot
+            .as_deref()
+            .ok_or("--recover needs --snapshot FILE to read the EDB from")?;
+        let recovered = alexander_durable::read_snapshot(std::path::Path::new(snap_path))
+            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "recovered {} facts from snapshot {snap_path}",
+            recovered.total_tuples()
+        )
+        .unwrap();
+        edb.merge(&recovered);
+        if let Some(wal_path) = opts.wal.as_deref() {
+            let contents = alexander_durable::read_wal(std::path::Path::new(wal_path))
+                .map_err(|e| e.to_string())?;
+            let records: usize = contents.batches.iter().map(|b| b.records.len()).sum();
+            alexander_durable::apply_to_database(&contents.batches, &mut edb);
+            writeln!(
+                out,
+                "replayed {} committed batches ({records} records) from wal {wal_path}",
+                contents.batches.len()
+            )
+            .unwrap();
+            if contents.torn {
+                // Read-only run: report the torn tail, leave the file alone.
+                writeln!(
+                    out,
+                    "!! wal has a torn tail after byte {} (crash mid-append); ignored",
+                    contents.valid_len
+                )
+                .unwrap();
+            }
+        }
+    }
+
     let mut engine = Engine::new(parsed.program, edb).map_err(|e| e.to_string())?;
+
+    if let (Some(snap_path), false) = (opts.snapshot.as_deref(), opts.recover) {
+        // The engine's EDB includes the program's inline facts, so the
+        // snapshot captures exactly what a later --recover run needs.
+        alexander_durable::write_snapshot(engine.edb(), std::path::Path::new(snap_path))
+            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "wrote snapshot of {} facts to {snap_path}",
+            engine.edb().total_tuples()
+        )
+        .unwrap();
+    }
     if let Some(threads) = opts.threads {
         engine = engine.with_threads(threads);
     }
@@ -536,6 +618,196 @@ seth,enos
         };
         let err = run(SRC, &bad).unwrap_err();
         assert!(err.contains("unknown executor"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_flag_writes_and_recover_reads_back() {
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("alexander_cli_snap_{}.snap", std::process::id()));
+        // First run: facts come from the program, snapshot them.
+        let opts = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            snapshot: Some(snap.display().to_string()),
+            ..CliOptions::default()
+        };
+        let out = run(SRC, &opts).unwrap();
+        assert!(out.contains("wrote snapshot of 2 facts"), "{out}");
+        assert!(out.contains("anc(adam, enos)"), "{out}");
+
+        // Second run: same rules but NO facts — they come from the snapshot.
+        let rules_only = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).";
+        let opts = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            snapshot: Some(snap.display().to_string()),
+            recover: true,
+            ..CliOptions::default()
+        };
+        let out = run(rules_only, &opts).unwrap();
+        std::fs::remove_file(&snap).ok();
+        assert!(out.contains("recovered 2 facts"), "{out}");
+        assert!(out.contains("anc(adam, enos)"), "{out}");
+    }
+
+    #[test]
+    fn recover_replays_committed_wal_batches() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let snap = dir.join(format!("alexander_cli_rec_{pid}.snap"));
+        let wal = dir.join(format!("alexander_cli_rec_{pid}.wal"));
+        // Snapshot: par(adam, seth) only. WAL: insert par(seth, enos),
+        // then delete par(adam, seth) — recovery must honour both.
+        let mut db = Database::new();
+        let par = alexander_ir::Predicate::new("par", 2);
+        db.insert(
+            par,
+            alexander_storage::Tuple::new(vec![
+                alexander_ir::Const::sym("adam"),
+                alexander_ir::Const::sym("seth"),
+            ]),
+        );
+        alexander_durable::write_snapshot(&db, &snap).unwrap();
+        let mut w = alexander_durable::Wal::create(&wal).unwrap();
+        let rec = |op, a: &str, b: &str| alexander_durable::WalRecord {
+            op,
+            pred: par,
+            values: vec![alexander_ir::Const::sym(a), alexander_ir::Const::sym(b)],
+        };
+        w.append_batch(&[rec(alexander_durable::Op::Insert, "seth", "enos")])
+            .unwrap();
+        w.append_batch(&[rec(alexander_durable::Op::Delete, "adam", "seth")])
+            .unwrap();
+        drop(w);
+
+        let opts = CliOptions {
+            queries: vec!["anc(X, Y)".into()],
+            snapshot: Some(snap.display().to_string()),
+            wal: Some(wal.display().to_string()),
+            recover: true,
+            ..CliOptions::default()
+        };
+        let out = run(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            &opts,
+        )
+        .unwrap();
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+        assert!(
+            out.contains("replayed 2 committed batches (2 records)"),
+            "{out}"
+        );
+        assert!(out.contains("anc(seth, enos)"), "{out}");
+        assert!(
+            !out.contains("anc(adam"),
+            "deleted base fact resurfaced: {out}"
+        );
+    }
+
+    #[test]
+    fn torn_wal_tails_are_reported_and_skipped() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let snap = dir.join(format!("alexander_cli_torn_{pid}.snap"));
+        let wal = dir.join(format!("alexander_cli_torn_{pid}.wal"));
+        alexander_durable::write_snapshot(&Database::new(), &snap).unwrap();
+        let par = alexander_ir::Predicate::new("par", 2);
+        let mut w = alexander_durable::Wal::create(&wal).unwrap();
+        w.append_batch(&[alexander_durable::WalRecord {
+            op: alexander_durable::Op::Insert,
+            pred: par,
+            values: vec![
+                alexander_ir::Const::sym("adam"),
+                alexander_ir::Const::sym("seth"),
+            ],
+        }])
+        .unwrap();
+        drop(w);
+        // Simulate a crash mid-append: chop the last 3 bytes of a second,
+        // hand-appended frame header.
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let opts = CliOptions {
+            queries: vec!["anc(X, Y)".into()],
+            snapshot: Some(snap.display().to_string()),
+            wal: Some(wal.display().to_string()),
+            recover: true,
+            ..CliOptions::default()
+        };
+        let out = run("anc(X, Y) :- par(X, Y).", &opts).unwrap();
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+        assert!(out.contains("torn tail"), "{out}");
+        assert!(
+            out.contains("anc(adam, seth)"),
+            "committed batch lost: {out}"
+        );
+    }
+
+    #[test]
+    fn durability_flag_combinations_are_validated() {
+        let base = CliOptions {
+            queries: vec!["anc(adam, X)".into()],
+            ..CliOptions::default()
+        };
+        let err = run(
+            SRC,
+            &CliOptions {
+                wal: Some("x.wal".into()),
+                ..base.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("--wal only makes sense with --recover"),
+            "{err}"
+        );
+        let err = run(
+            SRC,
+            &CliOptions {
+                recover: true,
+                ..base.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--recover needs --snapshot"), "{err}");
+        // A missing snapshot file is a structured error, not a panic.
+        let err = run(
+            SRC,
+            &CliOptions {
+                recover: true,
+                snapshot: Some("/nonexistent/alexander.snap".into()),
+                ..base
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("io error"), "{err}");
+    }
+
+    #[test]
+    fn durability_args_parse() {
+        let args: Vec<String> = [
+            "prog.dl",
+            "--snapshot",
+            "db.snap",
+            "--wal",
+            "db.wal",
+            "--recover",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (_, opts) = parse_args(&args).unwrap();
+        assert_eq!(opts.snapshot.as_deref(), Some("db.snap"));
+        assert_eq!(opts.wal.as_deref(), Some("db.wal"));
+        assert!(opts.recover);
+        for bad in [
+            vec!["prog.dl".to_string(), "--snapshot".to_string()],
+            vec!["prog.dl".to_string(), "--wal".to_string()],
+        ] {
+            assert!(parse_args(&bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

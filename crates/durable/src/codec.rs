@@ -1,0 +1,203 @@
+//! Little-endian byte codec shared by the snapshot and WAL formats.
+//!
+//! Writing appends to a `Vec<u8>`; reading goes through [`Cursor`], whose
+//! every accessor bounds-checks against the *actual* bytes present before
+//! touching them and returns a structured [`CodecError`] instead of
+//! panicking. Variable-length fields (strings, row counts) are validated
+//! against the remaining input before anything is allocated, so a corrupt
+//! length field can neither OOM nor overrun — the worst a hostile file can
+//! cost is one pass over its own bytes.
+
+use std::fmt;
+
+/// A structural decoding failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset (relative to the cursor's buffer) where decoding stopped.
+    pub offset: u64,
+    pub detail: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).expect("string over 4 GiB"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a byte slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, detail: impl Into<String>) -> CodecError {
+        CodecError {
+            offset: self.offset(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "truncated {what}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        // invariant: `bytes` returned exactly 4 bytes, so the conversion
+        // cannot fail.
+        Ok(u32::from_le_bytes(self.bytes(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self, what: &str) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string. The length is validated against
+    /// the remaining input *before* the bytes are touched, so a corrupt
+    /// length cannot allocate.
+    pub fn str_(&mut self, what: &str) -> Result<&'a str, CodecError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(self.err(format!(
+                "{what} length {len} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        let raw = self.bytes(len, what)?;
+        std::str::from_utf8(raw).map_err(|e| self.err(format!("{what} is not UTF-8: {e}")))
+    }
+
+    /// Validates that a caller-supplied element count is plausible for the
+    /// bytes that remain: `count * min_elem_bytes <= remaining`. This is the
+    /// guard that keeps a corrupt count field from driving a huge loop or a
+    /// huge allocation.
+    pub fn check_count(
+        &self,
+        count: u64,
+        min_elem_bytes: u64,
+        what: &str,
+    ) -> Result<usize, CodecError> {
+        let need = count.checked_mul(min_elem_bytes);
+        match need {
+            Some(n) if n <= self.remaining() as u64 => Ok(count as usize),
+            _ => Err(self.err(format!(
+                "{what} count {count} is impossible: needs at least {} bytes, {} remain",
+                need.map_or("overflow".to_string(), |n| n.to_string()),
+                self.remaining()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_str(&mut buf, "héllo");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(c.i64("d").unwrap(), -42);
+        assert_eq!(c.str_("e").unwrap(), "héllo");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut c = Cursor::new(&[1, 2]);
+        let err = c.u32("field").unwrap_err();
+        assert!(err.detail.contains("truncated field"), "{err}");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn hostile_string_length_cannot_allocate() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // length claims 4 GiB
+        let mut c = Cursor::new(&buf);
+        let err = c.str_("name").unwrap_err();
+        assert!(err.detail.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected() {
+        let c = Cursor::new(&[0u8; 16]);
+        assert_eq!(c.check_count(4, 4, "rows").unwrap(), 4);
+        assert!(c.check_count(5, 4, "rows").is_err());
+        assert!(c.check_count(u64::MAX, 8, "rows").is_err(), "mul overflow");
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf);
+        assert!(c.str_("s").unwrap_err().detail.contains("not UTF-8"));
+    }
+}

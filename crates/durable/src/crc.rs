@@ -1,0 +1,67 @@
+//! CRC32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Hand-rolled because the build environment has no registry access. The
+//! byte-at-a-time table walk checksums a snapshot body at memory speed
+//! relative to the deserialisation that follows it; this is not a hot path.
+
+/// The reflected polynomial used by zlib, PNG, ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"alexander");
+        let mut data = *b"alexander";
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip byte {i} bit {bit} undetected");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

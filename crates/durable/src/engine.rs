@@ -1,0 +1,408 @@
+//! The durable engine: an [`IncrementalEngine`] whose EDB mutations survive
+//! crashes.
+//!
+//! ## Commit protocol (write-ahead)
+//!
+//! Mutations buffer in memory ([`DurableEngine::insert`] /
+//! [`DurableEngine::delete`]) and become visible only at
+//! [`DurableEngine::commit`]:
+//!
+//! 1. the batch is appended to the WAL as one checksummed, commit-marked
+//!    frame and **fsynced**;
+//! 2. only then is it applied to the in-memory engine (insert/delete with
+//!    incremental re-derivation).
+//!
+//! A crash before step 1 completes leaves a torn tail that recovery
+//! truncates — the batch never happened. A crash after step 1 leaves the
+//! frame committed — recovery replays it. There is no interleaving in which
+//! a *prefix* of a batch survives: atomicity is the frame.
+//!
+//! ## Checkpoints
+//!
+//! [`DurableEngine::checkpoint`] writes the current EDB as a snapshot
+//! (atomically: temp file + rename) and then empties the WAL. If the
+//! snapshot write fails, nothing changed — the old snapshot and full WAL
+//! still recover. If the WAL truncation fails *after* the snapshot renamed,
+//! the pair on disk is still recoverable (replaying the old batches against
+//! the new snapshot converges: the log is a linear history and replay is
+//! idempotent), but appending new frames behind a stale log is not — so the
+//! engine poisons itself and every later mutation returns
+//! [`DurableError::Poisoned`]. Recover from disk to continue.
+//!
+//! ## Recovery
+//!
+//! [`DurableEngine::recover`] loads the snapshot, re-materialises the
+//! program over it, replays every committed WAL batch in sequence order,
+//! and truncates any torn tail. Derived (IDB) state is never persisted —
+//! it is recomputed, so a snapshot can never smuggle in facts the program
+//! does not justify.
+
+use crate::error::DurableError;
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{read_wal, Op, Wal, WalRecord};
+use alexander_eval::{EvalError, IncrementalEngine};
+use alexander_ir::{Atom, Program};
+use alexander_storage::Database;
+use std::path::{Path, PathBuf};
+
+/// What a recovery found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Facts loaded from the snapshot (EDB only).
+    pub snapshot_facts: usize,
+    /// Committed batches replayed from the WAL.
+    pub batches_replayed: usize,
+    /// Individual insert/delete records replayed.
+    pub records_replayed: usize,
+    /// Bytes of torn tail truncated from the WAL (0 for a clean shutdown).
+    pub torn_bytes_truncated: u64,
+}
+
+/// Net effect of one committed batch on the maintained database.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Sequence number the batch committed under (`None`: empty batch,
+    /// nothing was written).
+    pub seq: Option<u64>,
+    /// Facts added across the batch, derived facts included.
+    pub added: usize,
+    /// Facts removed across the batch, derived facts included.
+    pub removed: usize,
+}
+
+/// A crash-safe incremental Datalog engine (see module docs for the
+/// protocol).
+pub struct DurableEngine {
+    engine: IncrementalEngine,
+    wal: Wal,
+    snapshot_path: PathBuf,
+    pending: Vec<WalRecord>,
+    poisoned: bool,
+}
+
+impl DurableEngine {
+    /// Starts a fresh durable store: writes `edb` as the initial snapshot,
+    /// creates an empty WAL, and materialises `program` over it. Existing
+    /// files at either path are replaced.
+    pub fn create(
+        program: Program,
+        edb: Database,
+        snapshot_path: &Path,
+        wal_path: &Path,
+    ) -> Result<DurableEngine, DurableError> {
+        write_snapshot(&edb, snapshot_path)?;
+        let wal = Wal::create(wal_path)?;
+        let engine = IncrementalEngine::new(program, edb)?;
+        Ok(DurableEngine {
+            engine,
+            wal,
+            snapshot_path: snapshot_path.to_path_buf(),
+            pending: Vec::new(),
+            poisoned: false,
+        })
+    }
+
+    /// Rebuilds the engine from what is on disk: snapshot, then committed
+    /// WAL batches in order; any torn tail is truncated. The returned engine
+    /// is ready for new batches.
+    pub fn recover(
+        program: Program,
+        snapshot_path: &Path,
+        wal_path: &Path,
+    ) -> Result<(DurableEngine, RecoveryStats), DurableError> {
+        let edb = read_snapshot(snapshot_path)?;
+        let mut stats = RecoveryStats {
+            snapshot_facts: edb.total_tuples(),
+            ..RecoveryStats::default()
+        };
+        let mut engine = IncrementalEngine::new(program, edb)?;
+        let contents = read_wal(wal_path)?;
+        for batch in &contents.batches {
+            for rec in &batch.records {
+                match rec.op {
+                    Op::Insert => {
+                        engine.insert(&rec.atom())?;
+                    }
+                    Op::Delete => {
+                        engine.delete(&rec.atom())?;
+                    }
+                }
+                stats.records_replayed += 1;
+            }
+            stats.batches_replayed += 1;
+        }
+        if contents.torn {
+            let disk_len = std::fs::metadata(wal_path)
+                .map_err(|e| DurableError::io("stat", wal_path, e))?
+                .len();
+            stats.torn_bytes_truncated = disk_len - contents.valid_len;
+        }
+        let wal = Wal::open_append(wal_path, &contents)?;
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                snapshot_path: snapshot_path.to_path_buf(),
+                pending: Vec::new(),
+                poisoned: false,
+            },
+            stats,
+        ))
+    }
+
+    /// The maintained database (EDB + derived facts). Uncommitted buffered
+    /// mutations are *not* visible here — they apply at [`Self::commit`].
+    pub fn db(&self) -> &Database {
+        self.engine.db()
+    }
+
+    /// Buffered (uncommitted) mutation count.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes of committed WAL, header included.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    fn check_usable(&self) -> Result<(), DurableError> {
+        if self.poisoned {
+            return Err(DurableError::Poisoned);
+        }
+        Ok(())
+    }
+
+    fn buffer(&mut self, rec: Option<WalRecord>, fact: &Atom) -> Result<(), DurableError> {
+        self.check_usable()?;
+        let pred = fact.predicate();
+        if self.engine.program().is_idb(pred) {
+            return Err(EvalError::IdbUpdate(pred).into());
+        }
+        // Groundness is checked at buffer time so commit cannot log a record
+        // the engine would then reject: once a frame is fsynced it *will* be
+        // replayed.
+        let rec = rec.ok_or_else(|| {
+            EvalError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
+                fact: fact.to_string(),
+            }])
+        })?;
+        self.pending.push(rec);
+        Ok(())
+    }
+
+    /// Buffers an EDB insertion for the next commit.
+    pub fn insert(&mut self, fact: &Atom) -> Result<(), DurableError> {
+        self.buffer(WalRecord::insert(fact), fact)
+    }
+
+    /// Buffers an EDB deletion for the next commit.
+    pub fn delete(&mut self, fact: &Atom) -> Result<(), DurableError> {
+        self.buffer(WalRecord::delete(fact), fact)
+    }
+
+    /// Commits the buffered batch: logs it durably, then applies it to the
+    /// engine. On any error the engine poisons itself (disk and memory can
+    /// no longer be proven to agree); the on-disk pair stays recoverable.
+    pub fn commit(&mut self) -> Result<CommitStats, DurableError> {
+        self.check_usable()?;
+        if self.pending.is_empty() {
+            return Ok(CommitStats::default());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let seq = match self.wal.append_batch(&batch) {
+            Ok(seq) => seq,
+            Err(e) => {
+                // The append may have left a torn tail; this handle cannot
+                // know how much persisted, so it stops accepting writes.
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        let mut stats = CommitStats {
+            seq: Some(seq),
+            ..CommitStats::default()
+        };
+        for rec in &batch {
+            // invariant: records were validated at buffer time (ground,
+            // extensional), so the engine only fails here on internal
+            // errors — which still poison, keeping disk authoritative.
+            let applied = match rec.op {
+                Op::Insert => self.engine.insert(&rec.atom()).map(|n| (n, 0)),
+                Op::Delete => self.engine.delete(&rec.atom()),
+            };
+            match applied {
+                Ok((added, removed)) => {
+                    stats.added += added;
+                    stats.removed += removed;
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Writes the current EDB as a fresh snapshot and empties the WAL.
+    /// Buffered (uncommitted) mutations must be committed or they are not
+    /// part of the checkpoint — calling with a non-empty buffer is rejected.
+    pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        self.check_usable()?;
+        if !self.pending.is_empty() {
+            return Err(DurableError::Corrupt {
+                path: self.snapshot_path.clone(),
+                offset: 0,
+                detail: format!(
+                    "checkpoint with {} uncommitted mutations; commit first",
+                    self.pending.len()
+                ),
+            });
+        }
+        // Atomic: on failure the old snapshot is intact and the WAL still
+        // holds every batch, so nothing is poisoned.
+        write_snapshot(&self.engine.edb(), &self.snapshot_path)?;
+        // The snapshot now covers everything in the log. If this truncation
+        // fails the pair is STILL recoverable (replay converges), but new
+        // appends behind a stale log would not be — poison.
+        if let Err(e) = self.wal.truncate_to_header() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_ir::Const;
+    use alexander_parser::parse;
+    use alexander_storage::row_atom;
+
+    fn tc_program() -> Program {
+        parse("path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).")
+            .expect("parses")
+            .program
+    }
+
+    fn edge(a: &str, b: &str) -> Atom {
+        row_atom(
+            alexander_ir::Symbol::intern("edge"),
+            &[Const::sym(a), Const::sym(b)],
+        )
+    }
+
+    fn snap(db: &Database) -> Vec<String> {
+        let mut out: Vec<String> = db
+            .predicates()
+            .into_iter()
+            .flat_map(|p| db.atoms_of(p))
+            .map(|a| a.to_string())
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn paths(name: &str) -> (PathBuf, PathBuf) {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        (
+            dir.join(format!("alexander_eng_{name}_{pid}.snap")),
+            dir.join(format!("alexander_eng_{name}_{pid}.wal")),
+        )
+    }
+
+    #[test]
+    fn commit_then_recover_roundtrips() {
+        let (sp, wp) = paths("rt");
+        let mut eng = DurableEngine::create(tc_program(), Database::new(), &sp, &wp).unwrap();
+        eng.insert(&edge("a", "b")).unwrap();
+        eng.insert(&edge("b", "c")).unwrap();
+        let st = eng.commit().unwrap();
+        assert_eq!(st.seq, Some(1));
+        assert!(st.added >= 2 + 3, "derived paths counted, got {}", st.added);
+        eng.delete(&edge("b", "c")).unwrap();
+        eng.commit().unwrap();
+        let want = snap(eng.db());
+        drop(eng);
+
+        let (rec, stats) = DurableEngine::recover(tc_program(), &sp, &wp).unwrap();
+        assert_eq!(snap(rec.db()), want);
+        assert_eq!(stats.batches_replayed, 2);
+        assert_eq!(stats.records_replayed, 3);
+        assert_eq!(stats.torn_bytes_truncated, 0);
+        std::fs::remove_file(&sp).ok();
+        std::fs::remove_file(&wp).ok();
+    }
+
+    #[test]
+    fn checkpoint_empties_wal_and_still_recovers() {
+        let (sp, wp) = paths("ckpt");
+        let mut eng = DurableEngine::create(tc_program(), Database::new(), &sp, &wp).unwrap();
+        eng.insert(&edge("a", "b")).unwrap();
+        eng.commit().unwrap();
+        eng.checkpoint().unwrap();
+        assert_eq!(eng.wal_len(), crate::wal::WAL_HEADER);
+        eng.insert(&edge("b", "c")).unwrap();
+        eng.commit().unwrap();
+        let want = snap(eng.db());
+        drop(eng);
+
+        let (rec, stats) = DurableEngine::recover(tc_program(), &sp, &wp).unwrap();
+        assert_eq!(snap(rec.db()), want);
+        // Only the post-checkpoint batch is in the log.
+        assert_eq!(stats.batches_replayed, 1);
+        assert_eq!(stats.snapshot_facts, 1);
+        std::fs::remove_file(&sp).ok();
+        std::fs::remove_file(&wp).ok();
+    }
+
+    #[test]
+    fn uncommitted_mutations_are_invisible_and_block_checkpoints() {
+        let (sp, wp) = paths("pending");
+        let mut eng = DurableEngine::create(tc_program(), Database::new(), &sp, &wp).unwrap();
+        eng.insert(&edge("a", "b")).unwrap();
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.db().total_tuples(), 0, "not visible before commit");
+        let err = eng.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("uncommitted"), "{err}");
+        std::fs::remove_file(&sp).ok();
+        std::fs::remove_file(&wp).ok();
+    }
+
+    #[test]
+    fn idb_and_nonground_mutations_are_rejected_at_buffer_time() {
+        let (sp, wp) = paths("reject");
+        let mut eng = DurableEngine::create(tc_program(), Database::new(), &sp, &wp).unwrap();
+        let idb = row_atom(
+            alexander_ir::Symbol::intern("path"),
+            &[Const::sym("a"), Const::sym("b")],
+        );
+        assert!(matches!(
+            eng.insert(&idb).unwrap_err(),
+            DurableError::Replay(EvalError::IdbUpdate(_))
+        ));
+        let nonground = Atom::new(
+            "edge",
+            vec![alexander_ir::Term::var("X"), alexander_ir::Term::sym("b")],
+        );
+        assert!(eng.insert(&nonground).is_err());
+        assert_eq!(eng.pending(), 0);
+        std::fs::remove_file(&sp).ok();
+        std::fs::remove_file(&wp).ok();
+    }
+
+    #[test]
+    fn empty_commit_writes_nothing() {
+        let (sp, wp) = paths("nop");
+        let mut eng = DurableEngine::create(tc_program(), Database::new(), &sp, &wp).unwrap();
+        let before = eng.wal_len();
+        let st = eng.commit().unwrap();
+        assert_eq!(st.seq, None);
+        assert_eq!(eng.wal_len(), before);
+        std::fs::remove_file(&sp).ok();
+        std::fs::remove_file(&wp).ok();
+    }
+}

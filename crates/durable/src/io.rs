@@ -1,0 +1,257 @@
+//! Fault-aware file IO for the durability layer.
+//!
+//! All snapshot/WAL bytes flow through [`FaultFile`], a thin wrapper over
+//! `std::fs::File` that tracks its stream position. In normal builds it is
+//! exactly a file. With the test-only `failpoints` feature it consults the
+//! evaluator's failpoint registry (`alexander_eval::failpoints`) before
+//! every write and sync, and applies the IO-layer actions byte-exactly:
+//!
+//! * `CrashAfterBytes(n)` — bytes `[0, n)` of the stream persist; the write
+//!   crossing offset `n` is truncated at it and the stream then fails
+//!   permanently. Sweeping `n` over every offset of a reference run is the
+//!   crash-point sweep: it simulates the process dying at every byte.
+//! * `ShortWrite(k)` — the next write persists only its first `k` bytes,
+//!   then the stream fails permanently.
+//! * `FsyncError` — `sync` fails; writes are unaffected.
+//! * `BitFlip { at, bit }` — the byte at stream offset `at` is flipped as
+//!   it is written; no error is reported (silent corruption).
+//!
+//! A failed `FaultFile` stays failed: once a crash fault fires, every later
+//! operation returns an error, exactly like file descriptors of a dead
+//! process.
+
+use crate::error::DurableError;
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The error kind used for injected faults (recognisable in tests).
+pub const INJECTED: &str = "injected fault";
+
+/// A position-tracking, fault-injectable append-only file handle.
+pub struct FaultFile {
+    file: File,
+    path: PathBuf,
+    /// Failpoint site consulted on every operation (e.g. `"durable-wal-io"`).
+    /// Only read when fault injection is compiled in.
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    site: &'static str,
+    /// Stream offset: bytes successfully written through this handle plus
+    /// the offset it was opened at.
+    pos: u64,
+    /// Set after an injected crash; all later operations fail.
+    dead: bool,
+}
+
+impl FaultFile {
+    /// Creates (truncating) `path` for writing.
+    pub fn create(path: &Path, site: &'static str) -> Result<FaultFile, DurableError> {
+        let file = File::create(path).map_err(|e| DurableError::io("create", path, e))?;
+        Ok(FaultFile {
+            file,
+            path: path.to_path_buf(),
+            site,
+            pos: 0,
+            dead: false,
+        })
+    }
+
+    /// Opens `path` for appending; the stream position starts at the current
+    /// file length (fault offsets are absolute file offsets).
+    pub fn open_append(path: &Path, site: &'static str) -> Result<FaultFile, DurableError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| DurableError::io("open", path, e))?;
+        let pos = file
+            .metadata()
+            .map_err(|e| DurableError::io("stat", path, e))?
+            .len();
+        Ok(FaultFile {
+            file,
+            path: path.to_path_buf(),
+            site,
+            pos,
+            dead: false,
+        })
+    }
+
+    /// Current stream offset.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn injected(&self, op: &'static str) -> DurableError {
+        DurableError::io(op, &self.path, std::io::Error::other(INJECTED))
+    }
+
+    /// Writes the whole buffer (or fails), applying any armed fault.
+    pub fn write_all(&mut self, buf: &[u8]) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(self.injected("write"));
+        }
+        #[cfg(feature = "failpoints")]
+        {
+            use alexander_eval::failpoints::{action, Action};
+            match action(self.site) {
+                Some(Action::CrashAfterBytes(n)) => {
+                    let budget = n.saturating_sub(self.pos).min(buf.len() as u64) as usize;
+                    if budget < buf.len() {
+                        self.write_plain(&buf[..budget])?;
+                        self.dead = true;
+                        return Err(self.injected("write"));
+                    }
+                }
+                Some(Action::ShortWrite(k)) => {
+                    let k = k.min(buf.len());
+                    self.write_plain(&buf[..k])?;
+                    self.dead = true;
+                    return Err(self.injected("write"));
+                }
+                Some(Action::BitFlip { at, bit }) => {
+                    let end = self.pos + buf.len() as u64;
+                    if at >= self.pos && at < end {
+                        let mut flipped = buf.to_vec();
+                        flipped[(at - self.pos) as usize] ^= 1 << (bit & 7);
+                        return self.write_plain(&flipped);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.write_plain(buf)
+    }
+
+    fn write_plain(&mut self, buf: &[u8]) -> Result<(), DurableError> {
+        self.file
+            .write_all(buf)
+            .map_err(|e| DurableError::io("write", &self.path, e))?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes to stable storage (`fsync`), applying any armed fault.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(self.injected("sync"));
+        }
+        #[cfg(feature = "failpoints")]
+        {
+            use alexander_eval::failpoints::{action, Action};
+            if matches!(action(self.site), Some(Action::FsyncError)) {
+                return Err(self.injected("sync"));
+            }
+        }
+        self.file
+            .sync_all()
+            .map_err(|e| DurableError::io("sync", &self.path, e))
+    }
+
+    /// Truncates the file to `len` bytes and repositions the stream there
+    /// (used to finish a checkpoint and to cut a torn WAL tail).
+    pub fn truncate(&mut self, len: u64) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(self.injected("truncate"));
+        }
+        self.file
+            .set_len(len)
+            .map_err(|e| DurableError::io("truncate", &self.path, e))?;
+        // `set_len` does not move the write cursor (and append-mode handles
+        // ignore it anyway); reposition explicitly so non-append handles do
+        // not leave a zero-filled hole on the next write.
+        self.file
+            .seek(SeekFrom::Start(len))
+            .map_err(|e| DurableError::io("seek", &self.path, e))?;
+        self.pos = len;
+        self.sync()
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a sibling temp
+/// file, is fsynced, and is renamed over `path` only then. Readers therefore
+/// see either the old file or the complete new one — never a torn mixture.
+/// The parent directory is fsynced best-effort after the rename so the name
+/// change itself is durable.
+pub fn atomic_write(path: &Path, bytes: &[u8], site: &'static str) -> Result<(), DurableError> {
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("durable"), |n| n.to_os_string());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = FaultFile::create(&tmp, site)?;
+    let write = f.write_all(bytes).and_then(|()| f.sync());
+    drop(f);
+    if let Err(e) = write {
+        // Crash-consistent cleanup: the target was never touched.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| DurableError::io("rename", path, e))?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync is advisory: some filesystems refuse it, and the
+        // rename above is already atomic for readers on the same mount.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a whole file, wrapping IO failures.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, DurableError> {
+    std::fs::read(path).map_err(|e| DurableError::io("read", path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("alexander_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_tracks_position_and_appends() {
+        let p = tmp("pos");
+        let mut f = FaultFile::create(&p, "durable-test-io").unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        assert_eq!(f.position(), 11);
+        f.sync().unwrap();
+        drop(f);
+        let mut f = FaultFile::open_append(&p, "durable-test-io").unwrap();
+        assert_eq!(f.position(), 11);
+        f.write_all(b"!").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"hello world!");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let p = tmp("atomic");
+        atomic_write(&p, b"first", "durable-test-io").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        atomic_write(&p, b"second version", "durable-test-io").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second version");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncate_cuts_and_repositions() {
+        let p = tmp("trunc");
+        let mut f = FaultFile::create(&p, "durable-test-io").unwrap();
+        f.write_all(b"0123456789").unwrap();
+        f.truncate(4).unwrap();
+        assert_eq!(f.position(), 4);
+        f.write_all(b"AB").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"0123AB");
+        std::fs::remove_file(&p).ok();
+    }
+}

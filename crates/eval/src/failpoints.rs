@@ -14,6 +14,14 @@
 //! - `"round-start"` — top of every fixpoint round in the naive loop,
 //!   `run_rules`, and the parallel naive loop.
 //!
+//! The registry also carries **IO-layer** actions ([`Action::ShortWrite`],
+//! [`Action::CrashAfterBytes`], [`Action::FsyncError`], [`Action::BitFlip`])
+//! that [`hit`] ignores: they are declarative fault descriptions that the
+//! durability crate's fault-aware file writer interprets itself via
+//! [`action`] (a write wrapper knows its stream position; this registry does
+//! not). Sites: `"durable-snapshot-io"` and `"durable-wal-io"` in
+//! `alexander-durable`.
+//!
 //! The registry is global; tests that configure it must serialise through
 //! [`scoped`], which holds a lock for the test's duration and clears the
 //! registry on drop.
@@ -32,6 +40,24 @@ pub enum Action {
     /// Allocate and immediately drop this many bytes, simulating a round
     /// with heavy transient allocation.
     AllocPressure(usize),
+    /// IO: the write that would cross byte `0` of its buffer... more
+    /// precisely, the *next* write at this site persists only its first `n`
+    /// bytes, then the stream fails permanently (a torn write followed by a
+    /// crash). Interpreted by the durability writer, ignored by [`hit`].
+    ShortWrite(usize),
+    /// IO: everything up to stream offset `n` persists; the write crossing
+    /// that offset is truncated at it and every later write or sync fails
+    /// (the process died after `n` bytes reached the file). Interpreted by
+    /// the durability writer, ignored by [`hit`].
+    CrashAfterBytes(u64),
+    /// IO: `fsync` fails at this site; writes succeed. Interpreted by the
+    /// durability writer, ignored by [`hit`].
+    FsyncError,
+    /// IO: flip bit `bit` of the byte at stream offset `at` as it passes
+    /// through the writer — silent media corruption, no error is ever
+    /// reported to the writing side. Interpreted by the durability writer,
+    /// ignored by [`hit`].
+    BitFlip { at: u64, bit: u8 },
 }
 
 fn registry() -> &'static Mutex<HashMap<String, Action>> {
@@ -92,15 +118,29 @@ pub fn clear() {
         .clear();
 }
 
-/// Called from instrumented evaluator sites (via [`crate::fail_point`]).
-pub fn hit(site: &str) {
-    let action = registry()
+/// The action armed at `site`, if any. This is how the IO fault variants
+/// are consumed: a fault-aware writer reads its site's configuration once
+/// per operation and applies the byte-level semantics itself.
+pub fn action(site: &str) -> Option<Action> {
+    registry()
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .get(site)
-        .cloned();
-    match action {
+        .cloned()
+}
+
+/// Called from instrumented evaluator sites (via [`crate::fail_point`]).
+pub fn hit(site: &str) {
+    match action(site) {
         None => {}
+        // IO-layer actions are declarative; only the durability writer
+        // interprets them (see [`action`]).
+        Some(
+            Action::ShortWrite(_)
+            | Action::CrashAfterBytes(_)
+            | Action::FsyncError
+            | Action::BitFlip { .. },
+        ) => {}
         Some(Action::Panic(msg)) => panic!("{msg}"),
         Some(Action::Sleep(d)) => std::thread::sleep(d),
         Some(Action::AllocPressure(bytes)) => {

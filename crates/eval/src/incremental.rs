@@ -94,9 +94,32 @@ impl IncrementalEngine {
         &self.total
     }
 
+    /// A copy of just the extensional store — the base facts from which the
+    /// maintained database is derivable. This is what durability snapshots
+    /// persist: recovery reloads it and re-materialises, instead of trusting
+    /// serialized derived state. Row hashes are reused from the maintained
+    /// arenas rather than recomputed.
+    pub fn edb(&self) -> Database {
+        let mut out = Database::new();
+        for &p in &self.edb_preds {
+            let Some(rel) = self.total.relation(p) else {
+                continue;
+            };
+            for (id, &h) in rel.row_hashes().iter().enumerate() {
+                out.push_new_row_hashed(p, h, rel.row(id as u32));
+            }
+        }
+        out
+    }
+
     /// Accumulated counters.
     pub fn metrics(&self) -> EvalMetrics {
         self.metrics
+    }
+
+    /// The program being maintained.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// Inserts an EDB fact; returns the number of facts (including derived
