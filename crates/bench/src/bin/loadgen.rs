@@ -1,0 +1,254 @@
+//! Server soak driver: hosts a query server in-process, drives mixed
+//! query/update traffic over real TCP connections for a fixed duration, and
+//! exits non-zero on any error, any oracle mismatch, or a busted p99 bar.
+//!
+//! ```text
+//! cargo run --release -p alexander-bench --bin loadgen -- \
+//!     --duration-s 30 --clients 4 --update-every-ms 50 --p99-ms 500
+//! ```
+//!
+//! Every reader verifies each epoch-tagged reply bit-identically against a
+//! single-threaded oracle for that generation (the chain workload makes the
+//! expected answers a pure function of the epoch), so a clean soak is also
+//! an end-to-end snapshot-isolation check over the wire. `--addr` points at
+//! an externally hosted server instead of self-hosting — useful for manual
+//! runs against `alexander serve`; the workload must be the loadgen chain.
+
+use alexander_bench::loadgen::{
+    chain_db, percentile_ms, update_fact, Client, Oracle, QUERY, RULES,
+};
+use alexander_parser::parse;
+use alexander_server::{serve_tcp, QueryService, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    duration_s: u64,
+    clients: usize,
+    chain: usize,
+    update_every_ms: u64,
+    p99_ms: f64,
+    addr: Option<String>,
+}
+
+const USAGE: &str = "usage: loadgen [--duration-s N] [--clients N] [--chain N] \
+                     [--update-every-ms N] [--p99-ms F] [--addr HOST:PORT]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        duration_s: 10,
+        clients: 4,
+        chain: 128,
+        update_every_ms: 25,
+        p99_ms: 0.0,
+        addr: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag {
+            "--duration-s" => args.duration_s = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => args.clients = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--chain" => args.chain = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--update-every-ms" => {
+                args.update_every_ms = value(i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--p99-ms" => args.p99_ms = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--addr" => args.addr = Some(value(i)?.to_string()),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 2;
+    }
+    if args.clients == 0 || args.duration_s == 0 {
+        return Err("--clients and --duration-s must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-host unless pointed at an external server. The handle must stay
+    // alive for the whole soak; dropping it stops the accept loop.
+    let mut _handle = None;
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let program = parse(RULES).expect("rules parse").program;
+            let config = ServerConfig {
+                max_concurrent: args.clients.max(1),
+                tenant_cap: args.clients.max(1),
+                ..ServerConfig::default()
+            };
+            let service = Arc::new(
+                QueryService::open(program, chain_db(args.chain), None, config)
+                    .expect("service opens"),
+            );
+            let handle = serve_tcp(service, "127.0.0.1:0").expect("bind");
+            let addr = handle.tcp_addr().expect("bound").to_string();
+            _handle = Some(handle);
+            addr
+        }
+    };
+
+    let oracle = Arc::new(Oracle::new(args.chain));
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let deadline = Instant::now() + Duration::from_secs(args.duration_s);
+    let start = Instant::now();
+
+    // Writer: one TCP session appending a chain edge per tick.
+    let writer = {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        let errors = errors.clone();
+        let base = args.chain;
+        let every = Duration::from_millis(args.update_every_ms.max(1));
+        std::thread::spawn(move || {
+            let mut epoch = 0u64;
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("writer connect: {e}");
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return 0;
+                }
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let next = epoch + 1;
+                let step = client
+                    .request(&format!("INSERT {}", update_fact(base, next)))
+                    .and_then(|_| client.commit());
+                match step {
+                    Ok(g) if g == next => epoch = next,
+                    Ok(g) => {
+                        eprintln!("writer: expected epoch {next}, server said {g}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return epoch;
+                    }
+                    Err(e) => {
+                        eprintln!("writer: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return epoch;
+                    }
+                }
+                std::thread::sleep(every);
+            }
+            epoch
+        })
+    };
+
+    // Readers: query until the deadline, verifying every reply against the
+    // oracle for its tagged epoch. Verification runs outside the latency
+    // window — the measured interval is request-to-terminal only.
+    let readers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let oracle = oracle.clone();
+            let errors = errors.clone();
+            let mismatches = mismatches.clone();
+            std::thread::spawn(move || {
+                let mut latencies: Vec<Duration> = Vec::new();
+                let mut client = match Client::connect(&addr) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        eprintln!("reader {c} connect: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return (latencies, 0u64);
+                    }
+                };
+                if let Err(e) = client.request(&format!("HELLO tenant{c}")) {
+                    eprintln!("reader {c} hello: {e}");
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return (latencies, 0);
+                }
+                let mut max_epoch = 0u64;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    match client.query(QUERY) {
+                        Ok(r) if r.ok => {
+                            latencies.push(t0.elapsed());
+                            if r.answers != oracle.answers(r.generation) {
+                                eprintln!(
+                                    "reader {c}: epoch {} reply diverged from oracle",
+                                    r.generation
+                                );
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            max_epoch = max_epoch.max(r.generation);
+                        }
+                        Ok(r) => {
+                            eprintln!("reader {c}: {}", r.terminal);
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("reader {c}: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (latencies, max_epoch)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut max_epoch = 0u64;
+    for r in readers {
+        let (lat, seen) = r.join().expect("reader thread");
+        latencies.extend(lat);
+        max_epoch = max_epoch.max(seen);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let epochs = writer.join().expect("writer thread");
+    let wall = start.elapsed();
+
+    let queries = latencies.len();
+    let qps = queries as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile_ms(&mut latencies, 50.0);
+    let p99 = percentile_ms(&mut latencies, 99.0);
+    let errs = errors.load(Ordering::Relaxed);
+    let mism = mismatches.load(Ordering::Relaxed);
+    println!(
+        "loadgen: queries={queries} errors={errs} mismatches={mism} \
+         epochs={epochs} max_epoch_seen={max_epoch} qps={qps:.0} \
+         p50_ms={p50:.3} p99_ms={p99:.3} wall_s={:.1}",
+        wall.as_secs_f64()
+    );
+
+    let mut failed = false;
+    if errs > 0 || mism > 0 {
+        eprintln!("loadgen: FAILED ({errs} errors, {mism} oracle mismatches)");
+        failed = true;
+    }
+    if queries == 0 {
+        eprintln!("loadgen: FAILED (no query completed)");
+        failed = true;
+    }
+    if args.p99_ms > 0.0 && p99 > args.p99_ms {
+        eprintln!(
+            "loadgen: FAILED (p99 {p99:.3} ms over the {:.3} ms bar)",
+            args.p99_ms
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,7 @@ pub mod f5;
 pub mod f6;
 pub mod f7;
 pub mod f8;
+pub mod f9;
 
 use crate::table::{ms, timed, Table};
 use alexander_core::{Engine, Strategy};
@@ -54,6 +55,7 @@ pub fn all() -> Vec<Table> {
         f6::run(),
         f7::run(),
         f8::run(),
+        f9::run(),
     ]
 }
 
@@ -81,15 +83,16 @@ pub fn by_id(id: &str) -> Option<Table> {
         "f6" => f6::run,
         "f7" => f7::run,
         "f8" => f8::run,
+        "f9" => f9::run,
         _ => return None,
     };
     Some(run())
 }
 
 /// All experiment ids, in report order.
-pub const IDS: [&str; 21] = [
+pub const IDS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2",
-    "f3", "f4", "f5", "f6", "f7", "f8",
+    "f3", "f4", "f5", "f6", "f7", "f8", "f9",
 ];
 
 /// The per-strategy row every comparison table shares: run the query, report

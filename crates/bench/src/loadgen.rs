@@ -1,0 +1,241 @@
+//! Load-driver client for the serving layer: a minimal line-protocol TCP
+//! client, a single-threaded consistency oracle, and latency summarising
+//! helpers. The `loadgen` binary (CI's server soak) and experiment F9 both
+//! build on these.
+//!
+//! The workload is the append-only chain: the EDB starts as
+//! `par(n0,n1) … par(n{base-1},n{base})` and generation `g` appends the edge
+//! `par(n{base+g-1}, n{base+g})`. That makes the expected answer set of
+//! `anc(n0, X)` at every generation a pure function of `g`, so any client
+//! can verify any epoch-tagged response against an independent
+//! single-threaded engine — the "bit-identical vs oracle" check.
+
+use alexander_core::{Engine, Strategy};
+use alexander_parser::{parse, parse_atom};
+use alexander_storage::Database;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The serving workload's program: transitive closure over `par`.
+pub const RULES: &str = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).";
+
+/// The query every load client issues.
+pub const QUERY: &str = "anc(n0, X)";
+
+/// Chain EDB `par(n0,n1) … par(n{len-1},n{len})`.
+pub fn chain_db(len: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..len {
+        db.insert_atom(&parse_atom(&format!("par(n{i}, n{})", i + 1)).expect("ground"))
+            .expect("insertable");
+    }
+    db
+}
+
+/// The fact generation `g` (1-based) appends to a `base`-length chain.
+pub fn update_fact(base: usize, g: u64) -> String {
+    let head = base as u64 + g;
+    format!("par(n{}, n{head})", head - 1)
+}
+
+/// Expected answers per generation, computed by a fresh single-threaded
+/// engine over the exact EDB of that generation and cached.
+pub struct Oracle {
+    base: usize,
+    cache: Mutex<HashMap<u64, Vec<String>>>,
+}
+
+impl Oracle {
+    /// An oracle for a chain of initial length `base`.
+    pub fn new(base: usize) -> Oracle {
+        Oracle {
+            base,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The exact (sorted, deduplicated) answer strings of [`QUERY`] at
+    /// `generation`.
+    pub fn answers(&self, generation: u64) -> Vec<String> {
+        if let Some(hit) = self.cache.lock().expect("oracle lock").get(&generation) {
+            return hit.clone();
+        }
+        let program = parse(RULES).expect("rules parse").program;
+        let engine =
+            Engine::new(program, chain_db(self.base + generation as usize)).expect("oracle engine");
+        let r = engine
+            .query(
+                &parse_atom(QUERY).expect("query parses"),
+                Strategy::Alexander,
+            )
+            .expect("oracle query");
+        assert!(
+            r.report.completion.is_complete(),
+            "oracle must run unbudgeted"
+        );
+        let answers: Vec<String> = r.answers.iter().map(|a| a.to_string()).collect();
+        self.cache
+            .lock()
+            .expect("oracle lock")
+            .insert(generation, answers.clone());
+        answers
+    }
+}
+
+/// One epoch-tagged query reply.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// Whether the terminal line was `OK` (vs `ERR`).
+    pub ok: bool,
+    /// The epoch the server pinned for the query.
+    pub generation: u64,
+    /// `ANSWER` payloads, in server order (sorted).
+    pub answers: Vec<String>,
+    /// The raw terminal line, for diagnostics.
+    pub terminal: String,
+}
+
+/// A blocking line-protocol client over TCP.
+pub struct Client {
+    conn: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are tiny; never let Nagle hold one back.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            conn: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line, collecting lines up to the `OK`/`ERR`
+    /// terminal (inclusive).
+    pub fn request(&mut self, line: &str) -> io::Result<Vec<String>> {
+        writeln!(self.conn.get_mut(), "{line}")?;
+        self.conn.get_mut().flush()?;
+        let mut out = Vec::new();
+        loop {
+            let mut l = String::new();
+            match self.conn.read_line(&mut l)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    ))
+                }
+                _ => {
+                    let l = l.trim_end().to_string();
+                    let terminal = l.starts_with("OK") || l.starts_with("ERR");
+                    out.push(l);
+                    if terminal {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues `QUERY <atom>` and parses the epoch-tagged reply.
+    pub fn query(&mut self, atom: &str) -> io::Result<QueryReply> {
+        let mut lines = self.request(&format!("QUERY {atom}"))?;
+        let terminal = lines.pop().unwrap_or_default();
+        if !terminal.starts_with("OK") {
+            return Ok(QueryReply {
+                ok: false,
+                generation: 0,
+                answers: Vec::new(),
+                terminal,
+            });
+        }
+        // "OK <n> epoch <g> complete|partial: …"
+        let generation = terminal
+            .split_whitespace()
+            .nth(3)
+            .and_then(|g| g.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed query terminal: {terminal}"),
+                )
+            })?;
+        let answers = lines
+            .into_iter()
+            .map(|l| l.strip_prefix("ANSWER ").map(str::to_string).ok_or(l))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|l| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("unexpected line: {l}"))
+            })?;
+        Ok(QueryReply {
+            ok: true,
+            generation,
+            answers,
+            terminal,
+        })
+    }
+
+    /// Issues `COMMIT`; returns the published generation.
+    pub fn commit(&mut self) -> io::Result<u64> {
+        let lines = self.request("COMMIT")?;
+        let terminal = lines.last().cloned().unwrap_or_default();
+        // "OK epoch <g> committed <n>"
+        terminal
+            .strip_prefix("OK epoch ")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|g| g.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed commit reply: {terminal}"),
+                )
+            })
+    }
+}
+
+/// The `p`-th percentile (0..=100) of an unsorted latency sample, in ms.
+/// Returns 0 for an empty sample.
+pub fn percentile_ms(latencies: &mut [Duration], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+    latencies[rank.min(latencies.len() - 1)].as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_answers_grow_with_the_chain() {
+        let oracle = Oracle::new(3);
+        assert_eq!(oracle.answers(0).len(), 3);
+        assert_eq!(oracle.answers(2).len(), 5);
+        // Cached result is identical.
+        assert_eq!(oracle.answers(0), oracle.answers(0));
+        assert_eq!(oracle.answers(0)[0], "anc(n0, n1)");
+    }
+
+    #[test]
+    fn update_facts_extend_the_chain_contiguously() {
+        assert_eq!(update_fact(3, 1), "par(n3, n4)");
+        assert_eq!(update_fact(3, 2), "par(n4, n5)");
+    }
+
+    #[test]
+    fn percentiles_handle_edges() {
+        assert_eq!(percentile_ms(&mut [], 99.0), 0.0);
+        let mut one = [Duration::from_millis(5)];
+        assert_eq!(percentile_ms(&mut one, 50.0), 5.0);
+        let mut many: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&mut many, 99.0), 99.0);
+        assert_eq!(percentile_ms(&mut many, 0.0), 1.0);
+        assert_eq!(percentile_ms(&mut many, 100.0), 100.0);
+    }
+}

@@ -46,14 +46,27 @@ pub struct CliOptions {
     pub snapshot: Option<String>,
     /// WAL file replayed on top of the snapshot under `--recover`.
     pub wal: Option<String>,
-    /// Rebuild the EDB from `--snapshot` (+ optional `--wal`) instead of
+    /// Rebuild the EDB from the `--snapshot`/`--wal` pair instead of
     /// starting empty.
     pub recover: bool,
+    /// Run as a long-lived query server (the `serve` subcommand). The
+    /// serving loop itself lives in the `alexander-server` crate; this
+    /// module only parses and validates the flags.
+    pub serve: bool,
+    /// TCP listen address (`host:port`) for serve mode.
+    pub listen: Option<String>,
+    /// Unix-domain socket path for serve mode.
+    pub unix: Option<String>,
+    /// Global cap on concurrently executing queries in serve mode.
+    pub max_concurrent: Option<usize>,
+    /// Per-tenant cap on concurrently executing queries in serve mode.
+    pub tenant_cap: Option<usize>,
 }
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage: alexander <file.dl | -> [options]
+       alexander serve <file.dl> (--listen HOST:PORT | --unix PATH) [options]
   -q, --query ATOM    ad-hoc query (repeatable; overrides ?- queries in the file)
   -s, --strategy S    naive | seminaive | stratified | conditional |
                       magic | supmagic | alexander | oldt   (default: alexander)
@@ -66,16 +79,24 @@ usage: alexander <file.dl | -> [options]
                       answers derived so far are printed and flagged
       --max-facts N   stop after deriving N facts (partial answers, flagged)
       --max-rounds N  stop after N fixpoint rounds / restarts
-      --snapshot FILE write the loaded EDB to FILE as a checksummed snapshot
-                      (with --recover: read the EDB from FILE instead)
-      --wal FILE      with --recover: replay the committed batches of this
-                      write-ahead log on top of the snapshot
-      --recover       rebuild the EDB from --snapshot/--wal instead of
-                      starting empty; torn WAL tails are reported and skipped
+      --snapshot FILE with --recover: read the EDB from this checksummed
+                      snapshot. In serve mode: the durable store's snapshot
+                      half (created if missing, recovered if present)
+      --wal FILE      the write-ahead log paired with --snapshot: committed
+                      batches are replayed on top of the snapshot
+      --recover       rebuild the EDB from the --snapshot/--wal pair instead
+                      of starting empty; torn WAL tails are reported and
+                      skipped (query mode only — serve recovers by itself)
       --stats         print instrumentation counters per query
       --proof         print a constructive proof tree per answer
       --analyze       print stratification analysis and exit
   -h, --help          this text
+
+serve mode only:
+      --listen ADDR   accept the line protocol on this TCP address
+      --unix PATH     accept the line protocol on this unix socket
+      --max-concurrent N  global cap on concurrently executing queries
+      --tenant-cap N  per-tenant cap on concurrently executing queries
 ";
 
 /// Parses argv-style arguments (without the program name).
@@ -83,6 +104,10 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
     let mut opts = CliOptions::default();
     let mut path: Option<String> = None;
     let mut i = 0;
+    if args.first().map(String::as_str) == Some("serve") {
+        opts.serve = true;
+        i = 1;
+    }
     while i < args.len() {
         let a = args[i].as_str();
         match a {
@@ -148,6 +173,34 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
                 opts.wal = Some(p.clone());
             }
             "--recover" => opts.recover = true,
+            "--listen" => {
+                i += 1;
+                let addr = args.get(i).ok_or("missing argument to --listen")?;
+                opts.listen = Some(addr.clone());
+            }
+            "--unix" => {
+                i += 1;
+                let p = args.get(i).ok_or("missing argument to --unix")?;
+                opts.unix = Some(p.clone());
+            }
+            "--max-concurrent" | "--tenant-cap" => {
+                let flag = a.to_string();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing argument to {flag}"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("{flag} expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err(format!("{flag} expects a positive integer, got `0`"));
+                }
+                if flag == "--max-concurrent" {
+                    opts.max_concurrent = Some(n);
+                } else {
+                    opts.tenant_cap = Some(n);
+                }
+            }
             "--stats" => opts.stats = true,
             "--proof" => opts.proof = true,
             "--analyze" => opts.analyze = true,
@@ -163,7 +216,109 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
         }
         i += 1;
     }
+    validate(&opts)?;
     Ok((path, opts))
+}
+
+/// Rejects contradictory or silently-ignored flag combinations with a
+/// usage error naming both flags involved. Called by [`parse_args`] and
+/// again by [`run`] (whose callers may build [`CliOptions`] directly).
+pub fn validate(opts: &CliOptions) -> Result<(), String> {
+    if opts.serve {
+        // Serve mode answers queries over the wire against a durable store;
+        // one-shot flags would be silently ignored — reject them instead.
+        if opts.exec.as_deref() == Some("tuple") {
+            return Err(
+                "--exec tuple is the per-tuple differential oracle, kept for \
+                 cross-checking the blocked executor; it cannot serve concurrent \
+                 traffic. Drop --exec (blocked is the default) with `serve`"
+                    .into(),
+            );
+        }
+        if opts.analyze {
+            return Err(
+                "--analyze is a one-shot analysis pass and does nothing under \
+                 `serve`; run it without the serve subcommand"
+                    .into(),
+            );
+        }
+        if opts.proof {
+            return Err(
+                "--proof has no wire representation; `serve` cannot honour it (run a \
+                 one-shot query with --proof instead)"
+                    .into(),
+            );
+        }
+        if !opts.queries.is_empty() {
+            return Err(
+                "--query is silently ignored by `serve` (queries arrive over the \
+                 wire); drop it or run without the serve subcommand"
+                    .into(),
+            );
+        }
+        if opts.recover {
+            return Err(
+                "`serve` recovers by itself when the --snapshot/--wal pair exists; \
+                 drop --recover"
+                    .into(),
+            );
+        }
+        if opts.snapshot.is_some() != opts.wal.is_some() {
+            return Err("`serve` persists through a snapshot + WAL pair; pass both \
+                 --snapshot FILE and --wal FILE (or neither for an in-memory \
+                 server)"
+                .into());
+        }
+        match (&opts.listen, &opts.unix) {
+            (None, None) => {
+                return Err(format!(
+                    "`serve` needs a listener: --listen HOST:PORT or --unix PATH\n{USAGE}"
+                ))
+            }
+            (Some(_), Some(_)) => {
+                return Err("--listen and --unix are mutually exclusive; pick one".into())
+            }
+            _ => {}
+        }
+    } else {
+        for (flag, set) in [
+            ("--listen", opts.listen.is_some()),
+            ("--unix", opts.unix.is_some()),
+            ("--max-concurrent", opts.max_concurrent.is_some()),
+            ("--tenant-cap", opts.tenant_cap.is_some()),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} only makes sense with the `serve` subcommand\n{USAGE}"
+                ));
+            }
+        }
+        if opts.wal.is_some() && !opts.recover {
+            return Err(
+                "--wal only makes sense with --recover (a query run never writes a log)".into(),
+            );
+        }
+        if opts.recover {
+            if opts.snapshot.is_none() {
+                return Err("--recover needs --snapshot FILE to read the EDB from".into());
+            }
+            if opts.wal.is_none() {
+                return Err(
+                    "--recover without --wal would silently drop every batch committed \
+                     after the snapshot; pass the paired --wal FILE (empty is fine)"
+                        .into(),
+                );
+            }
+        } else if opts.snapshot.is_some() {
+            return Err(
+                "--snapshot without --recover would overwrite the snapshot during a \
+                 read-only query run; snapshots are written by `alexander serve` \
+                 (pass --recover to read one instead)"
+                    .into(),
+            );
+        }
+    }
+    Ok(())
 }
 
 fn strategy_by_name(name: &str) -> Result<Strategy, String> {
@@ -178,6 +333,14 @@ fn strategy_by_name(name: &str) -> Result<Strategy, String> {
 
 /// Runs the CLI on already-loaded source text; returns the printable output.
 pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
+    validate(opts)?;
+    if opts.serve {
+        return Err(
+            "serve mode is a long-lived process; the `alexander` binary handles \
+             it (cli::run only answers one-shot queries)"
+                .into(),
+        );
+    }
     let parsed = parse(source).map_err(|e| e.to_string())?;
     let mut out = String::new();
 
@@ -207,13 +370,8 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
         writeln!(out, "loaded {n} tuples into {pred} from {path}").unwrap();
     }
 
-    // Durability flags. `--recover` reads the EDB pair back; a bare
-    // `--snapshot` persists the EDB after everything is loaded.
-    if opts.wal.is_some() && !opts.recover {
-        return Err(
-            "--wal only makes sense with --recover (a query run never writes a log)".into(),
-        );
-    }
+    // Durability flags (validated above: `--recover` always arrives with
+    // the full --snapshot/--wal pair).
     if opts.recover {
         let snap_path = opts
             .snapshot
@@ -253,18 +411,6 @@ pub fn run(source: &str, opts: &CliOptions) -> Result<String, String> {
 
     let mut engine = Engine::new(parsed.program, edb).map_err(|e| e.to_string())?;
 
-    if let (Some(snap_path), false) = (opts.snapshot.as_deref(), opts.recover) {
-        // The engine's EDB includes the program's inline facts, so the
-        // snapshot captures exactly what a later --recover run needs.
-        alexander_durable::write_snapshot(engine.edb(), std::path::Path::new(snap_path))
-            .map_err(|e| e.to_string())?;
-        writeln!(
-            out,
-            "wrote snapshot of {} facts to {snap_path}",
-            engine.edb().total_tuples()
-        )
-        .unwrap();
-    }
     if let Some(threads) = opts.threads {
         engine = engine.with_threads(threads);
     }
@@ -621,30 +767,40 @@ seth,enos
     }
 
     #[test]
-    fn snapshot_flag_writes_and_recover_reads_back() {
+    fn recover_reads_a_snapshot_wal_pair_back() {
         let dir = std::env::temp_dir();
-        let snap = dir.join(format!("alexander_cli_snap_{}.snap", std::process::id()));
-        // First run: facts come from the program, snapshot them.
-        let opts = CliOptions {
-            queries: vec!["anc(adam, X)".into()],
-            snapshot: Some(snap.display().to_string()),
-            ..CliOptions::default()
-        };
-        let out = run(SRC, &opts).unwrap();
-        assert!(out.contains("wrote snapshot of 2 facts"), "{out}");
-        assert!(out.contains("anc(adam, enos)"), "{out}");
+        let pid = std::process::id();
+        let snap = dir.join(format!("alexander_cli_snap_{pid}.snap"));
+        let wal = dir.join(format!("alexander_cli_snap_{pid}.wal"));
+        let mut db = Database::new();
+        let par = alexander_ir::Predicate::new("par", 2);
+        for (a, b) in [("adam", "seth"), ("seth", "enos")] {
+            db.insert(
+                par,
+                alexander_storage::Tuple::new(vec![
+                    alexander_ir::Const::sym(a),
+                    alexander_ir::Const::sym(b),
+                ]),
+            );
+        }
+        alexander_durable::write_snapshot(&db, &snap).unwrap();
+        drop(alexander_durable::Wal::create(&wal).unwrap()); // empty log
 
-        // Second run: same rules but NO facts — they come from the snapshot.
+        // Rules but NO facts — they come from the snapshot; the empty WAL
+        // adds nothing but is required so committed batches can't be lost.
         let rules_only = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).";
         let opts = CliOptions {
             queries: vec!["anc(adam, X)".into()],
             snapshot: Some(snap.display().to_string()),
+            wal: Some(wal.display().to_string()),
             recover: true,
             ..CliOptions::default()
         };
         let out = run(rules_only, &opts).unwrap();
         std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
         assert!(out.contains("recovered 2 facts"), "{out}");
+        assert!(out.contains("replayed 0 committed batches"), "{out}");
         assert!(out.contains("anc(adam, enos)"), "{out}");
     }
 
@@ -772,17 +928,143 @@ seth,enos
         )
         .unwrap_err();
         assert!(err.contains("--recover needs --snapshot"), "{err}");
+        // Recovering a snapshot without its paired log would silently drop
+        // committed batches — rejected.
+        let err = run(
+            SRC,
+            &CliOptions {
+                recover: true,
+                snapshot: Some("x.snap".into()),
+                ..base.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--recover without --wal"), "{err}");
+        // A bare --snapshot on the read-only query path would overwrite the
+        // file as a side effect — rejected.
+        let err = run(
+            SRC,
+            &CliOptions {
+                snapshot: Some("x.snap".into()),
+                ..base.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--snapshot without --recover"), "{err}");
         // A missing snapshot file is a structured error, not a panic.
         let err = run(
             SRC,
             &CliOptions {
                 recover: true,
                 snapshot: Some("/nonexistent/alexander.snap".into()),
+                wal: Some("/nonexistent/alexander.wal".into()),
                 ..base
             },
         )
         .unwrap_err();
         assert!(err.contains("io error"), "{err}");
+    }
+
+    #[test]
+    fn serve_args_parse_and_are_validated() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_args(&v)
+        };
+        let (path, opts) = parse(&[
+            "serve",
+            "prog.dl",
+            "--listen",
+            "127.0.0.1:7171",
+            "--max-concurrent",
+            "8",
+            "--tenant-cap",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(path.as_deref(), Some("prog.dl"));
+        assert!(opts.serve);
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(opts.max_concurrent, Some(8));
+        assert_eq!(opts.tenant_cap, Some(2));
+
+        // `serve` needs exactly one listener.
+        let err = parse(&["serve", "prog.dl"]).unwrap_err();
+        assert!(err.contains("needs a listener"), "{err}");
+        let err = parse(&[
+            "serve",
+            "prog.dl",
+            "--listen",
+            "x:1",
+            "--unix",
+            "/tmp/s.sock",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        // The per-tuple oracle cannot serve concurrent traffic.
+        let err = parse(&["serve", "prog.dl", "--listen", "x:1", "--exec", "tuple"]).unwrap_err();
+        assert!(err.contains("--exec tuple"), "{err}");
+
+        // One-shot flags are rejected rather than silently ignored.
+        for extra in [
+            vec!["--analyze"],
+            vec!["--proof"],
+            vec!["-q", "p(X)"],
+            vec!["--recover"],
+            vec!["--snapshot", "x.snap"], // snapshot without its wal half
+        ] {
+            let mut args = vec!["serve", "prog.dl", "--listen", "x:1"];
+            args.extend(extra.iter());
+            assert!(parse(&args).is_err(), "{extra:?}");
+        }
+        // The full pair is fine.
+        let (_, opts) = parse(&[
+            "serve",
+            "prog.dl",
+            "--listen",
+            "x:1",
+            "--snapshot",
+            "x.snap",
+            "--wal",
+            "x.wal",
+        ])
+        .unwrap();
+        assert_eq!(opts.snapshot.as_deref(), Some("x.snap"));
+        assert_eq!(opts.wal.as_deref(), Some("x.wal"));
+
+        // Serve-only flags outside serve mode are located errors.
+        for args in [
+            vec!["prog.dl", "--listen", "x:1"],
+            vec!["prog.dl", "--unix", "/tmp/s.sock"],
+            vec!["prog.dl", "--max-concurrent", "4"],
+            vec!["prog.dl", "--tenant-cap", "2"],
+        ] {
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("serve` subcommand"), "{args:?}: {err}");
+        }
+        // Zero caps are rejected like every other count flag.
+        assert!(parse(&[
+            "serve",
+            "prog.dl",
+            "--listen",
+            "x:1",
+            "--max-concurrent",
+            "0"
+        ])
+        .is_err());
+
+        // run() refuses to host serve mode.
+        let err = run(
+            SRC,
+            &CliOptions {
+                serve: true,
+                listen: Some("127.0.0.1:0".into()),
+                ..CliOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("serve mode"), "{err}");
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub struct DurableEngine {
     wal: Wal,
     snapshot_path: PathBuf,
     pending: Vec<WalRecord>,
-    poisoned: bool,
+    /// `Some(op)` once a commit/checkpoint failed half-way; every later
+    /// mutation returns [`DurableError::Poisoned`] naming `op`.
+    poisoned: Option<&'static str>,
 }
 
 impl DurableEngine {
@@ -98,13 +100,18 @@ impl DurableEngine {
             wal,
             snapshot_path: snapshot_path.to_path_buf(),
             pending: Vec::new(),
-            poisoned: false,
+            poisoned: None,
         })
     }
 
     /// Rebuilds the engine from what is on disk: snapshot, then committed
     /// WAL batches in order; any torn tail is truncated. The returned engine
     /// is ready for new batches.
+    ///
+    /// This is also the escape hatch after a poisoned handle (see
+    /// [`DurableError::Poisoned`]): drop the poisoned engine and recover —
+    /// disk is authoritative, so the recovered engine reflects exactly the
+    /// batches that committed before the failure.
     pub fn recover(
         program: Program,
         snapshot_path: &Path,
@@ -144,7 +151,7 @@ impl DurableEngine {
                 wal,
                 snapshot_path: snapshot_path.to_path_buf(),
                 pending: Vec::new(),
-                poisoned: false,
+                poisoned: None,
             },
             stats,
         ))
@@ -154,6 +161,14 @@ impl DurableEngine {
     /// mutations are *not* visible here — they apply at [`Self::commit`].
     pub fn db(&self) -> &Database {
         self.engine.db()
+    }
+
+    /// A copy of the extensional store only — what a snapshot would persist
+    /// (O(facts): rows are re-packed into a fresh database). Serving layers
+    /// call this once at open to seed their epoch chain, then mirror
+    /// committed mutations incrementally instead of re-extracting.
+    pub fn edb(&self) -> Database {
+        self.engine.edb()
     }
 
     /// Buffered (uncommitted) mutation count.
@@ -166,9 +181,14 @@ impl DurableEngine {
         self.wal.len()
     }
 
+    /// Whether this handle is poisoned, and by which operation.
+    pub fn poisoned_by(&self) -> Option<&'static str> {
+        self.poisoned
+    }
+
     fn check_usable(&self) -> Result<(), DurableError> {
-        if self.poisoned {
-            return Err(DurableError::Poisoned);
+        if let Some(op) = self.poisoned {
+            return Err(DurableError::Poisoned { op });
         }
         Ok(())
     }
@@ -215,7 +235,7 @@ impl DurableEngine {
             Err(e) => {
                 // The append may have left a torn tail; this handle cannot
                 // know how much persisted, so it stops accepting writes.
-                self.poisoned = true;
+                self.poisoned = Some("commit: wal append");
                 return Err(e);
             }
         };
@@ -237,7 +257,7 @@ impl DurableEngine {
                     stats.removed += removed;
                 }
                 Err(e) => {
-                    self.poisoned = true;
+                    self.poisoned = Some("commit: engine apply");
                     return Err(e.into());
                 }
             }
@@ -267,7 +287,7 @@ impl DurableEngine {
         // fails the pair is STILL recoverable (replay converges), but new
         // appends behind a stale log would not be — poison.
         if let Err(e) = self.wal.truncate_to_header() {
-            self.poisoned = true;
+            self.poisoned = Some("checkpoint: wal truncate");
             return Err(e);
         }
         Ok(())

@@ -48,10 +48,18 @@ pub enum DurableError {
     /// (e.g. a record targets an intensional predicate after the program
     /// changed underneath the log).
     Replay(EvalError),
-    /// The engine refused to keep writing because an earlier checkpoint
-    /// failed half-way; the snapshot/WAL pair on disk is still recoverable,
-    /// but appending more batches could not be made crash-safe.
-    Poisoned,
+    /// The engine refused to keep writing because an earlier commit or
+    /// checkpoint failed half-way and disk and memory can no longer be
+    /// proven to agree. `op` names the operation that tripped the poison
+    /// (e.g. `"commit: wal append"`). The snapshot/WAL pair on disk is
+    /// still recoverable — [`DurableEngine::recover`] is the documented
+    /// escape hatch — but this handle will not append more batches.
+    ///
+    /// [`DurableEngine::recover`]: crate::DurableEngine::recover
+    Poisoned {
+        /// The operation whose failure poisoned the engine.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for DurableError {
@@ -82,9 +90,10 @@ impl fmt::Display for DurableError {
                 path.display()
             ),
             DurableError::Replay(e) => write!(f, "wal replay rejected: {e}"),
-            DurableError::Poisoned => write!(
+            DurableError::Poisoned { op } => write!(
                 f,
-                "durable engine poisoned by a failed checkpoint; recover from disk"
+                "durable engine poisoned by a failed {op}; \
+                 recover from disk (DurableEngine::recover) to continue"
             ),
         }
     }
@@ -149,6 +158,11 @@ mod tests {
             supported: 1,
         };
         assert!(e.to_string().contains("version 9"), "{e}");
-        assert!(DurableError::Poisoned.to_string().contains("poisoned"));
+        let e = DurableError::Poisoned {
+            op: "commit: wal append",
+        };
+        assert!(e.to_string().contains("poisoned"), "{e}");
+        assert!(e.to_string().contains("commit: wal append"), "{e}");
+        assert!(e.to_string().contains("recover"), "{e}");
     }
 }

@@ -123,15 +123,19 @@ pub fn write_snapshot(db: &Database, path: &Path) -> Result<(), DurableError> {
 /// Parses snapshot bytes into a [`Database`]. All validation failures are
 /// structured errors; `path` only labels them.
 pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<Database, DurableError> {
-    if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
         return Err(DurableError::BadMagic {
             path: path.to_path_buf(),
             expected: "snapshot",
         });
     }
-    let mut head = Cursor::new(&bytes[8..HEADER]);
-    // invariant: HEADER-sized slice; these three reads cannot fail.
-    let version = head.u32("version").expect("sized header");
+    // Header fields go through the cursor over whatever bytes remain: a
+    // file cut inside the header is a structured error, never a slice
+    // panic, even if the HEADER-size guard above ever drifts.
+    let mut head = Cursor::new(&bytes[8..]);
+    let head_err =
+        |e: crate::codec::CodecError| DurableError::corrupt(path, 8 + e.offset, e.detail);
+    let version = head.u32("version").map_err(head_err)?;
     if version != VERSION {
         return Err(DurableError::BadVersion {
             path: path.to_path_buf(),
@@ -139,8 +143,13 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<Database, DurableErr
             supported: VERSION,
         });
     }
-    let body_len = head.u64("body length").expect("sized header");
-    let want_crc = head.u32("body crc").expect("sized header");
+    let body_len = head.u64("body length").map_err(head_err)?;
+    let want_crc = head.u32("body crc").map_err(head_err)?;
+    if bytes.len() < HEADER {
+        // Unreachable once the reads above succeeded, but keeps the body
+        // slice below panic-free by construction.
+        return Err(DurableError::corrupt(path, 8, "truncated header"));
+    }
     let body = &bytes[HEADER..];
     if body_len != body.len() as u64 {
         return Err(DurableError::corrupt(

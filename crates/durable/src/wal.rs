@@ -215,16 +215,18 @@ impl Wal {
 /// Parses WAL bytes. Torn tails are data (see module docs); everything else
 /// wrong is a structured error.
 pub fn decode_wal(bytes: &[u8], path: &Path) -> Result<WalContents, DurableError> {
-    if bytes.len() < WAL_HEADER as usize || &bytes[..8] != MAGIC {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
         return Err(DurableError::BadMagic {
             path: path.to_path_buf(),
             expected: "wal",
         });
     }
-    // invariant: the slice holds at least WAL_HEADER bytes.
-    let version = Cursor::new(&bytes[8..12])
+    // The header is read through the cursor rather than a sized slice: a
+    // file cut inside the version field surfaces as a structured error,
+    // never a slice panic.
+    let version = Cursor::new(&bytes[8..])
         .u32("version")
-        .expect("sized header");
+        .map_err(|e| DurableError::corrupt(path, 8, e.detail))?;
     if version != VERSION {
         return Err(DurableError::BadVersion {
             path: path.to_path_buf(),
@@ -251,12 +253,15 @@ pub fn decode_wal(bytes: &[u8], path: &Path) -> Result<WalContents, DurableError
                 torn: true,
             })
         };
-        if remaining < 8 {
-            return torn(batches);
-        }
-        let mut head = Cursor::new(&bytes[pos..pos + 8]);
-        let payload_len = head.u32("payload length").expect("sized slice") as usize;
-        let want_crc = head.u32("payload crc").expect("sized slice");
+        // The 8-byte frame header (payload length + CRC) is read through
+        // the cursor over whatever bytes remain: a file that ends inside
+        // the header is a torn tail by construction, not a sized-slice
+        // invariant that could ever panic.
+        let mut head = Cursor::new(&bytes[pos..]);
+        let (payload_len, want_crc) = match (head.u32("payload length"), head.u32("payload crc")) {
+            (Ok(len), Ok(crc)) => (len as usize, crc),
+            _ => return torn(batches),
+        };
         if payload_len as u64 + 1 > (remaining - 8) as u64 {
             // The frame promises more bytes than the file has: the append
             // died mid-frame.

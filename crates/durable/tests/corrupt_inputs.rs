@@ -183,6 +183,36 @@ fn corpus_of_hostile_inputs_is_rejected_structurally() {
         vec![0x00],
         b"ALEXSNAP".to_vec(),
         b"ALEXWAL0".to_vec(),
+        // Short headers: full magic but a truncated version field — the
+        // regression shape for the decode paths that used to index past the
+        // slice. Every prefix length between magic-only and a full header.
+        b"ALEXSNAP\x01".to_vec(),
+        b"ALEXSNAP\x01\x00".to_vec(),
+        b"ALEXSNAP\x01\x00\x00".to_vec(),
+        b"ALEXWAL0\x01".to_vec(),
+        b"ALEXWAL0\x01\x00".to_vec(),
+        b"ALEXWAL0\x01\x00\x00".to_vec(),
+        // Full WAL header followed by a partial frame header (1..8 bytes):
+        // must parse as a torn tail, never index out of bounds.
+        {
+            let mut v = b"ALEXWAL0".to_vec();
+            v.extend_from_slice(&1u32.to_le_bytes());
+            v.push(0x2A);
+            v
+        },
+        {
+            let mut v = b"ALEXWAL0".to_vec();
+            v.extend_from_slice(&1u32.to_le_bytes());
+            v.extend_from_slice(&[0x2A; 7]);
+            v
+        },
+        // Snapshot header truncated mid body_len / mid crc.
+        {
+            let mut v = b"ALEXSNAP".to_vec();
+            v.extend_from_slice(&1u32.to_le_bytes());
+            v.extend_from_slice(&[0x00; 5]);
+            v
+        },
         // Right magic, absurd version.
         {
             let mut v = b"ALEXSNAP".to_vec();

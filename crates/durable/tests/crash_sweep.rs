@@ -181,17 +181,45 @@ fn fsync_failure_poisons_but_disk_stays_recoverable() {
     failpoints::configure("durable-wal-io", Action::FsyncError);
     let err = apply_batch(&mut eng, &script()[0]).unwrap_err();
     assert!(matches!(err, DurableError::Io { .. }), "{err}");
-    // The engine no longer trusts its pairing with the disk.
+    // The engine no longer trusts its pairing with the disk, and the
+    // structured error names the operation that tripped the poison.
+    assert_eq!(eng.poisoned_by(), Some("commit: wal append"));
+    let poisoned = eng.insert(&edge("x", "y")).unwrap_err();
+    assert!(
+        matches!(
+            poisoned,
+            DurableError::Poisoned {
+                op: "commit: wal append"
+            }
+        ),
+        "{poisoned}"
+    );
+    assert!(poisoned.to_string().contains("recover"), "{poisoned}");
+    // Every other entry point is equally refused while poisoned.
     assert!(matches!(
-        eng.insert(&edge("x", "y")).unwrap_err(),
-        DurableError::Poisoned
+        eng.delete(&edge("x", "y")).unwrap_err(),
+        DurableError::Poisoned { .. }
+    ));
+    assert!(matches!(
+        eng.commit().unwrap_err(),
+        DurableError::Poisoned { .. }
+    ));
+    assert!(matches!(
+        eng.checkpoint().unwrap_err(),
+        DurableError::Poisoned { .. }
     ));
     drop(eng);
     failpoints::remove("durable-wal-io");
 
-    let (rec, _) = DurableEngine::recover(tc_program(), &sp, &wp).unwrap();
+    // `recover` is the documented escape hatch: disk is authoritative, and
+    // the recovered handle accepts new batches again.
+    let (mut rec, _) = DurableEngine::recover(tc_program(), &sp, &wp).unwrap();
+    assert_eq!(rec.poisoned_by(), None);
     let got = state(rec.db());
     assert!(got == states[0] || got == states[1], "{got:?}");
+    rec.insert(&edge("x", "y")).unwrap();
+    rec.commit().unwrap();
+    assert!(state(rec.db()).contains(&"edge(x, y)".to_string()));
     cleanup(&sp, &wp);
 }
 

@@ -1,0 +1,176 @@
+//! Admission control: a global concurrency cap with per-tenant fairness.
+//!
+//! Every query holds an [`AdmissionGuard`] while it executes. The global
+//! cap bounds total concurrent evaluation (queries are CPU-bound; running
+//! more than the machine can schedule only adds latency), and the tenant
+//! cap keeps any single tenant at a fixed share of it, so one tenant
+//! hammering recursive queries leaves headroom for everyone else. Waiters
+//! block on a condvar and are re-admitted in whatever order the OS wakes
+//! them — fairness here is the *cap*, not FIFO ordering.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct Counts {
+    active: usize,
+    per_tenant: HashMap<String, usize>,
+}
+
+/// The shared admission state (see module docs).
+#[derive(Debug)]
+pub struct Admission {
+    global_cap: usize,
+    tenant_cap: usize,
+    counts: Mutex<Counts>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// Caps are clamped to at least 1, and the tenant cap to at most the
+    /// global cap (a tenant can never use more than everything).
+    pub fn new(global_cap: usize, tenant_cap: usize) -> Admission {
+        let global_cap = global_cap.max(1);
+        Admission {
+            global_cap,
+            tenant_cap: tenant_cap.clamp(1, global_cap),
+            counts: Mutex::new(Counts::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `tenant` may run another query, then reserves a slot.
+    /// Dropping the guard frees the slot and wakes waiters.
+    pub fn acquire(&self, tenant: &str) -> AdmissionGuard<'_> {
+        let mut c = self.counts.lock().expect("admission lock");
+        loop {
+            let tenant_active = c.per_tenant.get(tenant).copied().unwrap_or(0);
+            if c.active < self.global_cap && tenant_active < self.tenant_cap {
+                break;
+            }
+            c = self.freed.wait(c).expect("admission lock");
+        }
+        c.active += 1;
+        *c.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        AdmissionGuard {
+            admission: self,
+            tenant: tenant.to_string(),
+        }
+    }
+
+    /// Non-blocking variant: `None` when the tenant or the server is at
+    /// capacity right now.
+    pub fn try_acquire(&self, tenant: &str) -> Option<AdmissionGuard<'_>> {
+        let mut c = self.counts.lock().expect("admission lock");
+        let tenant_active = c.per_tenant.get(tenant).copied().unwrap_or(0);
+        if c.active >= self.global_cap || tenant_active >= self.tenant_cap {
+            return None;
+        }
+        c.active += 1;
+        *c.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        Some(AdmissionGuard {
+            admission: self,
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Currently executing queries (all tenants).
+    pub fn active(&self) -> usize {
+        self.counts.lock().expect("admission lock").active
+    }
+
+    /// The global concurrency cap.
+    pub fn global_cap(&self) -> usize {
+        self.global_cap
+    }
+
+    /// The per-tenant concurrency cap.
+    pub fn tenant_cap(&self) -> usize {
+        self.tenant_cap
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut c = self.counts.lock().expect("admission lock");
+        c.active -= 1;
+        // invariant: a guard exists for this tenant, so the entry does too.
+        let n = c.per_tenant.get_mut(tenant).expect("tenant entry");
+        *n -= 1;
+        if *n == 0 {
+            c.per_tenant.remove(tenant);
+        }
+        drop(c);
+        self.freed.notify_all();
+    }
+}
+
+/// A reserved execution slot; freed on drop.
+#[derive(Debug)]
+pub struct AdmissionGuard<'a> {
+    admission: &'a Admission,
+    tenant: String,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn caps_are_clamped_sanely() {
+        let a = Admission::new(0, 0);
+        assert_eq!(a.global_cap(), 1);
+        assert_eq!(a.tenant_cap(), 1);
+        let a = Admission::new(4, 100);
+        assert_eq!(a.tenant_cap(), 4, "tenant cap clamps to the global cap");
+    }
+
+    #[test]
+    fn tenant_cap_limits_one_tenant_without_blocking_others() {
+        let a = Admission::new(4, 2);
+        let _g1 = a.acquire("loud");
+        let _g2 = a.acquire("loud");
+        // "loud" is at its cap; "quiet" still gets in immediately.
+        assert!(a.try_acquire("loud").is_none());
+        let _g3 = a.try_acquire("quiet").expect("quiet tenant admitted");
+        assert_eq!(a.active(), 3);
+    }
+
+    #[test]
+    fn global_cap_bounds_everyone() {
+        let a = Admission::new(2, 2);
+        let _g1 = a.acquire("t1");
+        let _g2 = a.acquire("t2");
+        assert!(a.try_acquire("t3").is_none(), "global cap reached");
+        drop(_g1);
+        assert!(a.try_acquire("t3").is_some());
+    }
+
+    #[test]
+    fn blocked_acquires_wake_on_release() {
+        let a = Arc::new(Admission::new(1, 1));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            let peak = peak.clone();
+            handles.push(std::thread::spawn(move || {
+                let _g = a.acquire("t");
+                let now = a.active();
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "cap held under contention");
+        assert_eq!(a.active(), 0, "all slots returned");
+    }
+}

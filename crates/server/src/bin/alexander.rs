@@ -1,0 +1,148 @@
+//! The `alexander` CLI: load a Datalog file and answer its queries, or run
+//! the long-lived query server (`alexander serve`).
+//!
+//! See [`alexander_core::cli::USAGE`] or run with `--help`.
+
+use alexander_core::cli;
+use alexander_server::{serve_tcp, serve_unix, QueryService, ServeHandle, ServerConfig};
+use alexander_storage::Database;
+use std::io::Read;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, opts) = match cli::parse_args(&args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some(path) = path else {
+        eprintln!("{}", cli::USAGE);
+        std::process::exit(2);
+    };
+    let source = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error reading stdin: {e}");
+            std::process::exit(1);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if opts.serve {
+        serve(&source, &opts);
+        return;
+    }
+    match cli::run(&source, &opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the server until killed. Flag coherence was already validated by
+/// `parse_args`; this only wires options into the service.
+fn serve(source: &str, opts: &cli::CliOptions) {
+    let program = match alexander_parser::parse(source) {
+        Ok(p) => p.program,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let mut config = ServerConfig::default();
+    if let Some(n) = opts.max_concurrent {
+        config.max_concurrent = n;
+    }
+    if let Some(n) = opts.tenant_cap {
+        config.tenant_cap = n;
+    }
+    if let Some(n) = opts.threads {
+        config.threads = n;
+    }
+    let mut budget = alexander_eval::Budget::default();
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.with_timeout_ms(ms);
+    }
+    if let Some(n) = opts.max_facts {
+        budget = budget.with_max_facts(n);
+    }
+    if let Some(n) = opts.max_rounds {
+        budget = budget.with_max_rounds(n);
+    }
+    config.budget = budget;
+    if let Some(name) = opts.strategy.as_deref() {
+        match alexander_core::Strategy::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+        {
+            Some(s) => config.default_strategy = s,
+            None => {
+                eprintln!("unknown strategy `{name}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let store = opts
+        .snapshot
+        .as_deref()
+        .zip(opts.wal.as_deref())
+        .map(|(s, w)| (std::path::PathBuf::from(s), std::path::PathBuf::from(w)));
+    let service = match QueryService::open(
+        program,
+        Database::new(),
+        store.as_ref().map(|(s, w)| (s.as_path(), w.as_path())),
+        config,
+    ) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let _handle: ServeHandle = if let Some(addr) = opts.listen.as_deref() {
+        match serve_tcp(service, addr) {
+            Ok(h) => {
+                // invariant: serve_tcp always records the bound address.
+                eprintln!("listening on tcp {}", h.tcp_addr().expect("bound"));
+                h
+            }
+            Err(e) => {
+                eprintln!("cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        // invariant: parse_args demands exactly one of --listen/--unix.
+        let path = std::path::Path::new(opts.unix.as_deref().expect("validated"));
+        match serve_unix(service, path) {
+            Ok(h) => {
+                eprintln!("listening on unix {}", path.display());
+                h
+            }
+            Err(e) => {
+                eprintln!("cannot listen on {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    };
+
+    // Serve until the process is killed; `_handle` keeps the accept loop
+    // alive for the whole lifetime.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,40 @@
+//! The serving layer: a long-lived, multi-tenant query service over the
+//! Alexander engine.
+//!
+//! The design splits reads from writes completely:
+//!
+//! * **Epochs** ([`epoch`]): every committed batch publishes a new immutable
+//!   [`Epoch`] — a generation counter plus an [`Engine`] over a frozen,
+//!   copy-on-write clone of the EDB. A query *pins* the epoch it started on
+//!   and evaluates against it for its whole lifetime, so reads never block
+//!   writes and a commit never invalidates a running query.
+//! * **Writer** ([`service`]): mutations funnel through one writer —
+//!   a [`DurableEngine`] (WAL append + fsync, then apply) when the server
+//!   was opened with a snapshot/WAL pair, or an in-memory shadow EDB
+//!   otherwise. `COMMIT` makes the batch durable, then publishes the next
+//!   epoch.
+//! * **Admission** ([`admission`]): a global cap bounds concurrently
+//!   executing queries and a per-tenant cap keeps one tenant's recursive
+//!   query storm from starving the rest; each admitted query runs under its
+//!   session's [`Budget`]/[`CancelHandle`].
+//! * **Wire protocol** ([`proto`], [`net`]): a line-oriented text protocol
+//!   over TCP or a unix socket (`HELLO`/`QUERY`/`INSERT`/`DELETE`/`COMMIT`/
+//!   `EPOCH`/`PING`/`QUIT`), served by the `alexander serve` subcommand.
+//!
+//! [`Engine`]: alexander_core::Engine
+//! [`Epoch`]: epoch::Epoch
+//! [`DurableEngine`]: alexander_durable::DurableEngine
+//! [`Budget`]: alexander_eval::Budget
+//! [`CancelHandle`]: alexander_eval::CancelHandle
+
+pub mod admission;
+pub mod epoch;
+pub mod net;
+pub mod proto;
+pub mod service;
+
+pub use admission::{Admission, AdmissionGuard};
+pub use epoch::{Epoch, EpochStore};
+pub use net::{serve_tcp, serve_unix, ServeHandle};
+pub use proto::Request;
+pub use service::{CommitInfo, QueryResponse, QueryService, ServerConfig, ServerError};

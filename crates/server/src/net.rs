@@ -1,0 +1,359 @@
+//! Listeners and session loops for the line protocol.
+//!
+//! One thread accepts, one detached thread per connection runs the session.
+//! Everything polls with short timeouts against a shared shutdown flag, so
+//! [`ServeHandle::shutdown`] stops the server without wedging on a blocked
+//! `accept(2)` or `read(2)` — important for the in-process servers the soak
+//! driver and tests host.
+
+use crate::proto::{err_line, parse_request, Request};
+use crate::service::{QueryService, ServerError};
+use alexander_core::Strategy;
+use alexander_parser::parse_atom;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked reads/accepts re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// A running server; dropping it (or calling [`ServeHandle::shutdown`])
+/// stops the accept loop and lets session threads drain.
+pub struct ServeHandle {
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServeHandle {
+    /// The bound TCP address (useful after binding port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound unix-socket path.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Stops accepting, signals sessions to finish, joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            t.join().ok();
+        }
+        if let Some(p) = self.unix_path.take() {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Non-blocking accept abstracted over listener types.
+trait Acceptor: Send + 'static {
+    type Stream: Read + Write + Send + 'static;
+    /// `Ok(None)` when no connection is pending right now.
+    fn poll_accept(&self) -> io::Result<Option<Self::Stream>>;
+}
+
+impl Acceptor for TcpListener {
+    type Stream = std::net::TcpStream;
+    fn poll_accept(&self) -> io::Result<Option<Self::Stream>> {
+        match self.accept() {
+            Ok((s, _)) => {
+                s.set_read_timeout(Some(POLL))?;
+                // Responses are written as one buffered chunk; without
+                // NODELAY, Nagle + delayed ACK can stall every reply ~40ms.
+                s.set_nodelay(true)?;
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Acceptor for UnixListener {
+    type Stream = std::os::unix::net::UnixStream;
+    fn poll_accept(&self) -> io::Result<Option<Self::Stream>> {
+        match self.accept() {
+            Ok((s, _)) => {
+                s.set_read_timeout(Some(POLL))?;
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Serves the protocol on a TCP address (`"127.0.0.1:0"` picks a port).
+pub fn serve_tcp(service: Arc<QueryService>, addr: &str) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = spawn_accept_loop(listener, service, shutdown.clone());
+    Ok(ServeHandle {
+        shutdown,
+        accept: Some(accept),
+        tcp_addr: Some(local),
+        unix_path: None,
+    })
+}
+
+/// Serves the protocol on a unix socket; a stale socket file is replaced.
+pub fn serve_unix(service: Arc<QueryService>, path: &Path) -> io::Result<ServeHandle> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = spawn_accept_loop(listener, service, shutdown.clone());
+    Ok(ServeHandle {
+        shutdown,
+        accept: Some(accept),
+        tcp_addr: None,
+        unix_path: Some(path.to_path_buf()),
+    })
+}
+
+fn spawn_accept_loop<A: Acceptor>(
+    listener: A,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.poll_accept() {
+                Ok(Some(stream)) => {
+                    let service = service.clone();
+                    let shutdown = shutdown.clone();
+                    std::thread::spawn(move || {
+                        // A dropped connection is the client's business, not
+                        // a server failure.
+                        session(&service, stream, &shutdown).ok();
+                    });
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// One connection's lifetime: read a line, answer it, until QUIT/EOF.
+fn session<S: Read + Write>(
+    service: &QueryService,
+    stream: S,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut tenant = String::from("anon");
+    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Build the whole response first, then write it as one chunk: a
+        // multi-line answer must not trickle out as per-line segments.
+        buf.clear();
+        let quit = respond(service, &mut tenant, &line, &mut buf)?;
+        reader.get_mut().write_all(&buf)?;
+        reader.get_mut().flush()?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
+/// Handles one request line; returns `true` when the session should close.
+fn respond<W: Write>(
+    service: &QueryService,
+    tenant: &mut String,
+    line: &str,
+    w: &mut W,
+) -> io::Result<bool> {
+    let mut quit = false;
+    match parse_request(line) {
+        Err(e) => writeln!(w, "{}", err_line(&e))?,
+        Ok(Request::Hello { tenant: t }) => {
+            *tenant = t;
+            writeln!(w, "OK tenant {tenant} epoch {}", service.generation())?;
+        }
+        Ok(Request::Query { atom, strategy }) => {
+            match run_query(service, tenant, &atom, strategy) {
+                Ok(r) => {
+                    for a in &r.answers {
+                        writeln!(w, "ANSWER {a}")?;
+                    }
+                    if r.complete {
+                        writeln!(w, "OK {} epoch {} complete", r.answers.len(), r.generation)?;
+                    } else {
+                        writeln!(
+                            w,
+                            "OK {} epoch {} partial: {}",
+                            r.answers.len(),
+                            r.generation,
+                            r.completion
+                        )?;
+                    }
+                }
+                Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+            }
+        }
+        Ok(Request::Insert { fact }) => match mutate(service, &fact, true) {
+            Ok(n) => writeln!(w, "OK pending {n}")?,
+            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+        },
+        Ok(Request::Delete { fact }) => match mutate(service, &fact, false) {
+            Ok(n) => writeln!(w, "OK pending {n}")?,
+            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+        },
+        Ok(Request::Commit) => match service.commit() {
+            Ok(info) => writeln!(
+                w,
+                "OK epoch {} committed {}",
+                info.generation, info.committed
+            )?,
+            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+        },
+        Ok(Request::Epoch) => writeln!(w, "OK epoch {}", service.generation())?,
+        Ok(Request::Ping) => writeln!(w, "OK pong")?,
+        Ok(Request::Quit) => {
+            writeln!(w, "OK bye")?;
+            quit = true;
+        }
+    }
+    w.flush()?;
+    Ok(quit)
+}
+
+fn run_query(
+    service: &QueryService,
+    tenant: &str,
+    atom: &str,
+    strategy: Option<String>,
+) -> Result<crate::service::QueryResponse, ServerError> {
+    let query = parse_atom(atom).map_err(|e| ServerError::Parse(e.to_string()))?;
+    let strategy = match strategy {
+        None => None,
+        Some(name) => Some(
+            Strategy::ALL
+                .into_iter()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| ServerError::Parse(format!("unknown strategy `{name}`")))?,
+        ),
+    };
+    service.query(tenant, &query, strategy)
+}
+
+fn mutate(service: &QueryService, fact: &str, insert: bool) -> Result<usize, ServerError> {
+    let atom = parse_atom(fact).map_err(|e| ServerError::Parse(e.to_string()))?;
+    if insert {
+        service.insert(&atom)
+    } else {
+        service.delete(&atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServerConfig;
+    use alexander_parser::parse;
+    use alexander_storage::Database;
+
+    fn service() -> Arc<QueryService> {
+        let program =
+            parse("anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y). par(adam, seth).")
+                .unwrap()
+                .program;
+        Arc::new(
+            QueryService::open(program, Database::new(), None, ServerConfig::default()).unwrap(),
+        )
+    }
+
+    /// Drives one request through `respond` and returns the reply text.
+    fn roundtrip(s: &QueryService, tenant: &mut String, line: &str) -> String {
+        let mut out = Vec::new();
+        respond(s, tenant, line, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn the_full_verb_set_responds_in_protocol_form() {
+        let s = service();
+        let mut tenant = String::from("anon");
+        assert_eq!(
+            roundtrip(&s, &mut tenant, "HELLO acme"),
+            "OK tenant acme epoch 0\n"
+        );
+        assert_eq!(tenant, "acme");
+        assert_eq!(roundtrip(&s, &mut tenant, "PING"), "OK pong\n");
+        assert_eq!(roundtrip(&s, &mut tenant, "EPOCH"), "OK epoch 0\n");
+        assert_eq!(
+            roundtrip(&s, &mut tenant, "INSERT par(seth, enos)"),
+            "OK pending 1\n"
+        );
+        assert_eq!(
+            roundtrip(&s, &mut tenant, "COMMIT"),
+            "OK epoch 1 committed 1\n"
+        );
+        let q = roundtrip(&s, &mut tenant, "QUERY anc(adam, X)");
+        assert_eq!(
+            q,
+            "ANSWER anc(adam, enos)\nANSWER anc(adam, seth)\nOK 2 epoch 1 complete\n"
+        );
+        let q = roundtrip(&s, &mut tenant, "QUERY anc(adam, X) STRATEGY oldt");
+        assert!(q.ends_with("OK 2 epoch 1 complete\n"), "{q}");
+        assert_eq!(roundtrip(&s, &mut tenant, "QUIT"), "OK bye\n");
+    }
+
+    #[test]
+    fn protocol_errors_are_err_lines_not_disconnects() {
+        let s = service();
+        let mut tenant = String::from("anon");
+        for bad in [
+            "EXPLODE",
+            "QUERY anc(adam,",                     // unparseable atom
+            "QUERY anc(adam, X) STRATEGY quantum", // unknown strategy
+            "INSERT anc(a, b)",                    // intensional target
+            "INSERT par(a, X)",                    // non-ground
+        ] {
+            let out = roundtrip(&s, &mut tenant, bad);
+            assert!(out.starts_with("ERR "), "{bad}: {out}");
+            assert_eq!(out.lines().count(), 1, "{bad}: {out}");
+        }
+    }
+}

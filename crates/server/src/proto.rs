@@ -1,0 +1,175 @@
+//! The line-oriented wire protocol.
+//!
+//! Requests are single lines, verb first (case-insensitive), operands raw:
+//!
+//! ```text
+//! HELLO <tenant>                     -> OK tenant <name> epoch <gen>
+//! QUERY <atom> [STRATEGY <name>]    -> ANSWER <atom>… then
+//!                                       OK <n> epoch <gen> <completion>
+//! INSERT <fact>                      -> OK pending <n>
+//! DELETE <fact>                      -> OK pending <n>
+//! COMMIT                             -> OK epoch <gen> committed <n>
+//! EPOCH                              -> OK epoch <gen>
+//! PING                               -> OK pong
+//! QUIT                               -> OK bye (connection closes)
+//! ```
+//!
+//! Every response's final line starts with `OK` or `ERR` — that is the
+//! whole framing contract. `ANSWER` lines only appear before a `QUERY`'s
+//! terminal line. Error text is flattened to one line.
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Names the session's tenant for admission accounting.
+    Hello { tenant: String },
+    /// A query; atom text is parsed server-side so errors come back as
+    /// `ERR` lines rather than dropped connections.
+    Query {
+        atom: String,
+        strategy: Option<String>,
+    },
+    /// Buffer an insertion.
+    Insert { fact: String },
+    /// Buffer a deletion.
+    Delete { fact: String },
+    /// Commit the buffered batch, publishing a new epoch.
+    Commit,
+    /// Report the current generation.
+    Epoch,
+    /// Liveness check.
+    Ping,
+    /// Close the session.
+    Quit,
+}
+
+/// Parses one request line. The verb is case-insensitive; operands keep
+/// their exact text (atoms contain spaces and case matters inside them).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("empty request".into());
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let need = |what: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("{} needs {what}", verb.to_ascii_uppercase()))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => Ok(Request::Hello {
+            tenant: need("a tenant name")?,
+        }),
+        "QUERY" => {
+            let text = need("an atom")?;
+            // A trailing `STRATEGY <name>` clause; atoms never contain the
+            // bare word, but match case-insensitively to mirror the verb.
+            let upper = text.to_ascii_uppercase();
+            if upper == "STRATEGY" || upper.starts_with("STRATEGY ") {
+                return Err("QUERY needs an atom before STRATEGY <name>".into());
+            }
+            if let Some(at) = upper.rfind(" STRATEGY ") {
+                let atom = text[..at].trim().to_string();
+                let strategy = text[at + " STRATEGY ".len()..].trim().to_string();
+                if atom.is_empty() || strategy.is_empty() {
+                    return Err("QUERY needs an atom before STRATEGY <name>".into());
+                }
+                Ok(Request::Query {
+                    atom,
+                    strategy: Some(strategy),
+                })
+            } else {
+                Ok(Request::Query {
+                    atom: text,
+                    strategy: None,
+                })
+            }
+        }
+        "INSERT" => Ok(Request::Insert {
+            fact: need("a ground fact")?,
+        }),
+        "DELETE" => Ok(Request::Delete {
+            fact: need("a ground fact")?,
+        }),
+        "COMMIT" => Ok(Request::Commit),
+        "EPOCH" => Ok(Request::Epoch),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        other => Err(format!(
+            "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH PING QUIT"
+        )),
+    }
+}
+
+/// Flattens error text into the single-line `ERR` form.
+pub fn err_line(msg: &str) -> String {
+    let flat: String = msg
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("ERR {flat}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively_with_raw_operands() {
+        assert_eq!(
+            parse_request("hello acme").unwrap(),
+            Request::Hello {
+                tenant: "acme".into()
+            }
+        );
+        assert_eq!(
+            parse_request("QUERY anc(adam, X)").unwrap(),
+            Request::Query {
+                atom: "anc(adam, X)".into(),
+                strategy: None
+            }
+        );
+        assert_eq!(
+            parse_request("query anc(adam, X) strategy oldt").unwrap(),
+            Request::Query {
+                atom: "anc(adam, X)".into(),
+                strategy: Some("oldt".into())
+            }
+        );
+        assert_eq!(
+            parse_request("INSERT par(adam, seth)").unwrap(),
+            Request::Insert {
+                fact: "par(adam, seth)".into()
+            }
+        );
+        assert_eq!(parse_request("  commit  ").unwrap(), Request::Commit);
+        assert_eq!(parse_request("EPOCH").unwrap(), Request::Epoch);
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("   ").is_err());
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("INSERT").is_err());
+        assert!(parse_request("EXPLODE now").is_err());
+        assert!(parse_request("QUERY STRATEGY oldt").is_err());
+    }
+
+    #[test]
+    fn err_lines_are_single_lines() {
+        let e = err_line("invalid program:\n  rule 3 is unsafe\n");
+        assert_eq!(e, "ERR invalid program:; rule 3 is unsafe");
+        assert!(!e.contains('\n'));
+    }
+}

@@ -1,0 +1,420 @@
+//! The query service: one writer, many epoch-pinned readers.
+//!
+//! All mutations serialise through a single writer slot. `INSERT`/`DELETE`
+//! buffer; `COMMIT` makes the batch durable (WAL append + fsync, then apply
+//! — when the service was opened on a snapshot/WAL pair), mirrors it into
+//! the shadow EDB, and publishes the shadow as the next [`Epoch`]. The
+//! publish is a copy-on-write clone, O(#relations): the epoch freezes, and
+//! the writer's next mutation copies only the relations it touches.
+//!
+//! Queries admission-check, pin the current epoch, and evaluate against it
+//! with their session's budget. A query pinned at generation N returns
+//! bit-identical answers whether or not generations N+1.. commit mid-query.
+
+use crate::admission::Admission;
+use crate::epoch::{Epoch, EpochStore};
+use alexander_core::{Engine, Strategy};
+use alexander_durable::{DurableEngine, DurableError};
+use alexander_eval::{Budget, CancelHandle};
+use alexander_ir::{Atom, Program};
+use alexander_storage::Database;
+use std::fmt;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Serving knobs; `Default` suits tests and small deployments.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Global cap on concurrently executing queries.
+    pub max_concurrent: usize,
+    /// Per-tenant cap (clamped to `max_concurrent`).
+    pub tenant_cap: usize,
+    /// Worker threads per bottom-up fixpoint round, per query.
+    pub threads: usize,
+    /// Default per-query budget for sessions that don't bring their own.
+    pub budget: Budget,
+    /// Strategy used when a request names none.
+    pub default_strategy: Strategy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_concurrent: 8,
+            tenant_cap: 4,
+            threads: 1,
+            budget: Budget::default(),
+            default_strategy: Strategy::Alexander,
+        }
+    }
+}
+
+/// Everything the service can report to a client.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Malformed request content (bad atom text, unknown strategy, …).
+    Parse(String),
+    /// The engine rejected the query (invalid program state, undefined
+    /// answers under conditional semantics, …).
+    Engine(String),
+    /// A mutation was rejected before buffering (IDB target, non-ground).
+    Rejected(String),
+    /// The durable writer failed; carries the structured cause (including
+    /// `Poisoned { op }` after a half-failed commit).
+    Durable(DurableError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Parse(m) => write!(f, "parse error: {m}"),
+            ServerError::Engine(m) => write!(f, "query error: {m}"),
+            ServerError::Rejected(m) => write!(f, "rejected: {m}"),
+            ServerError::Durable(e) => write!(f, "durable error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<DurableError> for ServerError {
+    fn from(e: DurableError) -> ServerError {
+        ServerError::Durable(e)
+    }
+}
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The epoch the query was pinned to for its whole execution.
+    pub generation: u64,
+    /// The strategy that answered it.
+    pub strategy: Strategy,
+    /// Sorted, deduplicated ground answers, rendered as atom text.
+    pub answers: Vec<String>,
+    /// False when a budget/cancellation stopped evaluation early; the
+    /// answers are then a sound subset.
+    pub complete: bool,
+    /// Human-readable completion state (`"complete"`, `"budget exhausted
+    /// (facts)"`, …).
+    pub completion: String,
+}
+
+/// One committed batch, as seen by clients.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitInfo {
+    /// The generation the batch created.
+    pub generation: u64,
+    /// Records in the batch (inserts + deletes).
+    pub committed: usize,
+}
+
+/// The writer half: an optional durable engine (disk truth) plus the shadow
+/// EDB the next epoch is published from.
+struct Writer {
+    durable: Option<DurableEngine>,
+    shadow: Database,
+    /// `(is_insert, fact)` mirror of the buffered batch, applied to the
+    /// shadow at commit. The durable engine keeps its own buffer; this one
+    /// exists so the shadow update never re-extracts the full EDB.
+    pending: Vec<(bool, Atom)>,
+}
+
+/// A long-lived, multi-tenant query service (see module docs).
+pub struct QueryService {
+    program: Program,
+    epochs: EpochStore,
+    writer: Mutex<Writer>,
+    admission: Admission,
+    config: ServerConfig,
+}
+
+impl QueryService {
+    /// Opens the service. With `store = Some((snapshot, wal))` the writer is
+    /// durable: an existing pair is recovered (committed batches replayed,
+    /// torn tails truncated), a missing one is created from `edb`. With
+    /// `None` the service is in-memory.
+    pub fn open(
+        program: Program,
+        edb: Database,
+        store: Option<(&Path, &Path)>,
+        config: ServerConfig,
+    ) -> Result<QueryService, ServerError> {
+        let (durable, seed) = match store {
+            Some((snap, wal)) => {
+                let eng = if snap.exists() && wal.exists() {
+                    DurableEngine::recover(program.clone(), snap, wal)?.0
+                } else {
+                    DurableEngine::create(program.clone(), edb, snap, wal)?
+                };
+                let seed = eng.edb();
+                (Some(eng), seed)
+            }
+            None => (None, edb),
+        };
+        // Build generation 0 through `Engine::new`, which validates the
+        // program and folds inline facts into the EDB — the normalised
+        // program/shadow pair is what every later epoch derives from.
+        let engine0 = Engine::new(program, seed).map_err(|e| ServerError::Engine(e.to_string()))?;
+        let program = engine0.program().clone();
+        let shadow = engine0.edb().clone();
+        Ok(QueryService {
+            program,
+            epochs: EpochStore::new(Epoch::new(0, engine0)),
+            writer: Mutex::new(Writer {
+                durable,
+                shadow,
+                pending: Vec::new(),
+            }),
+            admission: Admission::new(config.max_concurrent, config.tenant_cap),
+            config,
+        })
+    }
+
+    /// Answers `query` for `tenant` under the config's default budget.
+    pub fn query(
+        &self,
+        tenant: &str,
+        query: &Atom,
+        strategy: Option<Strategy>,
+    ) -> Result<QueryResponse, ServerError> {
+        self.query_with(tenant, query, strategy, None, None)
+    }
+
+    /// Full-control variant: a session brings its own [`Budget`] and/or
+    /// [`CancelHandle`]. Blocks in admission until the tenant has a slot;
+    /// then pins the current epoch and evaluates wholly against it.
+    pub fn query_with(
+        &self,
+        tenant: &str,
+        query: &Atom,
+        strategy: Option<Strategy>,
+        budget: Option<Budget>,
+        cancel: Option<&CancelHandle>,
+    ) -> Result<QueryResponse, ServerError> {
+        let _slot = self.admission.acquire(tenant);
+        let epoch = self.epochs.pin();
+        let strategy = strategy.unwrap_or(self.config.default_strategy);
+        // The clone is cheap (copy-on-write EDB); it exists so each request
+        // can carry its own governance without touching the shared epoch.
+        let mut engine = epoch
+            .engine()
+            .clone()
+            .with_threads(self.config.threads)
+            .with_budget(budget.unwrap_or(self.config.budget));
+        if let Some(c) = cancel {
+            let mut opts = engine.eval_options();
+            opts.cancel = Some(c.clone());
+            engine = engine.with_eval_options(opts);
+        }
+        let r = engine
+            .query(query, strategy)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        Ok(QueryResponse {
+            generation: epoch.generation(),
+            strategy,
+            answers: r.answers.iter().map(|a| a.to_string()).collect(),
+            complete: r.report.completion.is_complete(),
+            completion: r.report.completion.to_string(),
+        })
+    }
+
+    /// Buffers an EDB insertion; returns the pending batch size.
+    pub fn insert(&self, fact: &Atom) -> Result<usize, ServerError> {
+        self.buffer(true, fact)
+    }
+
+    /// Buffers an EDB deletion; returns the pending batch size.
+    pub fn delete(&self, fact: &Atom) -> Result<usize, ServerError> {
+        self.buffer(false, fact)
+    }
+
+    fn buffer(&self, insert: bool, fact: &Atom) -> Result<usize, ServerError> {
+        let pred = fact.predicate();
+        if self.program.is_idb(pred) {
+            return Err(ServerError::Rejected(format!(
+                "{pred} is intensional; derived facts cannot be stored"
+            )));
+        }
+        // Groundness probe on a scratch relation: rejected here so a commit
+        // can never log a record replay would refuse.
+        if Database::new().insert_atom(fact).is_err() {
+            return Err(ServerError::Rejected(format!(
+                "{fact} is not ground; only ground facts can be stored"
+            )));
+        }
+        let mut w = self.writer.lock().expect("writer lock");
+        if let Some(d) = w.durable.as_mut() {
+            if insert {
+                d.insert(fact)?;
+            } else {
+                d.delete(fact)?;
+            }
+        }
+        w.pending.push((insert, fact.clone()));
+        Ok(w.pending.len())
+    }
+
+    /// Commits the buffered batch and publishes the next epoch. Durable
+    /// mode: WAL append + fsync first; a half-failed commit poisons the
+    /// writer (later calls return the structured `Poisoned` error) while
+    /// every already-published epoch keeps serving.
+    pub fn commit(&self) -> Result<CommitInfo, ServerError> {
+        let mut w = self.writer.lock().expect("writer lock");
+        if w.pending.is_empty() {
+            return Ok(CommitInfo {
+                generation: self.epochs.generation(),
+                committed: 0,
+            });
+        }
+        if let Some(d) = w.durable.as_mut() {
+            d.commit()?;
+        }
+        let batch = std::mem::take(&mut w.pending);
+        let committed = batch.len();
+        for (insert, fact) in &batch {
+            if *insert {
+                // invariant: groundness was checked at buffer time.
+                w.shadow.insert_atom(fact).expect("ground fact");
+            } else {
+                w.shadow.remove_atom(fact);
+            }
+        }
+        // Publish under the writer lock so generations are strictly ordered
+        // with commits. The clone freezes the shadow: the epoch and the
+        // writer now share relations copy-on-write.
+        let engine = Engine::new(self.program.clone(), w.shadow.clone())
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        let generation = self.epochs.publish(engine);
+        Ok(CommitInfo {
+            generation,
+            committed,
+        })
+    }
+
+    /// The current (latest published) generation.
+    pub fn generation(&self) -> u64 {
+        self.epochs.generation()
+    }
+
+    /// Pins the current epoch — the same frozen view queries get.
+    pub fn pin(&self) -> std::sync::Arc<Epoch> {
+        self.epochs.pin()
+    }
+
+    /// The admission controller (exposed for monitoring and tests).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Buffered (uncommitted) mutations.
+    pub fn pending(&self) -> usize {
+        self.writer.lock().expect("writer lock").pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_parser::{parse, parse_atom};
+
+    const RULES: &str = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).";
+
+    fn service(extra_facts: &str) -> QueryService {
+        let program = parse(&format!("{RULES} {extra_facts}")).unwrap().program;
+        QueryService::open(program, Database::new(), None, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn commits_publish_epochs_and_pinned_queries_stay_put() {
+        let s = service("par(a, b).");
+        let q = parse_atom("anc(a, X)").unwrap();
+        assert_eq!(s.generation(), 0);
+
+        let epoch0 = s.pin();
+        s.insert(&parse_atom("par(b, c)").unwrap()).unwrap();
+        let info = s.commit().unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.committed, 1);
+
+        // New queries see the new epoch…
+        let r = s.query("t", &q, None).unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.answers, ["anc(a, b)", "anc(a, c)"]);
+        // …the old pin still answers from generation 0.
+        let old = epoch0.engine().query(&q, Strategy::Alexander).unwrap();
+        assert_eq!(old.answers.len(), 1);
+    }
+
+    #[test]
+    fn deletes_retract_derived_consequences_in_the_next_epoch() {
+        let s = service("par(a, b). par(b, c).");
+        let q = parse_atom("anc(a, X)").unwrap();
+        assert_eq!(s.query("t", &q, None).unwrap().answers.len(), 2);
+        s.delete(&parse_atom("par(b, c)").unwrap()).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.query("t", &q, None).unwrap().answers, ["anc(a, b)"]);
+    }
+
+    #[test]
+    fn idb_and_nonground_mutations_are_rejected() {
+        let s = service("par(a, b).");
+        let err = s.insert(&parse_atom("anc(a, b)").unwrap()).unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(_)), "{err}");
+        let err = s.insert(&parse_atom("par(a, X)").unwrap()).unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(_)), "{err}");
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let s = service("par(a, b).");
+        let info = s.commit().unwrap();
+        assert_eq!(info.generation, 0);
+        assert_eq!(info.committed, 0);
+        assert_eq!(s.generation(), 0);
+    }
+
+    #[test]
+    fn session_budget_flags_partial_results() {
+        let s = service("par(a, b). par(b, c). par(c, d).");
+        let q = parse_atom("anc(X, Y)").unwrap();
+        let r = s
+            .query_with(
+                "t",
+                &q,
+                Some(Strategy::SemiNaive),
+                Some(Budget::default().with_max_facts(1)),
+                None,
+            )
+            .unwrap();
+        assert!(!r.complete, "{r:?}");
+        assert!(r.completion.contains("budget"), "{}", r.completion);
+    }
+
+    #[test]
+    fn session_cancel_handle_stops_queries() {
+        let s = service("par(a, b).");
+        let q = parse_atom("anc(a, X)").unwrap();
+        let cancel = CancelHandle::default();
+        cancel.cancel();
+        let r = s
+            .query_with("t", &q, Some(Strategy::SemiNaive), None, Some(&cancel))
+            .unwrap();
+        assert_eq!(r.completion, "cancelled");
+    }
+
+    #[test]
+    fn queries_against_extensional_predicates_are_lookups() {
+        let s = service("par(a, b).");
+        let r = s
+            .query("t", &parse_atom("par(a, X)").unwrap(), None)
+            .unwrap();
+        assert_eq!(r.answers, ["par(a, b)"]);
+    }
+}

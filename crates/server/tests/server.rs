@@ -1,0 +1,216 @@
+//! End-to-end serving tests: the TCP listener and the durable writer, both
+//! driven exactly as a client would.
+
+use alexander_parser::{parse, parse_atom};
+use alexander_server::{serve_tcp, serve_unix, QueryService, ServerConfig};
+use alexander_storage::Database;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const RULES: &str = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).";
+
+fn service(extra: &str) -> Arc<QueryService> {
+    let program = parse(&format!("{RULES} {extra}")).unwrap().program;
+    Arc::new(QueryService::open(program, Database::new(), None, ServerConfig::default()).unwrap())
+}
+
+/// Sends one request line and reads lines until the `OK`/`ERR` terminal.
+fn exchange<S: std::io::Read + Write>(reader: &mut BufReader<S>, line: &str) -> Vec<String> {
+    writeln!(reader.get_mut(), "{line}").unwrap();
+    reader.get_mut().flush().unwrap();
+    let mut out = Vec::new();
+    loop {
+        let mut l = String::new();
+        match reader.read_line(&mut l) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("read: {e}"),
+        }
+        let l = l.trim_end().to_string();
+        let terminal = l.starts_with("OK") || l.starts_with("ERR");
+        out.push(l);
+        if terminal {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn tcp_sessions_speak_the_protocol_end_to_end() {
+    let handle = serve_tcp(service("par(adam, seth)."), "127.0.0.1:0").unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(
+        exchange(&mut conn, "HELLO acme"),
+        ["OK tenant acme epoch 0"]
+    );
+    assert_eq!(exchange(&mut conn, "PING"), ["OK pong"]);
+    assert_eq!(
+        exchange(&mut conn, "INSERT par(seth, enos)"),
+        ["OK pending 1"]
+    );
+    assert_eq!(exchange(&mut conn, "COMMIT"), ["OK epoch 1 committed 1"]);
+    assert_eq!(
+        exchange(&mut conn, "QUERY anc(adam, X)"),
+        [
+            "ANSWER anc(adam, enos)",
+            "ANSWER anc(adam, seth)",
+            "OK 2 epoch 1 complete"
+        ]
+    );
+    // Garbage stays in-band.
+    let out = exchange(&mut conn, "QUERY anc(adam,");
+    assert!(out[0].starts_with("ERR "), "{out:?}");
+    assert_eq!(exchange(&mut conn, "QUIT"), ["OK bye"]);
+
+    // A second connection sees the committed state (same epoch chain).
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(exchange(&mut conn, "EPOCH"), ["OK epoch 1"]);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_clients_get_consistent_epoch_tagged_answers() {
+    let handle = serve_tcp(service("par(n0, n1)."), "127.0.0.1:0").unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // Writer connection appends the chain one commit at a time; reader
+    // threads hammer queries. Every response must equal the oracle for the
+    // epoch it is tagged with — never a half-committed view.
+    const COMMITS: usize = 8;
+    let writer = std::thread::spawn(move || {
+        let mut conn = BufReader::new(TcpStream::connect(addr).unwrap());
+        for i in 1..=COMMITS {
+            exchange(&mut conn, &format!("INSERT par(n{i}, n{})", i + 1));
+            let out = exchange(&mut conn, "COMMIT");
+            assert_eq!(out, [format!("OK epoch {i} committed 1")]);
+        }
+    });
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = BufReader::new(TcpStream::connect(addr).unwrap());
+                for _ in 0..20 {
+                    let out = exchange(&mut conn, "QUERY anc(n0, X)");
+                    let last = out.last().unwrap();
+                    assert!(last.starts_with("OK "), "{out:?}");
+                    // "OK <n> epoch <g> complete"
+                    let mut it = last.split_whitespace();
+                    let n: usize = it.nth(1).unwrap().parse().unwrap();
+                    let g: usize = it.nth(1).unwrap().parse().unwrap();
+                    // Epoch g has the chain n0..n(g+1): g+1 answers.
+                    assert_eq!(n, g + 1, "{out:?}");
+                    assert_eq!(out.len(), n + 1, "{out:?}");
+                    for (i, a) in out[..n].iter().enumerate() {
+                        assert_eq!(a, &format!("ANSWER anc(n0, n{})", i + 1), "{out:?}");
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("alexander_srv_{}.sock", std::process::id()));
+    let handle = serve_unix(service("par(adam, seth)."), &path).unwrap();
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(exchange(&mut conn, "PING"), ["OK pong"]);
+    assert_eq!(
+        exchange(&mut conn, "QUERY anc(adam, X)"),
+        ["ANSWER anc(adam, seth)", "OK 1 epoch 0 complete"]
+    );
+    handle.shutdown();
+    assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+fn store_paths(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    (
+        dir.join(format!("alexander_srv_{tag}_{pid}.snap")),
+        dir.join(format!("alexander_srv_{tag}_{pid}.wal")),
+    )
+}
+
+#[test]
+fn durable_service_recovers_committed_epochs_across_restarts() {
+    let (sp, wp) = store_paths("recover");
+    std::fs::remove_file(&sp).ok();
+    std::fs::remove_file(&wp).ok();
+    let program = parse(RULES).unwrap().program;
+    let q = parse_atom("anc(a, X)").unwrap();
+
+    {
+        let mut edb = Database::new();
+        edb.insert_atom(&parse_atom("par(a, b)").unwrap()).unwrap();
+        let s = QueryService::open(
+            program.clone(),
+            edb,
+            Some((&sp, &wp)),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        s.insert(&parse_atom("par(b, c)").unwrap()).unwrap();
+        s.commit().unwrap();
+        s.insert(&parse_atom("par(c, d)").unwrap()).unwrap();
+        s.delete(&parse_atom("par(a, b)").unwrap()).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.generation(), 2);
+        assert_eq!(s.query("t", &q, None).unwrap().answers.len(), 0);
+    } // dropped without checkpoint: state lives in snapshot + WAL
+
+    // A fresh open recovers: generation restarts at 0 but the data is the
+    // committed state (insert survived, delete stuck).
+    let s = QueryService::open(
+        program,
+        Database::new(),
+        Some((&sp, &wp)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(s.generation(), 0);
+    assert_eq!(s.query("t", &q, None).unwrap().answers.len(), 0);
+    let all = parse_atom("anc(b, X)").unwrap();
+    assert_eq!(
+        s.query("t", &all, None).unwrap().answers,
+        ["anc(b, c)", "anc(b, d)"]
+    );
+    std::fs::remove_file(&sp).ok();
+    std::fs::remove_file(&wp).ok();
+}
+
+#[test]
+fn uncommitted_mutations_never_reach_any_epoch() {
+    let s = service("par(a, b).");
+    let q = parse_atom("anc(a, X)").unwrap();
+    s.insert(&parse_atom("par(b, c)").unwrap()).unwrap();
+    assert_eq!(s.pending(), 1);
+    // Still epoch 0 — the buffered insert is invisible.
+    let r = s.query("t", &q, None).unwrap();
+    assert_eq!(r.generation, 0);
+    assert_eq!(r.answers, ["anc(a, b)"]);
+    s.commit().unwrap();
+    assert_eq!(s.query("t", &q, None).unwrap().answers.len(), 2);
+}

@@ -4,12 +4,21 @@ use crate::relation::{Mask, Relation};
 use crate::tuple::{row_atom, Tuple};
 use alexander_ir::{Atom, Const, FxHashMap, Predicate, Program};
 use std::fmt;
+use std::sync::Arc;
 
 /// A set of named relations. Used for the EDB, for materialised IDB results,
 /// and for the delta stores of semi-naive evaluation.
+///
+/// Relations are held behind `Arc` with copy-on-write semantics: cloning a
+/// database is O(#relations) refcount bumps, and a later mutation copies
+/// only the relation it touches (`Arc::make_mut`). Value semantics are
+/// unchanged — two clones never observe each other's writes — but an *epoch
+/// snapshot* (clone the database, keep reading it while the original keeps
+/// committing) costs nothing per row. On the unshared hot path
+/// `Arc::make_mut` is a refcount check, not a copy.
 #[derive(Clone, Default)]
 pub struct Database {
-    relations: FxHashMap<Predicate, Relation>,
+    relations: FxHashMap<Predicate, Arc<Relation>>,
 }
 
 impl Database {
@@ -31,14 +40,28 @@ impl Database {
 
     /// The relation for `pred`, if it exists.
     pub fn relation(&self, pred: Predicate) -> Option<&Relation> {
-        self.relations.get(&pred)
+        self.relations.get(&pred).map(Arc::as_ref)
     }
 
-    /// The relation for `pred`, created empty on first access.
+    /// The relation for `pred`, created empty on first access. If the
+    /// relation's arena is shared with an epoch clone, it is copied here
+    /// first (copy-on-write) so the clone's view stays frozen.
     pub fn relation_mut(&mut self, pred: Predicate) -> &mut Relation {
-        self.relations
-            .entry(pred)
-            .or_insert_with(|| Relation::new(pred.arity))
+        Arc::make_mut(
+            self.relations
+                .entry(pred)
+                .or_insert_with(|| Arc::new(Relation::new(pred.arity))),
+        )
+    }
+
+    /// True iff `self` and `other` share `pred`'s arena physically (epoch
+    /// clones share until one side writes). Diagnostic for tests; absent
+    /// relations never count as shared.
+    pub fn shares_relation(&self, other: &Database, pred: Predicate) -> bool {
+        match (self.relations.get(&pred), other.relations.get(&pred)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Inserts a tuple for `pred`; returns `true` if new.
@@ -118,7 +141,7 @@ impl Database {
 
     /// Iterates over `(predicate, relation)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Predicate, &Relation)> + '_ {
-        self.relations.iter().map(|(&p, r)| (p, r))
+        self.relations.iter().map(|(&p, r)| (p, r.as_ref()))
     }
 
     /// The stored predicates, sorted for deterministic output.
@@ -188,7 +211,7 @@ impl Database {
         };
         self.relations
             .get_mut(&atom.predicate())
-            .is_some_and(|r| r.remove(&t))
+            .is_some_and(|r| Arc::make_mut(r).remove(&t))
     }
 
     /// Removes a set of tuples from `pred`'s relation; returns how many were
@@ -200,7 +223,7 @@ impl Database {
     ) -> usize {
         self.relations
             .get_mut(&pred)
-            .map_or(0, |r| r.remove_all(victims))
+            .map_or(0, |r| Arc::make_mut(r).remove_all(victims))
     }
 
     /// Empties every relation while keeping their allocations (their
@@ -208,7 +231,7 @@ impl Database {
     /// engines recycle their staging database through this between rounds.
     pub fn clear_retaining(&mut self) {
         for r in self.relations.values_mut() {
-            r.clear_rows();
+            Arc::make_mut(r).clear_rows();
         }
     }
 
@@ -447,6 +470,39 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], tuple_of_syms(&["b"]).values());
         assert_eq!(DeltaSpans::default().total_tuples(), 0);
+    }
+
+    #[test]
+    fn clones_share_arenas_until_written() {
+        let e = Predicate::new("e", 2);
+        let f = Predicate::new("f", 1);
+        let mut db = Database::new();
+        db.insert(e, tuple_of_syms(&["a", "b"]));
+        db.insert(f, tuple_of_syms(&["x"]));
+
+        // An epoch clone is O(#relations): every arena is shared.
+        let epoch = db.clone();
+        assert!(db.shares_relation(&epoch, e));
+        assert!(db.shares_relation(&epoch, f));
+
+        // Writing to one relation copies it — and only it.
+        db.insert(e, tuple_of_syms(&["b", "c"]));
+        assert!(!db.shares_relation(&epoch, e));
+        assert!(
+            db.shares_relation(&epoch, f),
+            "untouched arena still shared"
+        );
+
+        // The epoch's view is frozen at clone time (value semantics).
+        assert_eq!(epoch.len_of(e), 1);
+        assert_eq!(db.len_of(e), 2);
+
+        // Removal also copies-on-write instead of mutating the shared arena.
+        let epoch2 = db.clone();
+        assert!(db.remove_atom(&atom("f", [Term::sym("x")])));
+        assert_eq!(epoch2.len_of(f), 1);
+        assert_eq!(db.len_of(f), 0);
+        assert!(!db.shares_relation(&epoch2, f));
     }
 
     #[test]
