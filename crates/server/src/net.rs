@@ -116,10 +116,23 @@ pub fn serve_tcp(service: Arc<QueryService>, addr: &str) -> io::Result<ServeHand
     })
 }
 
-/// Serves the protocol on a unix socket; a stale socket file is replaced.
+/// Serves the protocol on a unix socket. A stale socket file (nothing
+/// accepting on it) is replaced; a path with a live server behind it is
+/// refused with `AddrInUse` rather than stolen out from under it.
 pub fn serve_unix(service: Arc<QueryService>, path: &Path) -> io::Result<ServeHandle> {
     if path.exists() {
-        std::fs::remove_file(path)?;
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} already has a live server", path.display()),
+                ))
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                std::fs::remove_file(path)?;
+            }
+            Err(e) => return Err(e),
+        }
     }
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
@@ -171,18 +184,26 @@ fn session<S: Read + Write>(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()),
-            Ok(_) => {}
+        let eof = match reader.read_line(&mut line) {
+            Ok(0) => true,
+            // read_line returns Ok without a trailing newline only at EOF.
+            Ok(_) => !line.ends_with('\n'),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue
+                // The poll timeout fired mid-line; any bytes already read
+                // were appended to `line`. Keep them and keep accumulating —
+                // clearing here would corrupt a request that straddles a
+                // stall and desynchronise the reply stream.
+                continue;
             }
             Err(e) => return Err(e),
-        }
+        };
         if line.trim().is_empty() {
+            if eof {
+                return Ok(());
+            }
+            line.clear();
             continue;
         }
         // Build the whole response first, then write it as one chunk: a
@@ -191,7 +212,8 @@ fn session<S: Read + Write>(
         let quit = respond(service, &mut tenant, &line, &mut buf)?;
         reader.get_mut().write_all(&buf)?;
         reader.get_mut().flush()?;
-        if quit {
+        line.clear();
+        if quit || eof {
             return Ok(());
         }
     }
@@ -338,6 +360,61 @@ mod tests {
         let q = roundtrip(&s, &mut tenant, "QUERY anc(adam, X) STRATEGY oldt");
         assert!(q.ends_with("OK 2 epoch 1 complete\n"), "{q}");
         assert_eq!(roundtrip(&s, &mut tenant, "QUIT"), "OK bye\n");
+    }
+
+    /// Input arrives in scripted fragments; an `Err` entry simulates the
+    /// 50ms poll timeout firing mid-line.
+    struct ScriptedStream {
+        input: std::collections::VecDeque<io::Result<Vec<u8>>>,
+        out: Arc<std::sync::Mutex<Vec<u8>>>,
+    }
+
+    impl Read for ScriptedStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.input.pop_front() {
+                None => Ok(0),
+                Some(Err(e)) => Err(e),
+                Some(Ok(chunk)) => {
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+            }
+        }
+    }
+
+    impl Write for ScriptedStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.out.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_request_straddling_read_timeouts_is_not_corrupted() {
+        let s = service();
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let stream = ScriptedStream {
+            input: std::collections::VecDeque::from([
+                Ok(b"QUE".to_vec()),
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "poll")),
+                Ok(b"RY anc".to_vec()),
+                Err(io::Error::new(io::ErrorKind::TimedOut, "poll")),
+                Ok(b"(adam, X)\n".to_vec()),
+                // EOF lands mid-line: the final partial request still runs.
+                Ok(b"PING".to_vec()),
+            ]),
+            out: out.clone(),
+        };
+        let shutdown = AtomicBool::new(false);
+        session(&s, stream, &shutdown).unwrap();
+        let reply = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            reply,
+            "ANSWER anc(adam, seth)\nOK 1 epoch 0 complete\nOK pong\n"
+        );
     }
 
     #[test]

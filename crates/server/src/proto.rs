@@ -67,15 +67,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "QUERY" => {
             let text = need("an atom")?;
-            // A trailing `STRATEGY <name>` clause; atoms never contain the
-            // bare word, but match case-insensitively to mirror the verb.
             let upper = text.to_ascii_uppercase();
             if upper == "STRATEGY" || upper.starts_with("STRATEGY ") {
                 return Err("QUERY needs an atom before STRATEGY <name>".into());
             }
-            if let Some(at) = upper.rfind(" STRATEGY ") {
+            if let Some(at) = strategy_keyword(&text) {
                 let atom = text[..at].trim().to_string();
-                let strategy = text[at + " STRATEGY ".len()..].trim().to_string();
+                let strategy = text[at + "STRATEGY".len()..].trim().to_string();
                 if atom.is_empty() || strategy.is_empty() {
                     return Err("QUERY needs an atom before STRATEGY <name>".into());
                 }
@@ -104,6 +102,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH PING QUIT"
         )),
     }
+}
+
+/// Byte offset of the last `STRATEGY` keyword (case-insensitive, mirroring
+/// the verb) that stands as its own whitespace-delimited word *outside*
+/// parentheses and quoted symbols. Atom argument text — including a quoted
+/// constant like `'a strategy b'` — can therefore never be mis-split into a
+/// truncated atom plus a bogus strategy name.
+fn strategy_keyword(text: &str) -> Option<usize> {
+    const KW: &[u8] = b"STRATEGY";
+    let b = text.as_bytes();
+    let mut depth = 0usize;
+    let mut quoted = false;
+    let mut at = None;
+    for i in 0..b.len() {
+        match b[i] {
+            b'\'' => quoted = !quoted,
+            b'(' if !quoted => depth += 1,
+            b')' if !quoted => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if quoted
+            || depth != 0
+            || i == 0
+            || !b[i - 1].is_ascii_whitespace()
+            || i + KW.len() >= b.len()
+        {
+            continue;
+        }
+        if b[i..i + KW.len()].eq_ignore_ascii_case(KW) && b[i + KW.len()].is_ascii_whitespace() {
+            at = Some(i);
+        }
+    }
+    at
 }
 
 /// Flattens error text into the single-line `ERR` form.
@@ -153,6 +184,35 @@ mod tests {
         assert_eq!(parse_request("EPOCH").unwrap(), Request::Epoch);
         assert_eq!(parse_request("ping").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn strategy_clause_only_binds_outside_parens_and_quotes() {
+        // A quoted symbol containing the word ` strategy ` stays part of
+        // the atom text.
+        assert_eq!(
+            parse_request("QUERY p('a strategy b')").unwrap(),
+            Request::Query {
+                atom: "p('a strategy b')".into(),
+                strategy: None
+            }
+        );
+        // …even when a real clause follows it.
+        assert_eq!(
+            parse_request("QUERY p('a strategy b') STRATEGY oldt").unwrap(),
+            Request::Query {
+                atom: "p('a strategy b')".into(),
+                strategy: Some("oldt".into())
+            }
+        );
+        // The word inside parentheses (argument position) does not bind.
+        assert_eq!(
+            parse_request("QUERY p(X, strategy )").unwrap(),
+            Request::Query {
+                atom: "p(X, strategy )".into(),
+                strategy: None
+            }
+        );
     }
 
     #[test]

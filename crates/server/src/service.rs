@@ -132,7 +132,9 @@ pub struct QueryService {
 impl QueryService {
     /// Opens the service. With `store = Some((snapshot, wal))` the writer is
     /// durable: an existing pair is recovered (committed batches replayed,
-    /// torn tails truncated), a missing one is created from `edb`. With
+    /// torn tails truncated), a missing one is created from `edb`. A
+    /// half-present pair (exactly one of the two files) is an error —
+    /// creating over the survivor would silently wipe committed data. With
     /// `None` the service is in-memory.
     pub fn open(
         program: Program,
@@ -142,10 +144,18 @@ impl QueryService {
     ) -> Result<QueryService, ServerError> {
         let (durable, seed) = match store {
             Some((snap, wal)) => {
-                let eng = if snap.exists() && wal.exists() {
-                    DurableEngine::recover(program.clone(), snap, wal)?.0
-                } else {
-                    DurableEngine::create(program.clone(), edb, snap, wal)?
+                let eng = match (snap.exists(), wal.exists()) {
+                    (true, true) => DurableEngine::recover(program.clone(), snap, wal)?.0,
+                    (false, false) => DurableEngine::create(program.clone(), edb, snap, wal)?,
+                    (snap_there, _) => {
+                        let (there, missing) = if snap_there { (snap, wal) } else { (wal, snap) };
+                        return Err(ServerError::Rejected(format!(
+                            "refusing to open a half-present durable store: {} exists but {} \
+                             is missing; restore the pair or remove both to start fresh",
+                            there.display(),
+                            missing.display()
+                        )));
+                    }
                 };
                 let seed = eng.edb();
                 (Some(eng), seed)
@@ -255,10 +265,13 @@ impl QueryService {
         Ok(w.pending.len())
     }
 
-    /// Commits the buffered batch and publishes the next epoch. Durable
-    /// mode: WAL append + fsync first; a half-failed commit poisons the
-    /// writer (later calls return the structured `Poisoned` error) while
-    /// every already-published epoch keeps serving.
+    /// Commits the buffered batch and publishes the next epoch. The epoch's
+    /// engine is staged *before* disk is touched, so a batch the engine
+    /// would reject fails cleanly (still pending, nothing written) and a
+    /// successful durable commit is always followed by a publish. Durable
+    /// mode: WAL append + fsync; a half-failed commit poisons the writer
+    /// (later calls return the structured `Poisoned` error) while every
+    /// already-published epoch keeps serving.
     pub fn commit(&self) -> Result<CommitInfo, ServerError> {
         let mut w = self.writer.lock().expect("writer lock");
         if w.pending.is_empty() {
@@ -267,24 +280,28 @@ impl QueryService {
                 committed: 0,
             });
         }
+        // Stage the next epoch on a copy of the shadow. If Engine::new
+        // rejects the result, the batch stays pending and disk is
+        // untouched — publish can no longer fail after the durable commit.
+        let mut staged = w.shadow.clone();
+        for (insert, fact) in &w.pending {
+            if *insert {
+                // invariant: groundness was checked at buffer time.
+                staged.insert_atom(fact).expect("ground fact");
+            } else {
+                staged.remove_atom(fact);
+            }
+        }
+        let engine = Engine::new(self.program.clone(), staged)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
         if let Some(d) = w.durable.as_mut() {
             d.commit()?;
         }
-        let batch = std::mem::take(&mut w.pending);
-        let committed = batch.len();
-        for (insert, fact) in &batch {
-            if *insert {
-                // invariant: groundness was checked at buffer time.
-                w.shadow.insert_atom(fact).expect("ground fact");
-            } else {
-                w.shadow.remove_atom(fact);
-            }
-        }
+        let committed = std::mem::take(&mut w.pending).len();
+        w.shadow = engine.edb().clone();
         // Publish under the writer lock so generations are strictly ordered
-        // with commits. The clone freezes the shadow: the epoch and the
-        // writer now share relations copy-on-write.
-        let engine = Engine::new(self.program.clone(), w.shadow.clone())
-            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        // with commits. The engine froze the staged shadow: the epoch and
+        // the writer now share relations copy-on-write.
         let generation = self.epochs.publish(engine);
         Ok(CommitInfo {
             generation,

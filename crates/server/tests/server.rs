@@ -145,6 +145,33 @@ fn unix_socket_serves_the_same_protocol() {
     assert!(!path.exists(), "socket file cleaned up on shutdown");
 }
 
+#[test]
+fn unix_socket_refuses_a_live_server_but_replaces_a_stale_file() {
+    let path = std::env::temp_dir().join(format!("alexander_srv_live_{}.sock", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let handle = serve_unix(service("par(adam, seth)."), &path).unwrap();
+    // A second server must not steal the endpoint out from under the first.
+    let err = match serve_unix(service("par(adam, seth)."), &path) {
+        Ok(_) => panic!("binding over a live server must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    handle.shutdown();
+
+    // A stale socket file — left by a listener that died without cleanup —
+    // is replaced.
+    drop(std::os::unix::net::UnixListener::bind(&path).unwrap());
+    assert!(path.exists());
+    let handle = serve_unix(service("par(adam, seth)."), &path).unwrap();
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(exchange(&mut conn, "PING"), ["OK pong"]);
+    handle.shutdown();
+}
+
 fn store_paths(tag: &str) -> (PathBuf, PathBuf) {
     let dir = std::env::temp_dir();
     let pid = std::process::id();
@@ -198,6 +225,74 @@ fn durable_service_recovers_committed_epochs_across_restarts() {
         ["anc(b, c)", "anc(b, d)"]
     );
     std::fs::remove_file(&sp).ok();
+    std::fs::remove_file(&wp).ok();
+}
+
+#[test]
+fn half_present_durable_store_is_refused_not_wiped() {
+    let (sp, wp) = store_paths("half");
+    std::fs::remove_file(&sp).ok();
+    std::fs::remove_file(&wp).ok();
+    let program = parse(RULES).unwrap().program;
+
+    {
+        let mut edb = Database::new();
+        edb.insert_atom(&parse_atom("par(a, b)").unwrap()).unwrap();
+        let s = QueryService::open(
+            program.clone(),
+            edb,
+            Some((&sp, &wp)),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        s.insert(&parse_atom("par(b, c)").unwrap()).unwrap();
+        s.commit().unwrap();
+    }
+
+    // Lose the WAL: opening must fail loudly, not recreate the store over
+    // the surviving snapshot.
+    std::fs::remove_file(&wp).unwrap();
+    let before = std::fs::read(&sp).unwrap();
+    let err = match QueryService::open(
+        program.clone(),
+        Database::new(),
+        Some((&sp, &wp)),
+        ServerConfig::default(),
+    ) {
+        Ok(_) => panic!("half-present pair (snapshot only) must be refused"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, alexander_server::ServerError::Rejected(_)),
+        "{err}"
+    );
+    assert_eq!(
+        std::fs::read(&sp).unwrap(),
+        before,
+        "the surviving snapshot must not be touched"
+    );
+    assert!(
+        !wp.exists(),
+        "no WAL may be created over a half-present pair"
+    );
+
+    // The mirror case: snapshot lost, WAL surviving.
+    std::fs::remove_file(&sp).unwrap();
+    std::fs::write(&wp, b"surviving wal").unwrap();
+    let err = match QueryService::open(
+        program,
+        Database::new(),
+        Some((&sp, &wp)),
+        ServerConfig::default(),
+    ) {
+        Ok(_) => panic!("half-present pair (WAL only) must be refused"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, alexander_server::ServerError::Rejected(_)),
+        "{err}"
+    );
+    assert_eq!(std::fs::read(&wp).unwrap(), b"surviving wal");
     std::fs::remove_file(&wp).ok();
 }
 
