@@ -1,0 +1,81 @@
+//! Chaos soak driver: kill/restart cycles against a self-hosted durable
+//! query server under live oracle-verified traffic (CI's chaos-soak job).
+//!
+//! ```text
+//! cargo run --release -p alexander-bench --features failpoints \
+//!     --bin chaos -- --cycles 20 --clients 4
+//! ```
+//!
+//! Exits non-zero on any invariant violation: an oracle mismatch, a reply
+//! refused during a degraded window, a recovery off the committed-batch
+//! boundary, or a cycle that never returns to `Healthy`. See
+//! [`alexander_bench::chaos`] for the fault mix and the invariants.
+
+use alexander_bench::chaos::{self, ChaosConfig};
+use std::time::Duration;
+
+const USAGE: &str = "usage: chaos [--cycles N] [--clients N] [--chain N] \
+                     [--heal-deadline-ms N]";
+
+fn parse_args() -> Result<ChaosConfig, String> {
+    let mut config = ChaosConfig::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag {
+            "--cycles" => config.cycles = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => config.clients = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--chain" => config.base_chain = value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--heal-deadline-ms" => {
+                let ms: u64 = value(i)?.parse().map_err(|e| format!("{e}"))?;
+                config.heal_deadline = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 2;
+    }
+    if config.cycles == 0 || config.clients == 0 || config.base_chain == 0 {
+        return Err("--cycles, --clients and --chain must be positive".to_string());
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match chaos::run(&config) {
+        Ok(r) => {
+            println!(
+                "chaos: cycles={} degraded={} degraded_on_wire={} \
+                 checkpoints={} commits_ok={} batches_survived_crash={} \
+                 queries={} sheds={} heals={} final_chain={}",
+                r.cycles,
+                r.degraded_cycles,
+                r.degraded_on_wire,
+                r.checkpoint_cycles,
+                r.commits_ok,
+                r.batches_survived_crash,
+                r.queries,
+                r.sheds,
+                r.heals,
+                r.final_chain
+            );
+        }
+        Err(violations) => {
+            eprintln!("chaos: FAILED\n{violations}");
+            std::process::exit(1);
+        }
+    }
+}

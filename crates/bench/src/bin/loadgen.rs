@@ -15,7 +15,7 @@
 //! runs against `alexander serve`; the workload must be the loadgen chain.
 
 use alexander_bench::loadgen::{
-    chain_db, percentile_ms, update_fact, Client, Oracle, QUERY, RULES,
+    chain_db, percentile_ms, rng_seed, update_fact, Client, Oracle, QUERY, RULES,
 };
 use alexander_parser::parse;
 use alexander_server::{serve_tcp, QueryService, ServerConfig};
@@ -109,6 +109,7 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let errors = Arc::new(AtomicUsize::new(0));
     let mismatches = Arc::new(AtomicUsize::new(0));
+    let sheds = Arc::new(AtomicUsize::new(0));
     let deadline = Instant::now() + Duration::from_secs(args.duration_s);
     let start = Instant::now();
 
@@ -155,15 +156,20 @@ fn main() {
 
     // Readers: query until the deadline, verifying every reply against the
     // oracle for its tagged epoch. Verification runs outside the latency
-    // window — the measured interval is request-to-terminal only.
+    // window — the measured interval is request-to-terminal only. A shed
+    // (`ERR BUSY retry-after-ms=`) is backed off on and retried, not an
+    // error; its latency (including the waits) still counts, so shedding
+    // shows up in the tail rather than vanishing from the numbers.
     let readers: Vec<_> = (0..args.clients)
         .map(|c| {
             let addr = addr.clone();
             let oracle = oracle.clone();
             let errors = errors.clone();
             let mismatches = mismatches.clone();
+            let sheds = sheds.clone();
             std::thread::spawn(move || {
                 let mut latencies: Vec<Duration> = Vec::new();
+                let mut rng = rng_seed().wrapping_add(c as u64);
                 let mut client = match Client::connect(&addr) {
                     Ok(cl) => cl,
                     Err(e) => {
@@ -180,8 +186,9 @@ fn main() {
                 let mut max_epoch = 0u64;
                 while Instant::now() < deadline {
                     let t0 = Instant::now();
-                    match client.query(QUERY) {
-                        Ok(r) if r.ok => {
+                    match client.query_retrying(QUERY, &mut rng, 8) {
+                        Ok((r, shed)) if r.ok => {
+                            sheds.fetch_add(shed, Ordering::Relaxed);
                             latencies.push(t0.elapsed());
                             if r.answers != oracle.answers(r.generation) {
                                 eprintln!(
@@ -192,7 +199,8 @@ fn main() {
                             }
                             max_epoch = max_epoch.max(r.generation);
                         }
-                        Ok(r) => {
+                        Ok((r, shed)) => {
+                            sheds.fetch_add(shed, Ordering::Relaxed);
                             eprintln!("reader {c}: {}", r.terminal);
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
@@ -225,9 +233,10 @@ fn main() {
     let p99 = percentile_ms(&mut latencies, 99.0);
     let errs = errors.load(Ordering::Relaxed);
     let mism = mismatches.load(Ordering::Relaxed);
+    let shed = sheds.load(Ordering::Relaxed);
     println!(
         "loadgen: queries={queries} errors={errs} mismatches={mism} \
-         epochs={epochs} max_epoch_seen={max_epoch} qps={qps:.0} \
+         sheds={shed} epochs={epochs} max_epoch_seen={max_epoch} qps={qps:.0} \
          p50_ms={p50:.3} p99_ms={p99:.3} wall_s={:.1}",
         wall.as_secs_f64()
     );

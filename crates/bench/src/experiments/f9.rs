@@ -16,10 +16,12 @@
 //! F6/F7/F8); the higher-thread rows document scaling and p99 under
 //! contention.
 
-use crate::loadgen::{chain_db, percentile_ms, update_fact, Oracle, QUERY, RULES};
+use crate::loadgen::{
+    chain_db, jitter, percentile_ms, rng_seed, update_fact, Oracle, QUERY, RULES,
+};
 use crate::table::Table;
 use alexander_parser::{parse, parse_atom};
-use alexander_server::{QueryService, ServerConfig};
+use alexander_server::{QueryService, ServerConfig, ServerError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,7 +48,12 @@ pub fn run_with(
          a reader pinned at generation N sees exactly generation N's \
          answers no matter how many epochs commit mid-query. The \
          `clients(1)` qps row is what the CI perf gate pins against the \
-         committed BENCH_F9.json (20% band, best-of-2).",
+         committed BENCH_F9.json (20% band, best-of-2). The final \
+         `overload` row runs twice as many clients as the admission cap \
+         allows, with a tiny wait queue: excess queries are shed with \
+         `retry-after-ms` hints that the readers honour (jittered backoff), \
+         so its `sheds` count must be positive and its p99 — which includes \
+         the backoff waits — stays bounded instead of collapsing.",
         &[
             "workload",
             "queries",
@@ -56,6 +63,7 @@ pub fn run_with(
             "p50_ms",
             "p99_ms",
             "consistent",
+            "sheds",
         ],
     );
     // Warm the oracle outside the timed region: generations are shared
@@ -64,28 +72,50 @@ pub fn run_with(
     let oracles: Arc<Vec<Vec<String>>> =
         Arc::new((0..=commits as u64).map(|g| oracle.answers(g)).collect());
     for &clients in client_counts {
+        // Cap == clients: nothing sheds, the row measures raw throughput.
         t.row(mixed_row(
             base,
+            format!("clients({clients})"),
+            clients,
             clients,
             queries_per_client,
             commits,
             &oracles,
         ));
     }
+    // Overload: twice the clients of the widest row against a quarter of
+    // them in slots, with an equally small wait queue — most arrivals shed.
+    let widest = client_counts.iter().copied().max().unwrap_or(1);
+    let cap = (widest / 2).max(1);
+    t.row(mixed_row(
+        base,
+        format!("overload({}c/cap{cap})", widest * 2),
+        widest * 2,
+        cap,
+        queries_per_client,
+        commits,
+        &oracles,
+    ));
     t
 }
 
 fn mixed_row(
     base: usize,
+    label: String,
     clients: usize,
+    cap: usize,
     queries_per_client: usize,
     commits: usize,
     oracles: &Arc<Vec<Vec<String>>>,
 ) -> Vec<String> {
     let program = parse(RULES).expect("rules parse").program;
     let config = ServerConfig {
-        max_concurrent: clients.max(1),
-        tenant_cap: clients.max(1),
+        max_concurrent: cap.max(1),
+        tenant_cap: cap.max(1),
+        // A queue as small as the cap, and a short retry hint so the
+        // overload row spends its time shedding, not sleeping.
+        max_queue: cap.max(1),
+        shed_retry_after_ms: 2,
         ..ServerConfig::default()
     };
     let service =
@@ -124,11 +154,26 @@ fn mixed_row(
             let progress = progress.clone();
             std::thread::spawn(move || {
                 let tenant = format!("tenant{c}");
+                let mut rng = rng_seed().wrapping_add(c as u64);
                 let mut latencies = Vec::with_capacity(queries_per_client);
                 let mut max_epoch = 0u64;
                 for _ in 0..queries_per_client {
+                    // A shed is retried after the server's hint (plus
+                    // jitter); the measured latency spans the whole retry
+                    // loop, so shedding shows up in the tail, not as a
+                    // dropped sample.
                     let t0 = Instant::now();
-                    let r = service.query(&tenant, &query, None).expect("query");
+                    let r = loop {
+                        match service.query(&tenant, &query, None) {
+                            Ok(r) => break r,
+                            Err(ServerError::Busy { retry_after_ms }) => {
+                                let wait =
+                                    retry_after_ms + jitter(&mut rng, retry_after_ms / 2 + 1);
+                                std::thread::sleep(Duration::from_millis(wait));
+                            }
+                            Err(e) => panic!("query: {e}"),
+                        }
+                    };
                     latencies.push(t0.elapsed());
                     progress.fetch_add(1, Ordering::Relaxed);
                     assert!(r.complete, "unbudgeted query must complete");
@@ -155,7 +200,7 @@ fn mixed_row(
     assert_eq!(service.generation(), commits as u64);
 
     vec![
-        format!("clients({clients})"),
+        label,
         total.to_string(),
         commits.to_string(),
         max_epoch.to_string(),
@@ -165,6 +210,7 @@ fn mixed_row(
         // Reaching this line means every reply matched its oracle — the
         // asserts above abort the harness otherwise.
         "yes".to_string(),
+        service.admission().shed_total().to_string(),
     ]
 }
 
@@ -175,7 +221,7 @@ mod tests {
     #[test]
     fn small_f9_reports_consistent_mixed_rows() {
         let t = run_with(24, 40, &[1, 2], 4);
-        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows.len(), 3, "client rows plus the overload row");
         for row in &t.rows {
             assert_eq!(row.len(), t.columns.len());
             assert_eq!(row[1].parse::<usize>().unwrap() % 40, 0);
@@ -185,5 +231,13 @@ mod tests {
         }
         assert_eq!(t.rows[0][0], "clients(1)");
         assert_eq!(t.rows[1][0], "clients(2)");
+        // Cap == clients rows never queue deep enough to shed.
+        assert_eq!(t.rows[0][8], "0");
+        assert_eq!(t.rows[1][8], "0");
+        // The overload row doubles the widest client count over half the
+        // slots; its shed counter is whatever the race produced, but it
+        // must be a well-formed count and the row must still verify.
+        assert_eq!(t.rows[2][0], "overload(4c/cap1)");
+        let _sheds: u64 = t.rows[2][8].parse().expect("shed count");
     }
 }

@@ -14,6 +14,7 @@ use alexander_core::{Engine, Strategy};
 use alexander_parser::{parse, parse_atom};
 use alexander_storage::Database;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher, RandomState};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -98,6 +99,45 @@ pub struct QueryReply {
     pub terminal: String,
 }
 
+impl QueryReply {
+    /// The server's `retry-after-ms` hint, when the reply was a shed
+    /// (`ERR BUSY retry-after-ms=<n>`). `None` for every other terminal.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        busy_retry_after(&self.terminal)
+    }
+}
+
+/// Parses the shed terminal `ERR BUSY retry-after-ms=<n>`; this is the wire
+/// contract every well-behaved client backs off on.
+pub fn busy_retry_after(terminal: &str) -> Option<u64> {
+    terminal
+        .strip_prefix("ERR BUSY retry-after-ms=")?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// A seed for [`jitter`] without a `rand` dependency: the std hasher's
+/// per-process randomness, forced odd so xorshift never sees zero.
+pub fn rng_seed() -> u64 {
+    RandomState::new().build_hasher().finish() | 1
+}
+
+/// Cheap xorshift64 step over a [`rng_seed`] state; returns a value in
+/// `[0, bound)` (`bound` 0 yields 0).
+pub fn jitter(state: &mut u64, bound: u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    if bound == 0 {
+        0
+    } else {
+        x % bound
+    }
+}
+
 /// A blocking line-protocol client over TCP.
 pub struct Client {
     conn: BufReader<TcpStream>,
@@ -179,6 +219,34 @@ impl Client {
         })
     }
 
+    /// Issues `QUERY <atom>`, honouring the shed contract: an
+    /// `ERR BUSY retry-after-ms=<n>` reply is retried after sleeping the
+    /// hinted interval plus up to 50% jitter, at most `max_retries` times.
+    /// Returns the final reply (which can still be a shed, left to the
+    /// caller) and how many sheds were absorbed.
+    pub fn query_retrying(
+        &mut self,
+        atom: &str,
+        rng: &mut u64,
+        max_retries: usize,
+    ) -> io::Result<(QueryReply, usize)> {
+        let mut sheds = 0usize;
+        loop {
+            let reply = self.query(atom)?;
+            let Some(hint) = reply.retry_after_ms() else {
+                return Ok((reply, sheds));
+            };
+            if sheds >= max_retries {
+                return Ok((reply, sheds));
+            }
+            sheds += 1;
+            // Jitter decorrelates a herd of shed clients so they do not all
+            // return on the same tick and get shed again together.
+            let wait = hint + jitter(rng, hint / 2 + 1);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+
     /// Issues `COMMIT`; returns the published generation.
     pub fn commit(&mut self) -> io::Result<u64> {
         let lines = self.request("COMMIT")?;
@@ -226,6 +294,37 @@ mod tests {
     fn update_facts_extend_the_chain_contiguously() {
         assert_eq!(update_fact(3, 1), "par(n3, n4)");
         assert_eq!(update_fact(3, 2), "par(n4, n5)");
+    }
+
+    #[test]
+    fn the_busy_terminal_yields_its_retry_hint() {
+        assert_eq!(busy_retry_after("ERR BUSY retry-after-ms=25"), Some(25));
+        assert_eq!(busy_retry_after("ERR BUSY retry-after-ms=0"), Some(0));
+        assert_eq!(busy_retry_after("ERR BUSY"), None);
+        assert_eq!(busy_retry_after("OK 3 epoch 1 complete"), None);
+        assert_eq!(busy_retry_after("ERR DEGRADED writer poisoned"), None);
+        let shed = QueryReply {
+            ok: false,
+            generation: 0,
+            answers: Vec::new(),
+            terminal: "ERR BUSY retry-after-ms=7".to_string(),
+        };
+        assert_eq!(shed.retry_after_ms(), Some(7));
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds_and_advances_state() {
+        let mut s = rng_seed();
+        assert_ne!(s, 0);
+        for bound in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(jitter(&mut s, bound) < bound);
+            }
+        }
+        assert_eq!(jitter(&mut s, 0), 0);
+        let before = s;
+        jitter(&mut s, 10);
+        assert_ne!(s, before, "state must advance");
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub struct CliOptions {
     pub max_concurrent: Option<usize>,
     /// Per-tenant cap on concurrently executing queries in serve mode.
     pub tenant_cap: Option<usize>,
+    /// Admission wait-queue bound in serve mode; arrivals beyond it are
+    /// shed with `ERR BUSY retry-after-ms=<hint>` (0 = shed as soon as the
+    /// caps are reached).
+    pub max_queue: Option<usize>,
+    /// Per-session idle budget (ms) in serve mode: silent connections are
+    /// closed after this long.
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-write socket deadline (ms) in serve mode: clients that stop
+    /// draining replies are disconnected after this long.
+    pub write_timeout_ms: Option<u64>,
 }
 
 /// Usage text.
@@ -97,6 +107,12 @@ serve mode only:
       --unix PATH     accept the line protocol on this unix socket
       --max-concurrent N  global cap on concurrently executing queries
       --tenant-cap N  per-tenant cap on concurrently executing queries
+      --max-queue N   admission wait-queue bound; arrivals beyond it get
+                      `ERR BUSY retry-after-ms=<hint>` (0 = shed when the
+                      caps are reached; default 16)
+      --idle-timeout-ms N   close sessions silent for N ms (default 300000)
+      --write-timeout-ms N  disconnect clients that cannot drain a reply
+                      within N ms (default 30000)
 ";
 
 /// Parses argv-style arguments (without the program name).
@@ -201,6 +217,33 @@ pub fn parse_args(args: &[String]) -> Result<(Option<String>, CliOptions), Strin
                     opts.tenant_cap = Some(n);
                 }
             }
+            "--max-queue" => {
+                i += 1;
+                let v = args.get(i).ok_or("missing argument to --max-queue")?;
+                // 0 is meaningful here: shed the moment the caps are hit.
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-queue expects an integer, got `{v}`"))?;
+                opts.max_queue = Some(n);
+            }
+            "--idle-timeout-ms" | "--write-timeout-ms" => {
+                let flag = a.to_string();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing argument to {flag}"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("{flag} expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err(format!("{flag} expects a positive integer, got `0`"));
+                }
+                if flag == "--idle-timeout-ms" {
+                    opts.idle_timeout_ms = Some(n);
+                } else {
+                    opts.write_timeout_ms = Some(n);
+                }
+            }
             "--stats" => opts.stats = true,
             "--proof" => opts.proof = true,
             "--analyze" => opts.analyze = true,
@@ -286,6 +329,9 @@ pub fn validate(opts: &CliOptions) -> Result<(), String> {
             ("--unix", opts.unix.is_some()),
             ("--max-concurrent", opts.max_concurrent.is_some()),
             ("--tenant-cap", opts.tenant_cap.is_some()),
+            ("--max-queue", opts.max_queue.is_some()),
+            ("--idle-timeout-ms", opts.idle_timeout_ms.is_some()),
+            ("--write-timeout-ms", opts.write_timeout_ms.is_some()),
         ] {
             if set {
                 return Err(format!(
@@ -1039,6 +1085,9 @@ seth,enos
             vec!["prog.dl", "--unix", "/tmp/s.sock"],
             vec!["prog.dl", "--max-concurrent", "4"],
             vec!["prog.dl", "--tenant-cap", "2"],
+            vec!["prog.dl", "--max-queue", "8"],
+            vec!["prog.dl", "--idle-timeout-ms", "1000"],
+            vec!["prog.dl", "--write-timeout-ms", "1000"],
         ] {
             let err = parse(&args).unwrap_err();
             assert!(err.contains("serve` subcommand"), "{args:?}: {err}");
@@ -1053,6 +1102,46 @@ seth,enos
             "0"
         ])
         .is_err());
+
+        // Session-robustness knobs parse; --max-queue 0 is meaningful
+        // (shed the moment the caps are hit), zero deadlines are not.
+        let (_, opts) = parse(&[
+            "serve",
+            "prog.dl",
+            "--listen",
+            "x:1",
+            "--max-queue",
+            "0",
+            "--idle-timeout-ms",
+            "2000",
+            "--write-timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(opts.max_queue, Some(0));
+        assert_eq!(opts.idle_timeout_ms, Some(2000));
+        assert_eq!(opts.write_timeout_ms, Some(500));
+        for bad in [
+            vec!["serve", "prog.dl", "--listen", "x:1", "--max-queue", "many"],
+            vec![
+                "serve",
+                "prog.dl",
+                "--listen",
+                "x:1",
+                "--idle-timeout-ms",
+                "0",
+            ],
+            vec![
+                "serve",
+                "prog.dl",
+                "--listen",
+                "x:1",
+                "--write-timeout-ms",
+                "0",
+            ],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?}");
+        }
 
         // run() refuses to host serve mode.
         let err = run(

@@ -7,7 +7,28 @@ use alexander_core::cli;
 use alexander_server::{serve_tcp, serve_unix, QueryService, ServeHandle, ServerConfig};
 use alexander_storage::Database;
 use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; the serve loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+// `signal(2)` directly — no libc crate in the dependency tree. The real
+// handler type is `sighandler_t`; the return value may be SIG_DFL (null),
+// so it is declared as a plain word, not a function pointer.
+type SigHandler = extern "C" fn(i32);
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    STOP.store(true, Ordering::SeqCst);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,8 +72,11 @@ fn main() {
     }
 }
 
-/// Runs the server until killed. Flag coherence was already validated by
-/// `parse_args`; this only wires options into the service.
+/// Runs the server until SIGTERM/SIGINT, then shuts down gracefully:
+/// stop accepting, drain in-flight sessions with a deadline, take a final
+/// checkpoint when healthy, remove the unix socket file. Flag coherence was
+/// already validated by `parse_args`; this only wires options into the
+/// service.
 fn serve(source: &str, opts: &cli::CliOptions) {
     let program = match alexander_parser::parse(source) {
         Ok(p) => p.program,
@@ -70,6 +94,15 @@ fn serve(source: &str, opts: &cli::CliOptions) {
     }
     if let Some(n) = opts.threads {
         config.threads = n;
+    }
+    if let Some(n) = opts.max_queue {
+        config.max_queue = n;
+    }
+    if let Some(ms) = opts.idle_timeout_ms {
+        config.idle_timeout = Some(Duration::from_millis(ms));
+    }
+    if let Some(ms) = opts.write_timeout_ms {
+        config.write_timeout = Some(Duration::from_millis(ms));
     }
     let mut budget = alexander_eval::Budget::default();
     if let Some(ms) = opts.timeout_ms {
@@ -113,8 +146,8 @@ fn serve(source: &str, opts: &cli::CliOptions) {
         }
     };
 
-    let _handle: ServeHandle = if let Some(addr) = opts.listen.as_deref() {
-        match serve_tcp(service, addr) {
+    let handle: ServeHandle = if let Some(addr) = opts.listen.as_deref() {
+        match serve_tcp(service.clone(), addr) {
             Ok(h) => {
                 // invariant: serve_tcp always records the bound address.
                 eprintln!("listening on tcp {}", h.tcp_addr().expect("bound"));
@@ -128,7 +161,7 @@ fn serve(source: &str, opts: &cli::CliOptions) {
     } else {
         // invariant: parse_args demands exactly one of --listen/--unix.
         let path = std::path::Path::new(opts.unix.as_deref().expect("validated"));
-        match serve_unix(service, path) {
+        match serve_unix(service.clone(), path) {
             Ok(h) => {
                 eprintln!("listening on unix {}", path.display());
                 h
@@ -140,9 +173,25 @@ fn serve(source: &str, opts: &cli::CliOptions) {
         }
     };
 
-    // Serve until the process is killed; `_handle` keeps the accept loop
-    // alive for the whole lifetime.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until a signal arrives; `handle` keeps the accept loop alive.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("shutting down: draining sessions");
+    if !handle.shutdown_graceful(Duration::from_secs(5)) {
+        eprintln!("shutdown: some sessions did not drain within the deadline");
+    }
+    // A final checkpoint bounds the next start's WAL replay. Skipped (with
+    // a note, not a failure) when the service is degraded, has uncommitted
+    // mutations, or is in-memory.
+    match service.checkpoint() {
+        Ok(true) => eprintln!("shutdown: final checkpoint taken"),
+        Ok(false) => {}
+        Err(e) => eprintln!("shutdown: checkpoint skipped: {e}"),
     }
 }

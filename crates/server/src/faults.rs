@@ -1,0 +1,174 @@
+//! Network-layer fault injection (the socket seam's `FaultFile`).
+//!
+//! Compiled in behind the `failpoints` feature and interposed on every
+//! accepted connection. Like the durability crate's fault-aware file
+//! writer, this stream knows its own byte positions and interprets the
+//! declarative IO actions from `alexander_eval::failpoints` itself:
+//!
+//! * `"server-conn-read"` — [`Action::Sleep`] stalls the reader before
+//!   every read (a client that trickles bytes); [`Action::CrashAfterBytes`]
+//!   ends the inbound stream at byte `n` (mid-frame disconnect: EOF in the
+//!   middle of a request line).
+//! * `"server-conn-write"` — [`Action::Sleep`] delays every write (a
+//!   congested link); [`Action::ShortWrite`] persists the first `k` bytes
+//!   of the next write and then fails the connection (`EPIPE` mid-reply);
+//!   [`Action::CrashAfterBytes`] lets `n` reply bytes through and then
+//!   fails (the client vanished partway through a long answer).
+//!
+//! Positions are per-connection, so "byte 40" means byte 40 of *this*
+//! session's stream — tests arm a site, open one connection, and get a
+//! deterministic failure point.
+
+use alexander_eval::failpoints::{action, Action};
+use std::io::{self, Read, Write};
+
+/// The site consulted before every inbound read.
+pub const SITE_READ: &str = "server-conn-read";
+/// The site consulted before every outbound write.
+pub const SITE_WRITE: &str = "server-conn-write";
+
+/// A connection wrapper that injects the configured socket faults.
+pub struct FaultStream<S> {
+    inner: S,
+    read_pos: u64,
+    write_pos: u64,
+    /// Once a write-side fault fires, the connection stays broken — a real
+    /// peer does not come back after `EPIPE`.
+    write_dead: bool,
+}
+
+impl<S> FaultStream<S> {
+    pub fn new(inner: S) -> FaultStream<S> {
+        FaultStream {
+            inner,
+            read_pos: 0,
+            write_pos: 0,
+            write_dead: false,
+        }
+    }
+}
+
+fn gone() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: peer gone")
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match action(SITE_READ) {
+            Some(Action::Sleep(d)) => std::thread::sleep(d),
+            Some(Action::CrashAfterBytes(n)) => {
+                if self.read_pos >= n {
+                    return Ok(0);
+                }
+                // Deliver at most the bytes before the cut, so the EOF
+                // lands exactly at offset `n` even on a large read.
+                let room = (n - self.read_pos).min(buf.len() as u64) as usize;
+                let k = self.inner.read(&mut buf[..room])?;
+                self.read_pos += k as u64;
+                return Ok(k);
+            }
+            _ => {}
+        }
+        let k = self.inner.read(buf)?;
+        self.read_pos += k as u64;
+        Ok(k)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.write_dead {
+            return Err(gone());
+        }
+        match action(SITE_WRITE) {
+            Some(Action::Sleep(d)) => std::thread::sleep(d),
+            Some(Action::ShortWrite(k)) => {
+                self.write_dead = true;
+                let k = k.min(buf.len());
+                if k == 0 {
+                    return Err(gone());
+                }
+                let k = self.inner.write(&buf[..k])?;
+                self.write_pos += k as u64;
+                return Ok(k);
+            }
+            Some(Action::CrashAfterBytes(n)) => {
+                if self.write_pos >= n {
+                    self.write_dead = true;
+                    return Err(gone());
+                }
+                let room = (n - self.write_pos).min(buf.len() as u64) as usize;
+                let k = self.inner.write(&buf[..room])?;
+                self.write_pos += k as u64;
+                if self.write_pos >= n {
+                    self.write_dead = true;
+                }
+                return Ok(k);
+            }
+            _ => {}
+        }
+        let k = self.inner.write(buf)?;
+        self.write_pos += k as u64;
+        Ok(k)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.write_dead {
+            return Err(gone());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alexander_eval::failpoints;
+    use std::time::Duration;
+
+    #[test]
+    fn read_crash_cuts_the_inbound_stream_at_the_exact_byte() {
+        let _guard = failpoints::scoped();
+        failpoints::configure(SITE_READ, Action::CrashAfterBytes(5));
+        let mut s = FaultStream::new(&b"HELLO world"[..]);
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"HELLO");
+    }
+
+    #[test]
+    fn write_crash_delivers_a_prefix_then_fails_permanently() {
+        let _guard = failpoints::scoped();
+        failpoints::configure(SITE_WRITE, Action::CrashAfterBytes(4));
+        let mut sink = Vec::new();
+        let mut s = FaultStream::new(&mut sink);
+        let err = s.write_all(b"OK epoch 3\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.write_all(b"x").is_err(), "stays dead");
+        assert_eq!(sink, b"OK e");
+    }
+
+    #[test]
+    fn short_write_persists_k_bytes_then_breaks() {
+        let _guard = failpoints::scoped();
+        failpoints::configure(SITE_WRITE, Action::ShortWrite(2));
+        let mut sink = Vec::new();
+        let mut s = FaultStream::new(&mut sink);
+        assert_eq!(s.write(b"OK pong\n").unwrap(), 2);
+        assert_eq!(
+            s.write(b"more").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(sink, b"OK");
+    }
+
+    #[test]
+    fn sleep_delays_but_does_not_corrupt() {
+        let _guard = failpoints::scoped();
+        failpoints::configure(SITE_WRITE, Action::Sleep(Duration::from_millis(1)));
+        let mut sink = Vec::new();
+        let mut s = FaultStream::new(&mut sink);
+        s.write_all(b"OK pong\n").unwrap();
+        assert_eq!(sink, b"OK pong\n");
+    }
+}

@@ -15,11 +15,18 @@
 //!   epoch.
 //! * **Admission** ([`admission`]): a global cap bounds concurrently
 //!   executing queries and a per-tenant cap keeps one tenant's recursive
-//!   query storm from starving the rest; each admitted query runs under its
-//!   session's [`Budget`]/[`CancelHandle`].
+//!   query storm from starving the rest; a bounded wait queue sheds
+//!   overload with `ERR BUSY retry-after-ms=<hint>`; each admitted query
+//!   runs under its session's [`Budget`]/[`CancelHandle`].
+//! * **Health** ([`health`]): when the durable writer poisons, the service
+//!   degrades to read-only (`ERR DEGRADED <reason>` on mutations, reads
+//!   keep serving the last published epoch) and a supervisor thread heals
+//!   it with bounded jittered backoff, republishing from disk truth.
 //! * **Wire protocol** ([`proto`], [`net`]): a line-oriented text protocol
 //!   over TCP or a unix socket (`HELLO`/`QUERY`/`INSERT`/`DELETE`/`COMMIT`/
-//!   `EPOCH`/`PING`/`QUIT`), served by the `alexander serve` subcommand.
+//!   `EPOCH`/`HEALTH`/`PING`/`QUIT`), served by the `alexander serve`
+//!   subcommand — with per-session idle/write deadlines, bounded reply
+//!   buffers, and structured session teardown.
 //!
 //! [`Engine`]: alexander_core::Engine
 //! [`Epoch`]: epoch::Epoch
@@ -29,12 +36,16 @@
 
 pub mod admission;
 pub mod epoch;
+#[cfg(feature = "failpoints")]
+pub mod faults;
+pub mod health;
 pub mod net;
 pub mod proto;
 pub mod service;
 
-pub use admission::{Admission, AdmissionGuard};
+pub use admission::{Admission, AdmissionGuard, Busy};
 pub use epoch::{Epoch, EpochStore};
-pub use net::{serve_tcp, serve_unix, ServeHandle};
+pub use health::{Health, ServerState};
+pub use net::{serve_tcp, serve_unix, NetStats, ServeHandle, SessionEnd};
 pub use proto::Request;
 pub use service::{CommitInfo, QueryResponse, QueryService, ServerConfig, ServerError};

@@ -5,7 +5,17 @@
 //! [`ServeHandle::shutdown`] stops the server without wedging on a blocked
 //! `accept(2)` or `read(2)` — important for the in-process servers the soak
 //! driver and tests host.
+//!
+//! Sessions are defended against misbehaving peers: an idle timeout closes
+//! silent connections (and, separately, connections stalled mid-request), a
+//! per-write socket deadline disconnects clients that stop draining their
+//! replies, reply buffers are capped (an oversized answer becomes an `ERR`
+//! line, not unbounded memory), and a write failure (`EPIPE`, reset, timed
+//! out) tears down *only* that session with a structured [`SessionEnd`]
+//! reason — one log line, no panic, no per-byte spam. [`NetStats`] counts
+//! every outcome so tests and operators can see what connections did.
 
+use crate::health::ServerState;
 use crate::proto::{err_line, parse_request, Request};
 use crate::service::{QueryService, ServerError};
 use alexander_core::Strategy;
@@ -14,18 +24,103 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked reads/accepts re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
+
+/// Why a session ended. `Quit`/`Eof`/`Shutdown` are clean; the rest are
+/// defects of the connection (and get exactly one log line each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client said QUIT.
+    Quit,
+    /// The client closed the connection (clean EOF at a line boundary).
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+    /// No bytes for longer than the idle timeout.
+    Idle,
+    /// A request line started but never finished within the idle timeout
+    /// (half-open socket or a peer trickling a frame forever).
+    Stalled,
+    /// The peer stopped draining replies; a socket write missed its
+    /// deadline.
+    SlowClient,
+    /// The peer vanished mid-reply (`EPIPE` / connection reset).
+    ClientGone,
+    /// Some other read-side IO error.
+    ReadError,
+    /// Some other write-side IO error.
+    WriteError,
+}
+
+impl SessionEnd {
+    /// True for the outcomes worth a log line.
+    pub fn is_abnormal(self) -> bool {
+        !matches!(
+            self,
+            SessionEnd::Quit | SessionEnd::Eof | SessionEnd::Shutdown
+        )
+    }
+}
+
+/// Connection counters for one listener: how many sessions are live and how
+/// every finished one ended.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    quit: AtomicU64,
+    eof: AtomicU64,
+    shutdown: AtomicU64,
+    idle: AtomicU64,
+    stalled: AtomicU64,
+    slow_client: AtomicU64,
+    client_gone: AtomicU64,
+    read_error: AtomicU64,
+    write_error: AtomicU64,
+}
+
+impl NetStats {
+    /// Sessions currently running.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted since the listener started.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// How many sessions ended with `end`.
+    pub fn ended(&self, end: SessionEnd) -> u64 {
+        self.counter(end).load(Ordering::Relaxed)
+    }
+
+    fn counter(&self, end: SessionEnd) -> &AtomicU64 {
+        match end {
+            SessionEnd::Quit => &self.quit,
+            SessionEnd::Eof => &self.eof,
+            SessionEnd::Shutdown => &self.shutdown,
+            SessionEnd::Idle => &self.idle,
+            SessionEnd::Stalled => &self.stalled,
+            SessionEnd::SlowClient => &self.slow_client,
+            SessionEnd::ClientGone => &self.client_gone,
+            SessionEnd::ReadError => &self.read_error,
+            SessionEnd::WriteError => &self.write_error,
+        }
+    }
+}
 
 /// A running server; dropping it (or calling [`ServeHandle::shutdown`])
 /// stops the accept loop and lets session threads drain.
 pub struct ServeHandle {
     shutdown: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<NetStats>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
 }
@@ -41,9 +136,35 @@ impl ServeHandle {
         self.unix_path.as_deref()
     }
 
+    /// This listener's connection counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
     /// Stops accepting, signals sessions to finish, joins the accept loop.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+
+    /// Graceful variant: stops accepting, then waits up to `drain` for
+    /// in-flight sessions to finish before removing the socket file.
+    /// Returns true when every session drained within the deadline.
+    /// Sessions notice the flag at their next 50ms read poll; one blocked
+    /// on a slow client's write may take up to the write deadline.
+    pub fn shutdown_graceful(mut self, drain: Duration) -> bool {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            t.join().ok();
+        }
+        let deadline = Instant::now() + drain;
+        while self.stats.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let drained = self.stats.active() == 0;
+        if let Some(p) = self.unix_path.take() {
+            std::fs::remove_file(p).ok();
+        }
+        drained
     }
 
     fn stop(&mut self) {
@@ -67,15 +188,16 @@ impl Drop for ServeHandle {
 trait Acceptor: Send + 'static {
     type Stream: Read + Write + Send + 'static;
     /// `Ok(None)` when no connection is pending right now.
-    fn poll_accept(&self) -> io::Result<Option<Self::Stream>>;
+    fn poll_accept(&self, write_timeout: Option<Duration>) -> io::Result<Option<Self::Stream>>;
 }
 
 impl Acceptor for TcpListener {
     type Stream = std::net::TcpStream;
-    fn poll_accept(&self) -> io::Result<Option<Self::Stream>> {
+    fn poll_accept(&self, write_timeout: Option<Duration>) -> io::Result<Option<Self::Stream>> {
         match self.accept() {
             Ok((s, _)) => {
                 s.set_read_timeout(Some(POLL))?;
+                s.set_write_timeout(write_timeout)?;
                 // Responses are written as one buffered chunk; without
                 // NODELAY, Nagle + delayed ACK can stall every reply ~40ms.
                 s.set_nodelay(true)?;
@@ -89,10 +211,11 @@ impl Acceptor for TcpListener {
 
 impl Acceptor for UnixListener {
     type Stream = std::os::unix::net::UnixStream;
-    fn poll_accept(&self) -> io::Result<Option<Self::Stream>> {
+    fn poll_accept(&self, write_timeout: Option<Duration>) -> io::Result<Option<Self::Stream>> {
         match self.accept() {
             Ok((s, _)) => {
                 s.set_read_timeout(Some(POLL))?;
+                s.set_write_timeout(write_timeout)?;
                 Ok(Some(s))
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
@@ -107,10 +230,12 @@ pub fn serve_tcp(service: Arc<QueryService>, addr: &str) -> io::Result<ServeHand
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let accept = spawn_accept_loop(listener, service, shutdown.clone());
+    let stats = Arc::new(NetStats::default());
+    let accept = spawn_accept_loop(listener, service, shutdown.clone(), stats.clone());
     Ok(ServeHandle {
         shutdown,
         accept: Some(accept),
+        stats,
         tcp_addr: Some(local),
         unix_path: None,
     })
@@ -137,10 +262,12 @@ pub fn serve_unix(service: Arc<QueryService>, path: &Path) -> io::Result<ServeHa
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let accept = spawn_accept_loop(listener, service, shutdown.clone());
+    let stats = Arc::new(NetStats::default());
+    let accept = spawn_accept_loop(listener, service, shutdown.clone(), stats.clone());
     Ok(ServeHandle {
         shutdown,
         accept: Some(accept),
+        stats,
         tcp_addr: None,
         unix_path: Some(path.to_path_buf()),
     })
@@ -150,17 +277,28 @@ fn spawn_accept_loop<A: Acceptor>(
     listener: A,
     service: Arc<QueryService>,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
+        let write_timeout = service.config().write_timeout;
         while !shutdown.load(Ordering::SeqCst) {
-            match listener.poll_accept() {
+            match listener.poll_accept(write_timeout) {
                 Ok(Some(stream)) => {
                     let service = service.clone();
                     let shutdown = shutdown.clone();
+                    let stats = stats.clone();
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    stats.active.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
-                        // A dropped connection is the client's business, not
-                        // a server failure.
-                        session(&service, stream, &shutdown).ok();
+                        let end = session(&service, wrap_stream(stream), &shutdown);
+                        stats.counter(end).fetch_add(1, Ordering::Relaxed);
+                        stats.active.fetch_sub(1, Ordering::SeqCst);
+                        if end.is_abnormal() {
+                            // One structured line per abnormal teardown; a
+                            // dropped connection is the client's business,
+                            // not a server failure.
+                            eprintln!("session closed: {end:?}");
+                        }
                     });
                 }
                 Ok(None) => std::thread::sleep(Duration::from_millis(2)),
@@ -170,20 +308,102 @@ fn spawn_accept_loop<A: Acceptor>(
     })
 }
 
-/// One connection's lifetime: read a line, answer it, until QUIT/EOF.
+/// Interposes the socket failpoints when they are compiled in.
+fn wrap_stream<S: Read + Write>(stream: S) -> impl Read + Write {
+    #[cfg(feature = "failpoints")]
+    return crate::faults::FaultStream::new(stream);
+    #[cfg(not(feature = "failpoints"))]
+    stream
+}
+
+/// A reply buffer with a hard size cap: past the cap it stops storing and
+/// remembers the overflow, and [`CappedBuf::take`] substitutes a one-line
+/// `ERR` so a pathological answer can't balloon server memory (the query
+/// itself is still bounded by the session budget).
+struct CappedBuf {
+    buf: Vec<u8>,
+    cap: usize,
+    overflowed: bool,
+}
+
+impl CappedBuf {
+    fn new(cap: usize) -> CappedBuf {
+        CappedBuf {
+            buf: Vec::new(),
+            cap: cap.max(256),
+            overflowed: false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.overflowed = false;
+    }
+
+    /// The bytes to put on the wire for this reply.
+    fn wire(&mut self) -> &[u8] {
+        if self.overflowed {
+            self.buf.clear();
+            self.buf.extend_from_slice(
+                format!(
+                    "ERR reply exceeds {} bytes; narrow the query or raise --max-reply-bytes\n",
+                    self.cap
+                )
+                .as_bytes(),
+            );
+            self.overflowed = false;
+        }
+        &self.buf
+    }
+}
+
+impl Write for CappedBuf {
+    fn write(&mut self, chunk: &[u8]) -> io::Result<usize> {
+        if !self.overflowed {
+            if self.buf.len() + chunk.len() > self.cap {
+                self.overflowed = true;
+            } else {
+                self.buf.extend_from_slice(chunk);
+            }
+        }
+        // Report success either way: protocol formatting must finish so the
+        // session can substitute the ERR line and keep running.
+        Ok(chunk.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn classify_write_error(e: &io::Error) -> SessionEnd {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => SessionEnd::SlowClient,
+        io::ErrorKind::BrokenPipe
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted => SessionEnd::ClientGone,
+        _ => SessionEnd::WriteError,
+    }
+}
+
+/// One connection's lifetime: read a line, answer it, until QUIT/EOF — or
+/// until a deadline or the peer's misbehaviour ends it (see [`SessionEnd`]).
 fn session<S: Read + Write>(
     service: &QueryService,
     stream: S,
     shutdown: &AtomicBool,
-) -> io::Result<()> {
+) -> SessionEnd {
+    let idle_timeout = service.config().idle_timeout;
+    let mut reply = CappedBuf::new(service.config().max_reply_bytes);
     let mut reader = BufReader::new(stream);
     let mut tenant = String::from("anon");
     let mut line = String::new();
-    let mut buf: Vec<u8> = Vec::new();
+    let mut last_progress = Instant::now();
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+            return SessionEnd::Shutdown;
         }
+        let before = line.len();
         let eof = match reader.read_line(&mut line) {
             Ok(0) => true,
             // read_line returns Ok without a trailing newline only at EOF.
@@ -195,27 +415,64 @@ fn session<S: Read + Write>(
                 // were appended to `line`. Keep them and keep accumulating —
                 // clearing here would corrupt a request that straddles a
                 // stall and desynchronise the reply stream.
+                if line.len() > before {
+                    last_progress = Instant::now();
+                } else if let Some(limit) = idle_timeout {
+                    if last_progress.elapsed() >= limit {
+                        // Silent with an empty buffer = idle; silent with a
+                        // half-read request = stalled mid-frame.
+                        return if line.is_empty() {
+                            SessionEnd::Idle
+                        } else {
+                            SessionEnd::Stalled
+                        };
+                    }
+                }
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(_) => return SessionEnd::ReadError,
         };
+        last_progress = Instant::now();
         if line.trim().is_empty() {
             if eof {
-                return Ok(());
+                return SessionEnd::Eof;
             }
             line.clear();
             continue;
         }
         // Build the whole response first, then write it as one chunk: a
         // multi-line answer must not trickle out as per-line segments.
-        buf.clear();
-        let quit = respond(service, &mut tenant, &line, &mut buf)?;
-        reader.get_mut().write_all(&buf)?;
-        reader.get_mut().flush()?;
-        line.clear();
-        if quit || eof {
-            return Ok(());
+        reply.clear();
+        // invariant: CappedBuf never returns an IO error.
+        let quit = respond(service, &mut tenant, &line, &mut reply).expect("infallible buffer");
+        let wire = reply.wire();
+        let wrote = reader
+            .get_mut()
+            .write_all(wire)
+            .and_then(|()| reader.get_mut().flush());
+        if let Err(e) = wrote {
+            return classify_write_error(&e);
         }
+        line.clear();
+        if quit {
+            return SessionEnd::Quit;
+        }
+        if eof {
+            return SessionEnd::Eof;
+        }
+    }
+}
+
+/// The wire form of a service error. `BUSY` and `DEGRADED` carry machine-
+/// readable markers clients key their retry behaviour off; everything else
+/// is a flattened human-readable `ERR` line.
+fn error_reply(e: &ServerError) -> String {
+    match e {
+        ServerError::Busy { retry_after_ms } => {
+            format!("ERR BUSY retry-after-ms={retry_after_ms}")
+        }
+        ServerError::Degraded(reason) => err_line(&format!("DEGRADED {reason}")),
+        other => err_line(&other.to_string()),
     }
 }
 
@@ -251,16 +508,16 @@ fn respond<W: Write>(
                         )?;
                     }
                 }
-                Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+                Err(e) => writeln!(w, "{}", error_reply(&e))?,
             }
         }
         Ok(Request::Insert { fact }) => match mutate(service, &fact, true) {
             Ok(n) => writeln!(w, "OK pending {n}")?,
-            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+            Err(e) => writeln!(w, "{}", error_reply(&e))?,
         },
         Ok(Request::Delete { fact }) => match mutate(service, &fact, false) {
             Ok(n) => writeln!(w, "OK pending {n}")?,
-            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+            Err(e) => writeln!(w, "{}", error_reply(&e))?,
         },
         Ok(Request::Commit) => match service.commit() {
             Ok(info) => writeln!(
@@ -268,9 +525,18 @@ fn respond<W: Write>(
                 "OK epoch {} committed {}",
                 info.generation, info.committed
             )?,
-            Err(e) => writeln!(w, "{}", err_line(&e.to_string()))?,
+            Err(e) => writeln!(w, "{}", error_reply(&e))?,
         },
         Ok(Request::Epoch) => writeln!(w, "OK epoch {}", service.generation())?,
+        Ok(Request::Health) => match service.state() {
+            ServerState::Healthy => {
+                writeln!(w, "OK healthy epoch {}", service.generation())?;
+            }
+            ServerState::Degraded { reason } => {
+                let flat = reason.replace('\n', "; ");
+                writeln!(w, "OK degraded epoch {} {flat}", service.generation())?;
+            }
+        },
         Ok(Request::Ping) => writeln!(w, "OK pong")?,
         Ok(Request::Quit) => {
             writeln!(w, "OK bye")?;
@@ -326,6 +592,14 @@ mod tests {
         )
     }
 
+    fn service_with(config: ServerConfig) -> Arc<QueryService> {
+        let program =
+            parse("anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y). par(adam, seth).")
+                .unwrap()
+                .program;
+        Arc::new(QueryService::open(program, Database::new(), None, config).unwrap())
+    }
+
     /// Drives one request through `respond` and returns the reply text.
     fn roundtrip(s: &QueryService, tenant: &mut String, line: &str) -> String {
         let mut out = Vec::new();
@@ -344,6 +618,7 @@ mod tests {
         assert_eq!(tenant, "acme");
         assert_eq!(roundtrip(&s, &mut tenant, "PING"), "OK pong\n");
         assert_eq!(roundtrip(&s, &mut tenant, "EPOCH"), "OK epoch 0\n");
+        assert_eq!(roundtrip(&s, &mut tenant, "HEALTH"), "OK healthy epoch 0\n");
         assert_eq!(
             roundtrip(&s, &mut tenant, "INSERT par(seth, enos)"),
             "OK pending 1\n"
@@ -360,6 +635,21 @@ mod tests {
         let q = roundtrip(&s, &mut tenant, "QUERY anc(adam, X) STRATEGY oldt");
         assert!(q.ends_with("OK 2 epoch 1 complete\n"), "{q}");
         assert_eq!(roundtrip(&s, &mut tenant, "QUIT"), "OK bye\n");
+    }
+
+    #[test]
+    fn a_shed_query_answers_err_busy_with_the_hint() {
+        let s = service_with(ServerConfig {
+            max_concurrent: 1,
+            tenant_cap: 1,
+            max_queue: 0,
+            shed_retry_after_ms: 9,
+            ..ServerConfig::default()
+        });
+        let _hog = s.admission().acquire("hog");
+        let mut tenant = String::from("anon");
+        let out = roundtrip(&s, &mut tenant, "QUERY anc(adam, X)");
+        assert_eq!(out, "ERR BUSY retry-after-ms=9\n");
     }
 
     /// Input arrives in scripted fragments; an `Err` entry simulates the
@@ -409,12 +699,96 @@ mod tests {
             out: out.clone(),
         };
         let shutdown = AtomicBool::new(false);
-        session(&s, stream, &shutdown).unwrap();
+        let end = session(&s, stream, &shutdown);
+        assert_eq!(end, SessionEnd::Eof);
         let reply = String::from_utf8(out.lock().unwrap().clone()).unwrap();
         assert_eq!(
             reply,
             "ANSWER anc(adam, seth)\nOK 1 epoch 0 complete\nOK pong\n"
         );
+    }
+
+    #[test]
+    fn an_idle_session_is_closed_and_a_mid_frame_stall_is_distinguished() {
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(0)),
+            ..ServerConfig::default()
+        };
+        let s = service_with(config);
+        // Only timeouts: the very first poll exceeds the zero idle budget.
+        let stream = ScriptedStream {
+            input: std::collections::VecDeque::from([Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "poll",
+            ))]),
+            out: Arc::new(std::sync::Mutex::new(Vec::new())),
+        };
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(session(&s, stream, &shutdown), SessionEnd::Idle);
+
+        // A half-read request line turns the same timeout into Stalled.
+        let stream = ScriptedStream {
+            input: std::collections::VecDeque::from([
+                Ok(b"QUERY anc(".to_vec()),
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "poll")),
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "poll")),
+            ]),
+            out: Arc::new(std::sync::Mutex::new(Vec::new())),
+        };
+        assert_eq!(session(&s, stream, &shutdown), SessionEnd::Stalled);
+    }
+
+    /// Writes fail like a vanished peer after the first chunk.
+    struct GonePeer {
+        input: std::collections::VecDeque<Vec<u8>>,
+    }
+
+    impl Read for GonePeer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.input.pop_front() {
+                None => Ok(0),
+                Some(chunk) => {
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+            }
+        }
+    }
+
+    impl Write for GonePeer {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "EPIPE"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_write_failure_ends_the_session_as_client_gone() {
+        let s = service();
+        let stream = GonePeer {
+            input: std::collections::VecDeque::from([b"PING\n".to_vec()]),
+        };
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(session(&s, stream, &shutdown), SessionEnd::ClientGone);
+    }
+
+    #[test]
+    fn an_oversized_reply_becomes_an_err_line_not_unbounded_memory() {
+        let mut capped = CappedBuf::new(300);
+        for _ in 0..100 {
+            writeln!(capped, "ANSWER p(aaaaaaaaaaaaaaaaaaaaaaaa)").unwrap();
+        }
+        writeln!(capped, "OK 100 epoch 0 complete").unwrap();
+        let wire = capped.wire();
+        let text = String::from_utf8(wire.to_vec()).unwrap();
+        assert!(text.starts_with("ERR reply exceeds 300 bytes"), "{text}");
+        assert_eq!(text.lines().count(), 1);
+        // The buffer is reusable and small replies pass through untouched.
+        capped.clear();
+        writeln!(capped, "OK pong").unwrap();
+        assert_eq!(capped.wire(), b"OK pong\n");
     }
 
     #[test]

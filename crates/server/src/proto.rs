@@ -10,6 +10,8 @@
 //! DELETE <fact>                      -> OK pending <n>
 //! COMMIT                             -> OK epoch <gen> committed <n>
 //! EPOCH                              -> OK epoch <gen>
+//! HEALTH                             -> OK healthy epoch <gen>
+//!                                     | OK degraded epoch <gen> <reason>
 //! PING                               -> OK pong
 //! QUIT                               -> OK bye (connection closes)
 //! ```
@@ -37,6 +39,8 @@ pub enum Request {
     Commit,
     /// Report the current generation.
     Epoch,
+    /// Report the server state (healthy or degraded read-only).
+    Health,
     /// Liveness check.
     Ping,
     /// Close the session.
@@ -96,10 +100,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "COMMIT" => Ok(Request::Commit),
         "EPOCH" => Ok(Request::Epoch),
+        "HEALTH" => Ok(Request::Health),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!(
-            "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH PING QUIT"
+            "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH HEALTH PING \
+             QUIT"
         )),
     }
 }
@@ -182,6 +188,7 @@ mod tests {
         );
         assert_eq!(parse_request("  commit  ").unwrap(), Request::Commit);
         assert_eq!(parse_request("EPOCH").unwrap(), Request::Epoch);
+        assert_eq!(parse_request("health").unwrap(), Request::Health);
         assert_eq!(parse_request("ping").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
     }

@@ -1,4 +1,5 @@
-//! The query service: one writer, many epoch-pinned readers.
+//! The query service: one writer, many epoch-pinned readers, and a
+//! supervisor that heals the writer when disk fails.
 //!
 //! All mutations serialise through a single writer slot. `INSERT`/`DELETE`
 //! buffer; `COMMIT` makes the batch durable (WAL append + fsync, then apply
@@ -10,17 +11,31 @@
 //! Queries admission-check, pin the current epoch, and evaluate against it
 //! with their session's budget. A query pinned at generation N returns
 //! bit-identical answers whether or not generations N+1.. commit mid-query.
+//!
+//! When a durable commit half-fails (the writer poisons because disk and
+//! memory may disagree) the service does not die: it enters the degraded
+//! read-only state ([`ServerState::Degraded`]) — every published epoch
+//! keeps answering queries, mutations return [`ServerError::Degraded`] —
+//! and a supervisor thread re-opens the snapshot/WAL pair with bounded
+//! jittered exponential backoff. Recovery treats disk as authoritative:
+//! the failed batch may have fully persisted (the fsync *result* was lost,
+//! not necessarily the bytes), so the healed state is republished as a new
+//! epoch unconditionally, and clients observe either the batch's presence
+//! or its absence — always a committed-batch boundary, never a torn state.
 
 use crate::admission::Admission;
 use crate::epoch::{Epoch, EpochStore};
+use crate::health::{Health, ServerState};
 use alexander_core::{Engine, Strategy};
 use alexander_durable::{DurableEngine, DurableError};
 use alexander_eval::{Budget, CancelHandle};
 use alexander_ir::{Atom, Program};
 use alexander_storage::Database;
 use std::fmt;
-use std::path::Path;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Serving knobs; `Default` suits tests and small deployments.
 #[derive(Clone, Debug)]
@@ -29,12 +44,29 @@ pub struct ServerConfig {
     pub max_concurrent: usize,
     /// Per-tenant cap (clamped to `max_concurrent`).
     pub tenant_cap: usize,
+    /// Admission wait-queue bound; arrivals beyond it are shed with
+    /// [`ServerError::Busy`] instead of queueing unbounded latency.
+    pub max_queue: usize,
+    /// Base retry-after hint (ms) attached to shed requests.
+    pub shed_retry_after_ms: u64,
     /// Worker threads per bottom-up fixpoint round, per query.
     pub threads: usize,
     /// Default per-query budget for sessions that don't bring their own.
     pub budget: Budget,
     /// Strategy used when a request names none.
     pub default_strategy: Strategy,
+    /// Supervisor backoff after a failed heal attempt: first retry delay…
+    pub heal_backoff_ms: u64,
+    /// …doubling (with jitter) up to this ceiling.
+    pub heal_backoff_max_ms: u64,
+    /// Sessions idle longer than this are closed (None = never).
+    pub idle_timeout: Option<Duration>,
+    /// Per-write socket deadline; a client that can't drain a reply within
+    /// it is disconnected as a slow client (None = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Hard cap on one reply's size; larger replies are replaced by an
+    /// `ERR` line instead of buffering without bound.
+    pub max_reply_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,9 +74,16 @@ impl Default for ServerConfig {
         ServerConfig {
             max_concurrent: 8,
             tenant_cap: 4,
+            max_queue: 16,
+            shed_retry_after_ms: 25,
             threads: 1,
             budget: Budget::default(),
             default_strategy: Strategy::Alexander,
+            heal_backoff_ms: 10,
+            heal_backoff_max_ms: 1_000,
+            idle_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_reply_bytes: 16 << 20,
         }
     }
 }
@@ -62,6 +101,12 @@ pub enum ServerError {
     /// The durable writer failed; carries the structured cause (including
     /// `Poisoned { op }` after a half-failed commit).
     Durable(DurableError),
+    /// The service is in degraded read-only mode; reads keep serving, the
+    /// supervisor is recovering the writer. Wire form: `ERR DEGRADED <r>`.
+    Degraded(String),
+    /// Shed by overload control; retry after the hinted backoff. Wire
+    /// form: `ERR BUSY retry-after-ms=<n>`.
+    Busy { retry_after_ms: u64 },
 }
 
 impl fmt::Display for ServerError {
@@ -71,6 +116,10 @@ impl fmt::Display for ServerError {
             ServerError::Engine(m) => write!(f, "query error: {m}"),
             ServerError::Rejected(m) => write!(f, "rejected: {m}"),
             ServerError::Durable(e) => write!(f, "durable error: {e}"),
+            ServerError::Degraded(r) => write!(f, "degraded (read-only): {r}"),
+            ServerError::Busy { retry_after_ms } => {
+                write!(f, "busy: retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -120,20 +169,39 @@ struct Writer {
     pending: Vec<(bool, Atom)>,
 }
 
-/// A long-lived, multi-tenant query service (see module docs).
-pub struct QueryService {
+/// Shared service state: what the public [`QueryService`] handle and the
+/// supervisor thread both hold.
+struct Core {
+    /// The normalised program (inline facts folded out) — what commits
+    /// stage new epochs from and what `is_idb` checks consult.
     program: Program,
+    /// The program as given at `open` — what `DurableEngine::recover`
+    /// expects, since the on-disk EDB never contains the folded inline
+    /// facts (they are re-folded by `Engine::new` on every open and heal).
+    source_program: Program,
     epochs: EpochStore,
     writer: Mutex<Writer>,
     admission: Admission,
     config: ServerConfig,
+    health: Health,
+    /// The snapshot/WAL pair the supervisor heals from; `None` = in-memory.
+    store: Option<(PathBuf, PathBuf)>,
+    stop: AtomicBool,
+}
+
+/// A long-lived, multi-tenant query service (see module docs). Dropping it
+/// stops the supervisor thread.
+pub struct QueryService {
+    core: Arc<Core>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl QueryService {
     /// Opens the service. With `store = Some((snapshot, wal))` the writer is
     /// durable: an existing pair is recovered (committed batches replayed,
-    /// torn tails truncated), a missing one is created from `edb`. A
-    /// half-present pair (exactly one of the two files) is an error —
+    /// torn tails truncated), a missing one is created from `edb`, and a
+    /// supervisor thread is started to heal the writer if it later poisons.
+    /// A half-present pair (exactly one of the two files) is an error —
     /// creating over the survivor would silently wipe committed data. With
     /// `None` the service is in-memory.
     pub fn open(
@@ -142,6 +210,7 @@ impl QueryService {
         store: Option<(&Path, &Path)>,
         config: ServerConfig,
     ) -> Result<QueryService, ServerError> {
+        let source_program = program.clone();
         let (durable, seed) = match store {
             Some((snap, wal)) => {
                 let eng = match (snap.exists(), wal.exists()) {
@@ -168,16 +237,34 @@ impl QueryService {
         let engine0 = Engine::new(program, seed).map_err(|e| ServerError::Engine(e.to_string()))?;
         let program = engine0.program().clone();
         let shadow = engine0.edb().clone();
-        Ok(QueryService {
+        let admission = Admission::new(config.max_concurrent, config.tenant_cap, config.max_queue)
+            .with_retry_after_ms(config.shed_retry_after_ms);
+        let core = Arc::new(Core {
             program,
+            source_program,
             epochs: EpochStore::new(Epoch::new(0, engine0)),
             writer: Mutex::new(Writer {
                 durable,
                 shadow,
                 pending: Vec::new(),
             }),
-            admission: Admission::new(config.max_concurrent, config.tenant_cap),
+            admission,
             config,
+            health: Health::default(),
+            store: store.map(|(s, w)| (s.to_path_buf(), w.to_path_buf())),
+            stop: AtomicBool::new(false),
+        });
+        // Only a durable writer can poison, so only a durable service needs
+        // a supervisor.
+        let supervisor = if core.store.is_some() {
+            let sup = core.clone();
+            Some(std::thread::spawn(move || supervise(&sup)))
+        } else {
+            None
+        };
+        Ok(QueryService {
+            core,
+            supervisor: Mutex::new(supervisor),
         })
     }
 
@@ -192,8 +279,10 @@ impl QueryService {
     }
 
     /// Full-control variant: a session brings its own [`Budget`] and/or
-    /// [`CancelHandle`]. Blocks in admission until the tenant has a slot;
-    /// then pins the current epoch and evaluates wholly against it.
+    /// [`CancelHandle`]. Waits in the bounded admission queue for a slot;
+    /// sheds with [`ServerError::Busy`] when the queue is full; then pins
+    /// the current epoch and evaluates wholly against it. Degraded mode
+    /// does not affect this path — reads serve in every state.
     pub fn query_with(
         &self,
         tenant: &str,
@@ -202,16 +291,22 @@ impl QueryService {
         budget: Option<Budget>,
         cancel: Option<&CancelHandle>,
     ) -> Result<QueryResponse, ServerError> {
-        let _slot = self.admission.acquire(tenant);
-        let epoch = self.epochs.pin();
-        let strategy = strategy.unwrap_or(self.config.default_strategy);
+        let _slot = self
+            .core
+            .admission
+            .admit(tenant)
+            .map_err(|b| ServerError::Busy {
+                retry_after_ms: b.retry_after_ms,
+            })?;
+        let epoch = self.core.epochs.pin();
+        let strategy = strategy.unwrap_or(self.core.config.default_strategy);
         // The clone is cheap (copy-on-write EDB); it exists so each request
         // can carry its own governance without touching the shared epoch.
         let mut engine = epoch
             .engine()
             .clone()
-            .with_threads(self.config.threads)
-            .with_budget(budget.unwrap_or(self.config.budget));
+            .with_threads(self.core.config.threads)
+            .with_budget(budget.unwrap_or(self.core.config.budget));
         if let Some(c) = cancel {
             let mut opts = engine.eval_options();
             opts.cancel = Some(c.clone());
@@ -241,7 +336,7 @@ impl QueryService {
 
     fn buffer(&self, insert: bool, fact: &Atom) -> Result<usize, ServerError> {
         let pred = fact.predicate();
-        if self.program.is_idb(pred) {
+        if self.core.program.is_idb(pred) {
             return Err(ServerError::Rejected(format!(
                 "{pred} is intensional; derived facts cannot be stored"
             )));
@@ -253,12 +348,19 @@ impl QueryService {
                 "{fact} is not ground; only ground facts can be stored"
             )));
         }
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = self.core.writer.lock().expect("writer lock");
+        // Lock order: writer, then health — everywhere.
+        if let ServerState::Degraded { reason } = self.core.health.state() {
+            return Err(ServerError::Degraded(reason));
+        }
         if let Some(d) = w.durable.as_mut() {
-            if insert {
-                d.insert(fact)?;
+            let res = if insert {
+                d.insert(fact)
             } else {
-                d.delete(fact)?;
+                d.delete(fact)
+            };
+            if let Err(e) = res {
+                return Err(self.core.writer_failed(d, e));
             }
         }
         w.pending.push((insert, fact.clone()));
@@ -269,14 +371,17 @@ impl QueryService {
     /// engine is staged *before* disk is touched, so a batch the engine
     /// would reject fails cleanly (still pending, nothing written) and a
     /// successful durable commit is always followed by a publish. Durable
-    /// mode: WAL append + fsync; a half-failed commit poisons the writer
-    /// (later calls return the structured `Poisoned` error) while every
-    /// already-published epoch keeps serving.
+    /// mode: WAL append + fsync; a half-failed commit degrades the service
+    /// to read-only (the buffered batch's fate is decided by recovery —
+    /// disk is authoritative) and the supervisor heals it.
     pub fn commit(&self) -> Result<CommitInfo, ServerError> {
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = self.core.writer.lock().expect("writer lock");
+        if let ServerState::Degraded { reason } = self.core.health.state() {
+            return Err(ServerError::Degraded(reason));
+        }
         if w.pending.is_empty() {
             return Ok(CommitInfo {
-                generation: self.epochs.generation(),
+                generation: self.core.epochs.generation(),
                 committed: 0,
             });
         }
@@ -292,47 +397,206 @@ impl QueryService {
                 staged.remove_atom(fact);
             }
         }
-        let engine = Engine::new(self.program.clone(), staged)
+        let engine = Engine::new(self.core.program.clone(), staged)
             .map_err(|e| ServerError::Engine(e.to_string()))?;
         if let Some(d) = w.durable.as_mut() {
-            d.commit()?;
+            if let Err(e) = d.commit() {
+                // The batch's outcome is indeterminate (the frame may be
+                // fully on disk even though the commit call failed); drop
+                // the in-memory mirror — recovery decides from disk.
+                let err = self.core.writer_failed(d, e);
+                w.pending.clear();
+                return Err(err);
+            }
         }
         let committed = std::mem::take(&mut w.pending).len();
         w.shadow = engine.edb().clone();
         // Publish under the writer lock so generations are strictly ordered
         // with commits. The engine froze the staged shadow: the epoch and
         // the writer now share relations copy-on-write.
-        let generation = self.epochs.publish(engine);
+        let generation = self.core.epochs.publish(engine);
         Ok(CommitInfo {
             generation,
             committed,
         })
     }
 
+    /// Takes a durable checkpoint (atomic snapshot, then WAL truncate).
+    /// `Ok(false)` for an in-memory service; rejected while mutations are
+    /// pending (commit or discard them first). A checkpoint failure after
+    /// the snapshot wrote but before the WAL truncated poisons the writer
+    /// — the service degrades and the supervisor heals it like any other
+    /// write-path failure.
+    pub fn checkpoint(&self) -> Result<bool, ServerError> {
+        let mut w = self.core.writer.lock().expect("writer lock");
+        if let ServerState::Degraded { reason } = self.core.health.state() {
+            return Err(ServerError::Degraded(reason));
+        }
+        if !w.pending.is_empty() {
+            return Err(ServerError::Rejected(format!(
+                "{} mutations pending; commit before checkpointing",
+                w.pending.len()
+            )));
+        }
+        match w.durable.as_mut() {
+            None => Ok(false),
+            Some(d) => match d.checkpoint() {
+                Ok(()) => Ok(true),
+                Err(e) => Err(self.core.writer_failed(d, e)),
+            },
+        }
+    }
+
     /// The current (latest published) generation.
     pub fn generation(&self) -> u64 {
-        self.epochs.generation()
+        self.core.epochs.generation()
     }
 
     /// Pins the current epoch — the same frozen view queries get.
     pub fn pin(&self) -> std::sync::Arc<Epoch> {
-        self.epochs.pin()
+        self.core.epochs.pin()
     }
 
     /// The admission controller (exposed for monitoring and tests).
     pub fn admission(&self) -> &Admission {
-        &self.admission
+        &self.core.admission
     }
 
     /// The serving configuration.
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Buffered (uncommitted) mutations.
     pub fn pending(&self) -> usize {
-        self.writer.lock().expect("writer lock").pending.len()
+        self.core.writer.lock().expect("writer lock").pending.len()
     }
+
+    /// The current server state (healthy or degraded read-only).
+    pub fn state(&self) -> ServerState {
+        self.core.health.state()
+    }
+
+    /// Health counters and waits (exposed for monitoring and tests).
+    pub fn health(&self) -> &Health {
+        &self.core.health
+    }
+
+    /// Blocks until the service is healthy or `timeout` elapses.
+    pub fn wait_for_healthy(&self, timeout: Duration) -> bool {
+        self.core.health.wait_for(timeout, |s| !s.is_degraded())
+    }
+
+    /// Blocks until the service is degraded or `timeout` elapses.
+    pub fn wait_for_degraded(&self, timeout: Duration) -> bool {
+        self.core.health.wait_for(timeout, ServerState::is_degraded)
+    }
+
+    /// Current WAL length in bytes (`None` for an in-memory service). The
+    /// chaos harness aims crash offsets relative to this.
+    pub fn durable_wal_len(&self) -> Option<u64> {
+        let w = self.core.writer.lock().expect("writer lock");
+        w.durable.as_ref().map(|d| d.wal_len())
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.core.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.supervisor.lock().expect("supervisor lock").take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Core {
+    /// Classifies a durable-layer failure under the writer lock: poisoning
+    /// degrades the service (the supervisor takes over), anything else is
+    /// reported as-is.
+    fn writer_failed(&self, d: &DurableEngine, e: DurableError) -> ServerError {
+        match d.poisoned_by() {
+            Some(op) => {
+                let reason = format!("writer poisoned by {op}");
+                self.health.degrade(&reason);
+                ServerError::Degraded(reason)
+            }
+            None => ServerError::Durable(e),
+        }
+    }
+
+    /// One recovery attempt: re-open the snapshot/WAL pair (disk is
+    /// authoritative), validate by building a fresh engine, then atomically
+    /// swap the writer and republish. Republishing is unconditional — the
+    /// failed commit's frame may have fully persisted, in which case disk
+    /// is *ahead* of the last published epoch and readers must see it.
+    fn heal(&self) -> Result<(), ServerError> {
+        // invariant: the supervisor only runs for durable services.
+        let (snap, wal) = self.store.as_ref().expect("durable store");
+        let (recovered, _stats) = DurableEngine::recover(self.source_program.clone(), snap, wal)?;
+        let seed = recovered.edb();
+        let engine = Engine::new(self.source_program.clone(), seed)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        let mut w = self.writer.lock().expect("writer lock");
+        w.durable = Some(recovered);
+        w.shadow = engine.edb().clone();
+        w.pending.clear();
+        self.epochs.publish(engine);
+        self.health.heal();
+        Ok(())
+    }
+}
+
+/// The supervisor loop: sleep until degraded, then retry [`Core::heal`]
+/// with jittered exponential backoff until it succeeds or the service
+/// stops. Backoff is bounded (`heal_backoff_max_ms`) so a long outage
+/// retries steadily instead of backing off into the far future.
+fn supervise(core: &Core) {
+    let mut rng = rng_seed();
+    while core.health.wait_degraded_or_stop(&core.stop) {
+        let mut backoff = core.config.heal_backoff_ms.max(1);
+        loop {
+            if core.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if core.heal().is_ok() {
+                break;
+            }
+            // Full jitter in [backoff/2, backoff): desynchronises retry
+            // storms if several services share a failing disk.
+            let jitter = xorshift(&mut rng) % (backoff / 2 + 1);
+            sleep_unless_stopped(&core.stop, Duration::from_millis(backoff / 2 + jitter));
+            backoff = (backoff * 2).min(core.config.heal_backoff_max_ms.max(1));
+        }
+    }
+}
+
+/// Sleeps in short slices so a stop request never waits out a long backoff.
+fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// A seed that differs per process/thread without consulting the clock:
+/// `RandomState` is randomly keyed at construction.
+fn rng_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+        | 1
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
 }
 
 #[cfg(test)]
@@ -433,5 +697,51 @@ mod tests {
             .query("t", &parse_atom("par(a, X)").unwrap(), None)
             .unwrap();
         assert_eq!(r.answers, ["par(a, b)"]);
+    }
+
+    #[test]
+    fn an_in_memory_service_is_healthy_and_checkpoint_is_a_noop() {
+        let s = service("par(a, b).");
+        assert_eq!(s.state(), ServerState::Healthy);
+        assert!(!s.checkpoint().unwrap(), "nothing durable to checkpoint");
+        assert_eq!(s.durable_wal_len(), None);
+    }
+
+    #[test]
+    fn checkpoint_refuses_while_mutations_are_pending() {
+        let s = service("par(a, b).");
+        s.insert(&parse_atom("par(b, c)").unwrap()).unwrap();
+        let err = s.checkpoint().unwrap_err();
+        assert!(matches!(err, ServerError::Rejected(_)), "{err}");
+        s.commit().unwrap();
+        assert!(!s.checkpoint().unwrap());
+    }
+
+    #[test]
+    fn a_saturated_service_sheds_queries_as_busy() {
+        let program = parse(&format!("{RULES} par(a, b).")).unwrap().program;
+        let config = ServerConfig {
+            max_concurrent: 1,
+            tenant_cap: 1,
+            max_queue: 0,
+            shed_retry_after_ms: 7,
+            ..ServerConfig::default()
+        };
+        let s = QueryService::open(program, Database::new(), None, config).unwrap();
+        // Hold the only slot directly via the admission controller, then
+        // observe the query path shed.
+        let slot = s.admission().acquire("hog");
+        let err = s
+            .query("t", &parse_atom("anc(a, X)").unwrap(), None)
+            .unwrap_err();
+        match err {
+            ServerError::Busy { retry_after_ms } => assert!(retry_after_ms >= 7),
+            other => panic!("expected Busy, got {other}"),
+        }
+        assert_eq!(s.admission().shed_total(), 1);
+        drop(slot);
+        assert!(s
+            .query("t", &parse_atom("anc(a, X)").unwrap(), None)
+            .is_ok());
     }
 }

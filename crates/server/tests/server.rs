@@ -2,7 +2,7 @@
 //! driven exactly as a client would.
 
 use alexander_parser::{parse, parse_atom};
-use alexander_server::{serve_tcp, serve_unix, QueryService, ServerConfig};
+use alexander_server::{serve_tcp, serve_unix, QueryService, ServerConfig, SessionEnd};
 use alexander_storage::Database;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -169,6 +169,53 @@ fn unix_socket_refuses_a_live_server_but_replaces_a_stale_file() {
         .unwrap();
     let mut conn = BufReader::new(stream);
     assert_eq!(exchange(&mut conn, "PING"), ["OK pong"]);
+    handle.shutdown();
+}
+
+#[test]
+fn a_client_vanishing_mid_reply_tears_down_only_its_session() {
+    // A substantial chain so replies span multiple writes' worth of bytes
+    // and evaluation leaves time for the peer's RST to land between them.
+    let mut extra = String::new();
+    for i in 0..256 {
+        extra.push_str(&format!("par(m{i}, m{}). ", i + 1));
+    }
+    let handle = serve_tcp(service(&extra), "127.0.0.1:0").unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // The rude client pipelines several queries and hangs up without
+    // reading a byte: the server's replies hit a closed peer.
+    {
+        let mut rude = TcpStream::connect(addr).unwrap();
+        for _ in 0..4 {
+            writeln!(rude, "QUERY anc(m0, X)").unwrap();
+        }
+        rude.flush().unwrap();
+    } // dropped: FIN now, RST as soon as a reply reaches the dead socket
+
+    // The teardown must be structured — a counted ClientGone/ReadError end,
+    // not a panic — and must not take the listener down with it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let gone = |s: &alexander_server::NetStats| {
+        s.ended(SessionEnd::ClientGone) + s.ended(SessionEnd::ReadError) + s.ended(SessionEnd::Eof)
+    };
+    while gone(handle.stats()) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        gone(handle.stats()) >= 1,
+        "the abandoned session must end with a structured reason"
+    );
+
+    // Other sessions are untouched: a fresh client gets full service.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(exchange(&mut conn, "PING"), ["OK pong"]);
+    let out = exchange(&mut conn, "QUERY anc(m0, m256)");
+    assert_eq!(out.last().unwrap(), "OK 1 epoch 0 complete", "{out:?}");
     handle.shutdown();
 }
 

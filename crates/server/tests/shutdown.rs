@@ -1,0 +1,148 @@
+//! Graceful shutdown of the real `alexander serve` binary: SIGTERM must
+//! drain sessions, take a final checkpoint (truncating the WAL), remove the
+//! unix socket file, and exit zero.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RULES: &str = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y). par(a, b).";
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("alexander_shutdown_{name}_{}", std::process::id()))
+}
+
+/// Sends one request line and reads lines until the `OK`/`ERR` terminal.
+fn exchange(conn: &mut BufReader<UnixStream>, line: &str) -> Vec<String> {
+    writeln!(conn.get_mut(), "{line}").unwrap();
+    conn.get_mut().flush().unwrap();
+    let mut out = Vec::new();
+    loop {
+        let mut l = String::new();
+        match conn.read_line(&mut l) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("read: {e}"),
+        }
+        let l = l.trim_end().to_string();
+        let terminal = l.starts_with("OK") || l.starts_with("ERR");
+        out.push(l);
+        if terminal {
+            break;
+        }
+    }
+    out
+}
+
+fn wait_for_socket(path: &PathBuf, server: &mut Child) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(s) = UnixStream::connect(path) {
+            return s;
+        }
+        if let Some(status) = server.try_wait().expect("try_wait") {
+            panic!("server exited early: {status}");
+        }
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_checkpoints_and_removes_the_socket() {
+    let program = tmp("prog.dl");
+    let sock = tmp("srv.sock");
+    let snap = tmp("store.snap");
+    let wal = tmp("store.wal");
+    for p in [&sock, &snap, &wal] {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::write(&program, RULES).unwrap();
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_alexander"))
+        .arg("serve")
+        .arg(&program)
+        .arg("--unix")
+        .arg(&sock)
+        .arg("--snapshot")
+        .arg(&snap)
+        .arg("--wal")
+        .arg(&wal)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+
+    // Commit one batch so the WAL holds a frame the final checkpoint must
+    // fold into the snapshot.
+    let stream = wait_for_socket(&sock, &mut server);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    assert_eq!(exchange(&mut conn, "INSERT par(b, c)"), ["OK pending 1"]);
+    assert_eq!(exchange(&mut conn, "COMMIT"), ["OK epoch 1 committed 1"]);
+    assert_eq!(exchange(&mut conn, "QUIT"), ["OK bye"]);
+    drop(conn);
+    let wal_before = std::fs::metadata(&wal).expect("wal exists").len();
+
+    // SIGTERM, then the exit must be clean and prompt.
+    let pid = server.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(s) = server.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not exit within 10s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        status.success(),
+        "graceful shutdown must exit zero: {status}"
+    );
+
+    let mut stderr = String::new();
+    server
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert!(
+        stderr.contains("shutting down: draining sessions"),
+        "missing drain notice in: {stderr}"
+    );
+    assert!(
+        stderr.contains("final checkpoint taken"),
+        "missing checkpoint notice in: {stderr}"
+    );
+
+    // The socket file is gone, and the checkpoint truncated the WAL to its
+    // bare header (the committed batch now lives in the snapshot).
+    assert!(!sock.exists(), "socket file must be removed on shutdown");
+    let wal_after = std::fs::metadata(&wal).expect("wal persists").len();
+    assert!(
+        wal_after < wal_before,
+        "final checkpoint must truncate the WAL ({wal_before} -> {wal_after} bytes)"
+    );
+    assert!(snap.exists(), "checkpoint must write the snapshot");
+
+    for p in [&program, &snap, &wal] {
+        std::fs::remove_file(p).ok();
+    }
+}
