@@ -59,12 +59,14 @@ fn main() {
         Ok(r) => {
             println!(
                 "chaos: cycles={} degraded={} degraded_on_wire={} \
-                 checkpoints={} commits_ok={} batches_survived_crash={} \
-                 queries={} sheds={} heals={} final_chain={}",
+                 checkpoints={} mixed={} commits_ok={} \
+                 batches_survived_crash={} queries={} sheds={} heals={} \
+                 final_chain={}",
                 r.cycles,
                 r.degraded_cycles,
                 r.degraded_on_wire,
                 r.checkpoint_cycles,
+                r.mixed_cycles,
                 r.commits_ok,
                 r.batches_survived_crash,
                 r.queries,

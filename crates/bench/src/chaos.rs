@@ -9,6 +9,14 @@
 //!   drive `INSERT`/`COMMIT` traffic until a commit dies mid-append with
 //!   `ERR DEGRADED`. The in-flight batch is indeterminate by construction —
 //!   the crash point lands inside its frame.
+//! * **Mixed-batch WAL byte-crash** (every 5th cycle, offset 1): the same
+//!   armed fault, but every commit frame is `DELETE tip / INSERT tip /
+//!   INSERT next` — a genuine deletion of pre-existing state rides each WAL
+//!   frame while the net effect stays +1 edge, so the readers' monotone
+//!   chain invariant still pins the outcome. Recovery replays the mixed
+//!   frame through the engine's `delete_batch` path; a replay that drops
+//!   the delete record or applies a torn prefix lands off the
+//!   committed-batch boundary and is caught at resync.
 //! * **WAL fsync-error** (every 5th cycle, offset 2): arm `FsyncError`; the
 //!   next commit's append persists its bytes but cannot prove it, so the
 //!   writer must poison even though replay will later find the batch whole.
@@ -82,6 +90,8 @@ pub struct ChaosReport {
     pub degraded_on_wire: usize,
     /// Snapshot-crash checkpoint cycles.
     pub checkpoint_cycles: usize,
+    /// Crash cycles whose commit frames mixed deletes with inserts.
+    pub mixed_cycles: usize,
     /// Indeterminate batches that turned out to have persisted whole.
     pub batches_survived_crash: u64,
     /// Oracle-verified query replies across all readers.
@@ -336,6 +346,9 @@ fn drive_cycles(
                     shared,
                     &mut writer,
                     action,
+                    // Offset 1 drives mixed insert+delete frames into the
+                    // armed fault instead of pure extensions.
+                    n == 1,
                     chain,
                     report,
                 )?;
@@ -348,6 +361,9 @@ fn drive_cycles(
 
 /// Arms `action` on the WAL, drives commits until the writer degrades,
 /// probes the degraded window over the wire, then heals and resyncs.
+/// With `mixed` set, every commit frame retracts the current tip edge,
+/// reinstates it, and extends the chain — the frame carries a real delete
+/// of pre-existing state but its net effect is still one new edge.
 #[allow(clippy::too_many_arguments)]
 fn crash_cycle(
     cycle: usize,
@@ -356,6 +372,7 @@ fn crash_cycle(
     shared: &Shared,
     writer: &mut Client,
     action: Action,
+    mixed: bool,
     chain: &mut usize,
     report: &mut ChaosReport,
 ) -> Result<(), String> {
@@ -367,19 +384,38 @@ fn crash_cycle(
     // Drive commits until one hits the armed fault.
     let mut fired = false;
     for _ in 0..config.commits_cap {
-        let fact = update_fact(*chain, 1);
-        let ins = writer
-            .request(&format!("INSERT {fact}"))
-            .map_err(|e| format!("{who}: insert: {e}"))?;
-        let ins_terminal = ins.last().cloned().unwrap_or_default();
-        if ins_terminal.starts_with("ERR DEGRADED") {
-            // A prior commit poisoned the writer and the INSERT caught the
-            // degraded window first — same outcome as a failing commit.
-            fired = true;
-            break;
+        // `update_fact(chain, 0)` is the edge the chain currently ends on;
+        // `update_fact(chain, 1)` is the next extension.
+        let ops: Vec<String> = if mixed {
+            vec![
+                format!("DELETE {}", update_fact(*chain, 0)),
+                format!("INSERT {}", update_fact(*chain, 0)),
+                format!("INSERT {}", update_fact(*chain, 1)),
+            ]
+        } else {
+            vec![format!("INSERT {}", update_fact(*chain, 1))]
+        };
+        let mut staged = true;
+        for op in &ops {
+            let reply = writer
+                .request(op)
+                .map_err(|e| format!("{who}: stage `{op}`: {e}"))?;
+            let terminal = reply.last().cloned().unwrap_or_default();
+            if terminal.starts_with("ERR DEGRADED") {
+                // A prior commit poisoned the writer and the staging op
+                // caught the degraded window first — same outcome as a
+                // failing commit.
+                fired = true;
+                staged = false;
+                break;
+            }
+            if !terminal.starts_with("OK") {
+                shared.violation(format!("{who}: `{op}` refused: {terminal}"));
+                staged = false;
+                break;
+            }
         }
-        if !ins_terminal.starts_with("OK") {
-            shared.violation(format!("{who}: insert refused: {ins_terminal}"));
+        if !staged {
             break;
         }
         let commit = writer
@@ -410,6 +446,9 @@ fn crash_cycle(
         ));
         failpoints::remove(SITE_WAL);
         return Ok(());
+    }
+    if mixed {
+        report.mixed_cycles += 1;
     }
 
     // Degraded-window probes: HEALTH may already say healthy again (the

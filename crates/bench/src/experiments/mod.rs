@@ -18,6 +18,7 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod f1;
+pub mod f10;
 pub mod f2;
 pub mod f3;
 pub mod f4;
@@ -56,6 +57,7 @@ pub fn all() -> Vec<Table> {
         f7::run(),
         f8::run(),
         f9::run(),
+        f10::run(),
     ]
 }
 
@@ -84,15 +86,16 @@ pub fn by_id(id: &str) -> Option<Table> {
         "f7" => f7::run,
         "f8" => f8::run,
         "f9" => f9::run,
+        "f10" => f10::run,
         _ => return None,
     };
     Some(run())
 }
 
 /// All experiment ids, in report order.
-pub const IDS: [&str; 22] = [
+pub const IDS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1", "f2",
-    "f3", "f4", "f5", "f6", "f7", "f8", "f9",
+    "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
 ];
 
 /// The per-strategy row every comparison table shares: run the query, report

@@ -9,8 +9,9 @@
 //!
 //! 1. the batch is appended to the WAL as one checksummed, commit-marked
 //!    frame and **fsynced**;
-//! 2. only then is it applied to the in-memory engine (insert/delete with
-//!    incremental re-derivation).
+//! 2. only then is it applied to the in-memory engine — as **one** mixed
+//!    delta ([`IncrementalEngine::apply_batch`]): a single delete cascade
+//!    plus a single insertion fixpoint, not one fixpoint per record.
 //!
 //! A crash before step 1 completes leaves a torn tail that recovery
 //! truncates — the batch never happened. A crash after step 1 leaves the
@@ -32,10 +33,11 @@
 //! ## Recovery
 //!
 //! [`DurableEngine::recover`] loads the snapshot, re-materialises the
-//! program over it, replays every committed WAL batch in sequence order,
-//! and truncates any torn tail. Derived (IDB) state is never persisted —
-//! it is recomputed, so a snapshot can never smuggle in facts the program
-//! does not justify.
+//! program over it, replays every committed WAL batch in sequence order
+//! (each batch as one mixed delta, mirroring the commit path), and
+//! truncates any torn tail. Derived (IDB) state is never persisted — it is
+//! recomputed, so a snapshot can never smuggle in facts the program does
+//! not justify.
 
 use crate::error::DurableError;
 use crate::snapshot::{read_snapshot, write_snapshot};
@@ -66,8 +68,18 @@ pub struct CommitStats {
     pub seq: Option<u64>,
     /// Facts added across the batch, derived facts included.
     pub added: usize,
-    /// Facts removed across the batch, derived facts included.
+    /// Net facts removed across the batch — base and derived, minus any
+    /// overdeletions the cascade rederived.
     pub removed: usize,
+}
+
+/// A WAL batch as the incremental engine's mixed-delta input
+/// (`true` = insert).
+fn batch_ops(records: &[WalRecord]) -> Vec<(bool, Atom)> {
+    records
+        .iter()
+        .map(|rec| (matches!(rec.op, Op::Insert), rec.atom()))
+        .collect()
 }
 
 /// A crash-safe incremental Datalog engine (see module docs for the
@@ -125,17 +137,8 @@ impl DurableEngine {
         let mut engine = IncrementalEngine::new(program, edb)?;
         let contents = read_wal(wal_path)?;
         for batch in &contents.batches {
-            for rec in &batch.records {
-                match rec.op {
-                    Op::Insert => {
-                        engine.insert(&rec.atom())?;
-                    }
-                    Op::Delete => {
-                        engine.delete(&rec.atom())?;
-                    }
-                }
-                stats.records_replayed += 1;
-            }
+            engine.apply_batch(&batch_ops(&batch.records))?;
+            stats.records_replayed += batch.records.len();
             stats.batches_replayed += 1;
         }
         if contents.torn {
@@ -239,30 +242,20 @@ impl DurableEngine {
                 return Err(e);
             }
         };
-        let mut stats = CommitStats {
-            seq: Some(seq),
-            ..CommitStats::default()
-        };
-        for rec in &batch {
-            // invariant: records were validated at buffer time (ground,
-            // extensional), so the engine only fails here on internal
-            // errors — which still poison, keeping disk authoritative.
-            let applied = match rec.op {
-                Op::Insert => self.engine.insert(&rec.atom()).map(|n| (n, 0)),
-                Op::Delete => self.engine.delete(&rec.atom()),
-            };
-            match applied {
-                Ok((added, removed)) => {
-                    stats.added += added;
-                    stats.removed += removed;
-                }
-                Err(e) => {
-                    self.poisoned = Some("commit: engine apply");
-                    return Err(e.into());
-                }
+        // invariant: records were validated at buffer time (ground,
+        // extensional), so the engine only fails here on internal errors —
+        // which still poison, keeping disk authoritative.
+        match self.engine.apply_batch(&batch_ops(&batch)) {
+            Ok(out) => Ok(CommitStats {
+                seq: Some(seq),
+                added: out.added,
+                removed: out.overdeleted - out.rederived,
+            }),
+            Err(e) => {
+                self.poisoned = Some("commit: engine apply");
+                Err(e.into())
             }
         }
-        Ok(stats)
     }
 
     /// Writes the current EDB as a fresh snapshot and empties the WAL.

@@ -217,6 +217,7 @@ pub fn eval_conditional_opts(
             let input = JoinInput {
                 total: &known,
                 delta: None,
+                sides: None,
                 negatives: Some(&static_db),
                 governor: gov_ref,
             };

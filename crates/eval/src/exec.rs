@@ -36,11 +36,11 @@
 //! All buffers live in an [`ExecScratch`] the caller keeps per worker; the
 //! steady state allocates nothing.
 
-use crate::join::{DeltaSource, Emitted, JoinInput, Pat};
+use crate::join::{Emitted, JoinInput, Pat};
 use crate::metrics::EvalMetrics;
 use crate::plan::{PlanOp, RulePlan};
 use alexander_ir::{hash_row, Const, RowHasher};
-use alexander_storage::{Database, Relation};
+use alexander_storage::Database;
 use std::fmt;
 use std::ops::ControlFlow;
 
@@ -304,97 +304,87 @@ fn run_ops(
             load,
             eqs,
         } => {
-            // Resolve the relation this access reads and the id range the
-            // delta (if this is the delta position) restricts it to — once
-            // per block; the tuple path resolves identically per binding.
-            // An unresolved access matches nothing and charges no probe.
-            let resolved: Option<(&Relation, Option<(u32, u32)>)> = match input.delta {
-                Some((d, DeltaSource::Spans(spans))) if d == *lit => {
-                    match (spans.get(*pred), input.total.relation(*pred)) {
-                        (Some(span), Some(rel)) => Some((rel, Some(span))),
-                        _ => None,
-                    }
-                }
-                Some((d, DeltaSource::Db(db))) if d == *lit => {
-                    db.relation(*pred).map(|rel| (rel, None))
-                }
-                _ => input.total.relation(*pred).map(|rel| (rel, None)),
-            };
-            let Some((relation, range)) = resolved else {
-                return ControlFlow::Continue(());
-            };
-            let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
-            let eq_cols = |cand: &[Const]| {
-                eqs.iter()
-                    .all(|&(c, c0)| cand[c as usize] == cand[c0 as usize])
-            };
+            // Resolve the (up to two) sources this access reads and the id
+            // range the delta (if this is the delta position) restricts
+            // each to — once per block; the tuple path resolves identically
+            // per binding. An unresolved access matches nothing and charges
+            // no probe; a second source appears only under counting-update
+            // side resolutions (total ∪ removed).
+            let sources = crate::join::resolve_access(input, *lit, *pred);
+            for (relation, range) in sources.into_iter().flatten() {
+                let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
+                let eq_cols = |cand: &[Const]| {
+                    eqs.iter()
+                        .all(|&(c, c0)| cand[c as usize] == cand[c0 as usize])
+                };
 
-            if mask.is_empty() {
-                // Contiguous arena scan of the (possibly delta-restricted)
-                // id range — one slice of the pool, walked in stride-sized
-                // steps; the whole enumeration is charged, as in the tuple
-                // path. (Propositional relations have stride 0 and at most
-                // one row.)
-                let a = relation.arity();
-                for i in 0..block.len {
-                    let row = block.row(i);
-                    metrics.probes += 1;
-                    metrics.tuples_considered += u64::from(hi - lo);
-                    if a == 0 {
-                        for _ in lo..hi {
-                            out.push_extended(row, &[], load);
-                            flush_full!();
+                if mask.is_empty() {
+                    // Contiguous arena scan of the (possibly delta-restricted)
+                    // id range — one slice of the pool, walked in stride-sized
+                    // steps; the whole enumeration is charged, as in the tuple
+                    // path. (Propositional relations have stride 0 and at most
+                    // one row.)
+                    let a = relation.arity();
+                    for i in 0..block.len {
+                        let row = block.row(i);
+                        metrics.probes += 1;
+                        metrics.tuples_considered += u64::from(hi - lo);
+                        if a == 0 {
+                            for _ in lo..hi {
+                                out.push_extended(row, &[], load);
+                                flush_full!();
+                            }
+                        } else {
+                            let window = &relation.pool()[lo as usize * a..hi as usize * a];
+                            for cand in window.chunks_exact(a) {
+                                if eq_cols(cand) {
+                                    out.push_extended(row, cand, load);
+                                    flush_full!();
+                                }
+                            }
                         }
-                    } else {
-                        let window = &relation.pool()[lo as usize * a..hi as usize * a];
-                        for cand in window.chunks_exact(a) {
+                    }
+                } else if let Some(ip) = relation.index_probe(*mask) {
+                    // Indexed probes: the index is resolved once for the whole
+                    // block; each row hashes its bound columns in place — the
+                    // same digest the index maintains (ascending column order).
+                    for i in 0..block.len {
+                        let row = block.row(i);
+                        metrics.probes += 1;
+                        let mut hsh = RowHasher::new();
+                        for &(_, p) in key {
+                            hsh.push(&resolve(p, row));
+                        }
+                        let ids = ip.probe_in(hsh.finish(), range, |rep| {
+                            key.iter().all(|&(c, p)| rep[c as usize] == resolve(p, row))
+                        });
+                        // Group membership guarantees the key columns; only
+                        // repeated-variable equalities remain.
+                        for &id in ids {
+                            metrics.tuples_considered += 1;
+                            let cand = relation.row(id);
                             if eq_cols(cand) {
                                 out.push_extended(row, cand, load);
                                 flush_full!();
                             }
                         }
                     }
-                }
-            } else if let Some(ip) = relation.index_probe(*mask) {
-                // Indexed probes: the index is resolved once for the whole
-                // block; each row hashes its bound columns in place — the
-                // same digest the index maintains (ascending column order).
-                for i in 0..block.len {
-                    let row = block.row(i);
-                    metrics.probes += 1;
-                    let mut hsh = RowHasher::new();
-                    for &(_, p) in key {
-                        hsh.push(&resolve(p, row));
-                    }
-                    let ids = ip.probe_in(hsh.finish(), range, |rep| {
-                        key.iter().all(|&(c, p)| rep[c as usize] == resolve(p, row))
-                    });
-                    // Group membership guarantees the key columns; only
-                    // repeated-variable equalities remain.
-                    for &id in ids {
-                        metrics.tuples_considered += 1;
-                        let cand = relation.row(id);
-                        if eq_cols(cand) {
-                            out.push_extended(row, cand, load);
-                            flush_full!();
-                        }
-                    }
-                }
-            } else {
-                // No index: filtered scan over the range per input row.
-                for i in 0..block.len {
-                    let row = block.row(i);
-                    metrics.probes += 1;
-                    metrics.tuples_considered += u64::from(hi - lo);
-                    for id in lo..hi {
-                        let cand = relation.row(id);
-                        if key
-                            .iter()
-                            .all(|&(c, p)| cand[c as usize] == resolve(p, row))
-                            && eq_cols(cand)
-                        {
-                            out.push_extended(row, cand, load);
-                            flush_full!();
+                } else {
+                    // No index: filtered scan over the range per input row.
+                    for i in 0..block.len {
+                        let row = block.row(i);
+                        metrics.probes += 1;
+                        metrics.tuples_considered += u64::from(hi - lo);
+                        for id in lo..hi {
+                            let cand = relation.row(id);
+                            if key
+                                .iter()
+                                .all(|&(c, p)| cand[c as usize] == resolve(p, row))
+                                && eq_cols(cand)
+                            {
+                                out.push_extended(row, cand, load);
+                                flush_full!();
+                            }
                         }
                     }
                 }
@@ -423,7 +413,7 @@ fn run_ops(
 mod tests {
     use super::*;
     use crate::govern::{Budget, Completion, Governor, Resource};
-    use crate::join::{compile_rule, join_rule, CompiledRule, JoinScratch};
+    use crate::join::{compile_rule, join_rule, CompiledRule, DeltaSource, JoinScratch};
     use crate::plan::compile_plan;
     use alexander_ir::{atom, Literal, Predicate, Rule, Term};
     use alexander_storage::{tuple_of_syms, DeltaSpans, Mask, Tuple};
@@ -503,6 +493,7 @@ mod tests {
             let input = JoinInput {
                 total: &db,
                 delta: Some((delta_pos, DeltaSource::Spans(&spans))),
+                sides: None,
                 negatives: None,
                 governor: None,
             };

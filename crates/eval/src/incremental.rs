@@ -1,27 +1,97 @@
 //! Incremental view maintenance: keep a materialised IDB up to date under
 //! EDB insertions and deletions without recomputing from scratch.
 //!
-//! * **Insertion** is semi-naive continuation: the new facts seed a delta
-//!   round over the existing total.
-//! * **Deletion** is DRed (delete-and-rederive, Gupta–Mumick–Subrahmanian):
-//!   first *overdelete* everything with a derivation through a deleted
-//!   fact (a delta fixpoint over the pre-deletion database), then
-//!   *rederive* the overdeleted facts that still have an alternative
-//!   derivation from what remains (a second fixpoint).
+//! ## Counting (the default)
+//!
+//! Every derived fact carries a **support count** — the number of distinct
+//! rule firings currently deriving it — stored as a parallel `u32` column in
+//! the tuple arena ([`alexander_storage::Relation::supports`]). The counts
+//! are maintained by the blocked executor's emit path:
+//!
+//! * **Insertion** runs semi-naive continuation rounds. The delta-position
+//!   triangle ([`SideSources::InsertTriangle`]) enumerates each *new* firing
+//!   exactly once, so a duplicate emission against the total is precisely
+//!   "one more derivation of an existing fact": its count is incremented
+//!   instead of re-deriving anything.
+//! * **Deletion** runs the mirrored triangle
+//!   ([`SideSources::DeleteTriangle`]): with the victims physically removed
+//!   first, each *lost* firing is enumerated exactly once and decrements its
+//!   head's count. Only facts whose count reaches zero are retracted and
+//!   cascade further — facts with surviving support are never overdeleted,
+//!   never rederived, and never touch the join kernel again.
+//!
+//! Pure counting is sound only where a fact cannot (transitively) support
+//! itself, i.e. for predicates whose rules draw on strictly lower strata.
+//! The engine classifies predicates by the SCC decomposition of the
+//! dependency graph: a head predicate in a singleton component with no
+//! self-loop is **counted**; everything else (direct or mutual recursion)
+//! falls back per-SCC to **DRed** (delete-and-rederive,
+//! Gupta–Mumick–Subrahmanian). The DRed fallback itself is accelerated two
+//! ways: rederivation is asked per doomed fact as a *head-seeded* indexed
+//! probe ([`crate::join::join_rule_seeded`]) instead of a stratum re-join,
+//! and witnesses found that way are memoised as [`Justification`]s
+//! (see [`crate::provenance`]) so the next deletion touching the same fact
+//! re-checks the stored premises before joining at all.
+//!
+//! ## Batches
+//!
+//! [`IncrementalEngine::apply_batch`] applies one *mixed* batch of inserts
+//! and deletes as a single delete cascade plus a single insertion fixpoint —
+//! not N sequential per-fact fixpoints. The WAL replay path and the server
+//! commit path feed whole batches through it.
 //!
 //! Restricted to definite programs: deletions under negation flip truth in
-//! both directions and need counting or stratified DRed, out of scope here.
+//! both directions and need stratified counting, out of scope here.
 
 use crate::error::EvalError;
 use crate::exec::{exec_plan, ExecScratch};
 use crate::join::{
-    compile_rule, ensure_rule_indexes, CompiledRule, DeltaSource, Emitted, JoinInput,
+    compile_rule, compile_rule_seeded, ensure_rule_indexes, join_rule_seeded, CompiledRule,
+    DeltaSource, Emitted, JoinInput, JoinScratch, SideSources,
 };
 use crate::metrics::EvalMetrics;
-use crate::naive::{seed_database, EvalOptions};
+use crate::naive::seed_database;
 use crate::plan::{compile_plan, RulePlan};
+use crate::provenance::{Justification, Provenance};
+use alexander_ir::analysis::{tarjan, DepGraph};
 use alexander_ir::{Atom, FxHashMap, FxHashSet, Predicate, Program};
-use alexander_storage::{Database, Tuple};
+use alexander_storage::{Database, DeltaSpans, Tuple};
+use std::ops::ControlFlow;
+
+/// How deletions are maintained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Maintenance {
+    /// Support counting where sound, per-SCC DRed where recursion makes
+    /// counting unsound. The default.
+    #[default]
+    Counting,
+    /// Classic DRed for every predicate (counting disabled). Kept as the
+    /// differential oracle: both modes must produce identical databases.
+    Dred,
+}
+
+/// What one mixed update batch did to the database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchOutcome {
+    /// Facts added (base and derived).
+    pub added: usize,
+    /// Facts physically removed during the delete cascade, including the
+    /// base facts themselves and any overdeletions later rederived.
+    pub overdeleted: usize,
+    /// Overdeleted facts restored because an alternative derivation
+    /// survived.
+    pub rederived: usize,
+}
+
+/// One strongly-connected component of the head predicates, with the rules
+/// that derive into it. Components are kept in dependencies-first order.
+struct SccGroup {
+    /// Indices into the program's rule list.
+    rules: Vec<usize>,
+    /// True when a fact in this component can (transitively) support
+    /// itself, so counting is unsound and deletions fall back to DRed.
+    recursive: bool,
+}
 
 /// A materialised deductive database that stays consistent under updates.
 pub struct IncrementalEngine {
@@ -31,16 +101,37 @@ pub struct IncrementalEngine {
     /// the blocked executor (updates are not governed, so the tuple oracle
     /// has nothing extra to offer here).
     plans: Vec<RulePlan>,
-    /// EDB + all derived facts.
+    /// Head-seeded compilations of the same rules, for per-fact
+    /// rederivation probes during the DRed fallback.
+    seeded: Vec<CompiledRule>,
+    /// EDB + all derived facts, with the support-count column live.
     total: Database,
     /// The extensional predicates (facts the user may insert/delete).
     edb_preds: FxHashSet<Predicate>,
+    /// Program-seeded IDB facts: externally asserted, never retractable by
+    /// the cascade.
+    protected: FxHashMap<Predicate, FxHashSet<Tuple>>,
+    /// Head predicates maintained by exact firing counts.
+    counted: FxHashSet<Predicate>,
+    /// SCC groups of the rule set, dependencies first.
+    groups: Vec<SccGroup>,
+    /// Memoised rederivation witnesses (populated lazily by deletions).
+    provenance: Provenance,
     metrics: EvalMetrics,
 }
 
 impl IncrementalEngine {
-    /// Materialises `program` over `edb`.
+    /// Materialises `program` over `edb` with [`Maintenance::Counting`].
     pub fn new(program: Program, edb: Database) -> Result<IncrementalEngine, EvalError> {
+        IncrementalEngine::with_mode(program, edb, Maintenance::Counting)
+    }
+
+    /// Materialises `program` over `edb` under an explicit maintenance mode.
+    pub fn with_mode(
+        program: Program,
+        edb: Database,
+        mode: Maintenance,
+    ) -> Result<IncrementalEngine, EvalError> {
         program.validate().map_err(EvalError::Invalid)?;
         if !program.is_definite() {
             return Err(EvalError::NegatedIdb(
@@ -60,38 +151,93 @@ impl IncrementalEngine {
             .iter()
             .map(|r| compile_rule(r).map_err(EvalError::from))
             .collect::<Result<_, _>>()?;
+        let seeded: Vec<CompiledRule> = program
+            .rules
+            .iter()
+            .map(|r| compile_rule_seeded(r).map_err(EvalError::from))
+            .collect::<Result<_, _>>()?;
         let mut total = seed_database(&program, &edb);
         let mut metrics = EvalMetrics::default();
         let plans: Vec<RulePlan> = compiled.iter().map(compile_plan).collect();
         metrics.exec.plans_compiled += plans.len() as u64;
         let mut edb_preds: FxHashSet<Predicate> = edb.predicates().into_iter().collect();
+        let mut protected: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
         for f in &program.facts {
             edb_preds.insert(f.predicate());
+            if program.is_idb(f.predicate()) {
+                // invariant: `validate` rejects non-ground facts.
+                let t = Tuple::from_atom(f).expect("program facts are ground");
+                protected.entry(f.predicate()).or_default().insert(t);
+            }
         }
-        // Initial materialisation. Maintenance is not governed: updates are
-        // small deltas and a partially-maintained view would be permanently
-        // inconsistent.
-        crate::seminaive::run_rules(
-            &program.rules,
-            &mut total,
-            &mut metrics,
-            &EvalOptions::default(),
-            None,
-            None,
-        )?;
-        Ok(IncrementalEngine {
+        // Every seeded row is externally supported: base facts hold because
+        // they are stored, not because a rule fires. Rule firings add on
+        // top, so a protected fact's count can never reach zero.
+        for p in total.predicates() {
+            let rel = total.relation_mut(p);
+            for id in 0..rel.len() as u32 {
+                rel.set_support(id, 1);
+            }
+        }
+        let (groups, counted) = classify(&program, mode);
+        let mut engine = IncrementalEngine {
             program,
             compiled,
             plans,
+            seeded,
             total,
             edb_preds,
+            protected,
+            counted,
+            groups,
+            provenance: Provenance::default(),
             metrics,
-        })
+        };
+        // Initial materialisation: the same counting fixpoint the insertion
+        // path runs, seeded with a naive round 0. Maintenance is not
+        // governed: updates are small deltas and a partially-maintained view
+        // would be permanently inconsistent.
+        engine.materialise();
+        // The DRed rederivation probes run head-seeded plans whose index
+        // masks differ from the forward joins'. Build them now, while the
+        // database is settled — inserts maintain them incrementally from
+        // here on — so the first deletion's phase 2 doesn't pay an
+        // O(|relation|) index build inside its cascade.
+        for ri in 0..engine.seeded.len() {
+            ensure_rule_indexes(&engine.seeded[ri], &mut engine.total);
+        }
+        Ok(engine)
     }
 
     /// The maintained database (EDB + IDB).
     pub fn db(&self) -> &Database {
         &self.total
+    }
+
+    /// The support count of a fact: how many distinct rule firings (plus
+    /// one for externally stored facts) currently derive it. Zero iff the
+    /// fact is absent. Exact for counted predicates; recursive predicates
+    /// report a presence marker maintained by the DRed fallback.
+    pub fn support_of(&self, fact: &Atom) -> u32 {
+        let Some(t) = Tuple::from_atom(fact) else {
+            return 0;
+        };
+        self.total
+            .relation(fact.predicate())
+            .and_then(|r| r.id_of(t.values()))
+            .map_or(0, |id| {
+                // invariant: id came from this relation's dedup table.
+                self.total
+                    .relation(fact.predicate())
+                    .expect("relation just resolved")
+                    .support(id)
+            })
+    }
+
+    /// True iff deletions on `pred` are maintained by exact support counts
+    /// (false means the per-SCC DRed fallback owns it).
+    pub fn is_counted(&self, pred: Predicate) -> bool {
+        self.counted.contains(&pred)
     }
 
     /// A copy of just the extensional store — the base facts from which the
@@ -125,204 +271,598 @@ impl IncrementalEngine {
     /// Inserts an EDB fact; returns the number of facts (including derived
     /// ones) added to the database.
     pub fn insert(&mut self, fact: &Atom) -> Result<usize, EvalError> {
-        let pred = fact.predicate();
-        if self.program.is_idb(pred) {
-            return Err(EvalError::IdbUpdate(pred));
-        }
-        self.edb_preds.insert(pred);
-        let t = Tuple::from_atom(fact).ok_or_else(|| {
-            EvalError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
-                fact: fact.to_string(),
-            }])
-        })?;
-        if !self.total.insert(pred, t.clone()) {
-            return Ok(0);
-        }
-        let mut delta = Database::new();
-        delta.insert(pred, t);
-        Ok(1 + self.propagate_insertions(delta))
+        self.insert_batch(std::slice::from_ref(fact))
     }
 
-    /// Semi-naive insertion rounds seeded with `delta`; returns facts added.
-    ///
-    /// Update deltas are arbitrary fact sets, not contiguous id suffixes of
-    /// the total, so they stay materialised databases and the join reads
-    /// them through [`DeltaSource::Db`].
-    fn propagate_insertions(&mut self, mut delta: Database) -> usize {
+    /// Deletes an EDB fact; returns `(overdeleted, rederived)`.
+    /// `overdeleted` is the true count of facts physically removed during
+    /// the cascade — including the base fact itself and any facts later
+    /// rederived; `rederived` of those were restored.
+    pub fn delete(&mut self, fact: &Atom) -> Result<(usize, usize), EvalError> {
+        self.delete_batch(std::slice::from_ref(fact))
+    }
+
+    /// Inserts a batch of EDB facts and propagates them in **one** shared
+    /// fixpoint (not per-fact fixpoints); returns facts added, including
+    /// derived ones. Facts already present are no-ops.
+    pub fn insert_batch(&mut self, facts: &[Atom]) -> Result<usize, EvalError> {
+        // Validate the whole batch before touching any state.
+        let tuples: Vec<Tuple> = facts
+            .iter()
+            .map(|fact| {
+                if self.program.is_idb(fact.predicate()) {
+                    return Err(EvalError::IdbUpdate(fact.predicate()));
+                }
+                Tuple::from_atom(fact).ok_or_else(|| {
+                    EvalError::Invalid(vec![alexander_ir::ProgramError::NonGroundFact {
+                        fact: fact.to_string(),
+                    }])
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut delta = Database::new();
+        for (fact, t) in facts.iter().zip(tuples) {
+            let pred = fact.predicate();
+            if self.total.contains_atom(fact) {
+                continue;
+            }
+            self.edb_preds.insert(pred);
+            if delta.insert(pred, t) {
+                let rel = delta.relation_mut(pred);
+                let id = rel.len() as u32 - 1;
+                rel.set_support(id, 1);
+            }
+        }
+        if delta.total_tuples() == 0 {
+            return Ok(0);
+        }
+        let base = self.total.merge(&delta);
+        let spans = DeltaSpans::after_merge(&self.total, &delta);
+        Ok(base + self.counting_rounds(spans))
+    }
+
+    /// Deletes a batch of EDB facts and retracts their consequences in
+    /// **one** shared cascade; returns `(overdeleted, rederived)` as for
+    /// [`IncrementalEngine::delete`]. Absent facts are no-ops.
+    pub fn delete_batch(&mut self, facts: &[Atom]) -> Result<(usize, usize), EvalError> {
+        let mut victims: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
+        let mut removed = Database::new();
+        for fact in facts {
+            let pred = fact.predicate();
+            if self.program.is_idb(pred) {
+                return Err(EvalError::IdbUpdate(pred));
+            }
+            // invariant: a non-ground atom is never `contains_atom`, so
+            // ungrounded deletes fall through as no-ops, like misses.
+            if !self.total.contains_atom(fact) {
+                continue;
+            }
+            let t = Tuple::from_atom(fact).expect("checked ground");
+            if victims.entry(pred).or_default().insert(t.clone()) {
+                removed.insert(pred, t);
+            }
+        }
+        if removed.total_tuples() == 0 {
+            return Ok((0, 0));
+        }
+        let mut overdeleted = 0usize;
+        for (p, set) in &victims {
+            overdeleted += self.total.remove_tuples(*p, set);
+        }
+        let (cascaded, rederived) = self.cascade_deletions(removed);
+        Ok((overdeleted + cascaded, rederived))
+    }
+
+    /// Applies one mixed batch of updates (`true` = insert, `false` =
+    /// delete) as a single delete cascade followed by a single insertion
+    /// fixpoint. Later operations on the same fact win; the net effect
+    /// against the current database decides what actually runs.
+    pub fn apply_batch(&mut self, ops: &[(bool, Atom)]) -> Result<BatchOutcome, EvalError> {
+        // Validate everything up front: a batch either applies or leaves
+        // the database untouched.
+        for (_, atom) in ops {
+            let pred = atom.predicate();
+            if self.program.is_idb(pred) {
+                return Err(EvalError::IdbUpdate(pred));
+            }
+        }
+        // Net effect per fact: the last operation wins.
+        let mut order: Vec<&Atom> = Vec::new();
+        let mut net: FxHashMap<&Atom, bool> = FxHashMap::default();
+        for (insert, atom) in ops {
+            if net.insert(atom, *insert).is_none() {
+                order.push(atom);
+            }
+        }
+        let mut deletes: Vec<Atom> = Vec::new();
+        let mut inserts: Vec<Atom> = Vec::new();
+        for atom in order {
+            if net[atom] {
+                inserts.push(atom.clone());
+            } else {
+                deletes.push(atom.clone());
+            }
+        }
+        let (overdeleted, rederived) = self.delete_batch(&deletes)?;
+        let added = self.insert_batch(&inserts)?;
+        Ok(BatchOutcome {
+            added,
+            overdeleted,
+            rederived,
+        })
+    }
+
+    /// Initial materialisation: one naive round over the seed database,
+    /// then the shared counting delta rounds.
+    fn materialise(&mut self) {
+        self.metrics.iterations += 1;
+        for r in &self.compiled {
+            ensure_rule_indexes(r, &mut self.total);
+        }
+        let mut scratch = ExecScratch::new();
+        let mut staged = Database::new();
+        let mut inc: Vec<(Predicate, u32)> = Vec::new();
+        for (ri, rule) in self.compiled.iter().enumerate() {
+            let input = JoinInput {
+                total: &self.total,
+                delta: None,
+                sides: None,
+                negatives: None,
+                governor: None,
+            };
+            counting_emit_pass(
+                &self.plans[ri],
+                rule.head.pred,
+                self.counted.contains(&rule.head.pred),
+                &input,
+                &self.total,
+                &mut staged,
+                &mut inc,
+                &mut scratch,
+                &mut self.metrics,
+            );
+        }
+        self.apply_increments(&mut inc);
+        self.total.absorb_staged(&staged);
+        let spans = DeltaSpans::after_merge(&self.total, &staged);
+        self.counting_rounds(spans);
+    }
+
+    /// Semi-naive delta rounds over contiguous id spans, with support
+    /// counting riding the emit path. [`SideSources::InsertTriangle`]
+    /// guarantees each new firing is enumerated exactly once, so duplicate
+    /// emissions against the total are exactly the support increments.
+    /// Returns the number of facts added.
+    fn counting_rounds(&mut self, mut spans: DeltaSpans) -> usize {
         let mut added = 0usize;
         let mut scratch = ExecScratch::new();
-        while delta.total_tuples() > 0 {
+        let mut staged = Database::new();
+        let mut inc: Vec<(Predicate, u32)> = Vec::new();
+        while !spans.is_empty() {
             self.metrics.iterations += 1;
             for r in &self.compiled {
                 ensure_rule_indexes(r, &mut self.total);
-                ensure_rule_indexes(r, &mut delta);
             }
-            let mut next = Database::new();
-            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
-                let head = rule.head.pred;
+            staged.clear_retaining();
+            for (ri, rule) in self.compiled.iter().enumerate() {
                 for (i, lit) in rule.body.iter().enumerate() {
-                    if delta.len_of(lit.atom.pred) == 0 {
+                    if spans.len_of(lit.atom.pred) == 0 {
                         continue;
                     }
                     let input = JoinInput {
                         total: &self.total,
-                        delta: Some((i, DeltaSource::Db(&delta))),
+                        delta: Some((i, DeltaSource::Spans(&spans))),
+                        sides: Some(SideSources::InsertTriangle),
                         negatives: None,
                         governor: None,
                     };
-                    let total_ref = &self.total;
-                    let _ = exec_plan(
-                        plan,
+                    counting_emit_pass(
+                        &self.plans[ri],
+                        rule.head.pred,
+                        self.counted.contains(&rule.head.pred),
                         &input,
+                        &self.total,
+                        &mut staged,
+                        &mut inc,
                         &mut scratch,
                         &mut self.metrics,
-                        &mut |h, row| {
-                            if total_ref.contains_row_hashed(head, h, row) {
-                                Emitted::Duplicate
-                            } else if next.insert_row_hashed(head, h, row) {
-                                Emitted::New
-                            } else {
-                                Emitted::Duplicate
-                            }
-                        },
                     );
                 }
             }
-            added += self.total.merge(&next);
-            delta = next;
+            self.apply_increments(&mut inc);
+            added += self.total.absorb_staged(&staged);
+            spans = DeltaSpans::after_merge(&self.total, &staged);
         }
         added
     }
 
-    /// Deletes an EDB fact (DRed); returns `(overdeleted, rederived)` counts
-    /// over derived facts.
-    pub fn delete(&mut self, fact: &Atom) -> Result<(usize, usize), EvalError> {
-        let pred = fact.predicate();
-        if self.program.is_idb(pred) {
-            return Err(EvalError::IdbUpdate(pred));
+    /// Applies deferred support increments (collected while the total was
+    /// immutably borrowed by a join pass).
+    fn apply_increments(&mut self, inc: &mut Vec<(Predicate, u32)>) {
+        for (p, id) in inc.drain(..) {
+            self.total.relation_mut(p).add_support(id, 1);
         }
-        if !self.total.contains_atom(fact) {
-            return Ok((0, 0));
-        }
+    }
 
-        // ---- Phase 1: overdelete. ----
-        // Everything with a derivation passing through a deleted fact.
-        // invariant: a non-ground atom is never `contains_atom`, so the
-        // early return above already filtered it out.
-        let t = Tuple::from_atom(fact).expect("checked ground");
-        let mut doomed: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
-        doomed.entry(pred).or_default().insert(t.clone());
-        let mut delta = Database::new();
-        delta.insert(pred, t);
-
-        let mut scratch = ExecScratch::new();
-        while delta.total_tuples() > 0 {
-            self.metrics.iterations += 1;
-            for r in &self.compiled {
-                ensure_rule_indexes(r, &mut self.total);
-                ensure_rule_indexes(r, &mut delta);
-            }
-            let mut next = Database::new();
-            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
-                let head = rule.head.pred;
-                for (i, lit) in rule.body.iter().enumerate() {
-                    if delta.len_of(lit.atom.pred) == 0 {
-                        continue;
-                    }
-                    let input = JoinInput {
-                        total: &self.total,
-                        delta: Some((i, DeltaSource::Db(&delta))),
-                        negatives: None,
-                        governor: None,
-                    };
-                    let doomed_ref = &doomed;
-                    let _ = exec_plan(
-                        plan,
-                        &input,
-                        &mut scratch,
-                        &mut self.metrics,
-                        &mut |h, row| {
-                            let seen = doomed_ref
-                                .get(&head)
-                                .is_some_and(|s| s.contains(&Tuple::new(row)));
-                            if seen {
-                                Emitted::Duplicate
-                            } else if next.insert_row_hashed(head, h, row) {
-                                Emitted::New
-                            } else {
-                                Emitted::Duplicate
-                            }
-                        },
-                    );
-                }
-            }
-            for p in next.predicates() {
-                let set = doomed.entry(p).or_default();
-                if let Some(rel) = next.relation(p) {
-                    for row in rel.iter() {
-                        set.insert(Tuple::new(row));
-                    }
-                }
-            }
-            delta = next;
-        }
-
-        // Physically remove the doomed facts.
+    /// Retraction cascade over the SCC groups in dependencies-first order.
+    /// `removed` holds the base victims, already removed from the total;
+    /// it accumulates every fact the cascade retracts for good, so later
+    /// components see the full `old − new` difference of everything below
+    /// them. Returns `(facts removed, facts rederived)`.
+    fn cascade_deletions(&mut self, mut removed: Database) -> (usize, usize) {
         let mut overdeleted = 0usize;
-        for (p, set) in &doomed {
-            overdeleted += self.total.remove_tuples(*p, set);
-        }
-
-        // ---- Phase 2: rederive. ----
-        // A doomed IDB fact survives if some rule derives it from what is
-        // left. Re-run the rules to a fixpoint, only accepting heads that
-        // were doomed (everything else is already present).
         let mut rederived = 0usize;
-        loop {
-            self.metrics.iterations += 1;
-            for r in &self.compiled {
-                ensure_rule_indexes(r, &mut self.total);
+        let mut scratch = ExecScratch::new();
+        let groups = std::mem::take(&mut self.groups);
+        for group in &groups {
+            if group
+                .rules
+                .iter()
+                .all(|&ri| body_misses_removed(&self.compiled[ri], &removed))
+            {
+                continue;
             }
-            let mut next = Database::new();
-            for (rule, plan) in self.compiled.iter().zip(&self.plans) {
-                let head = rule.head.pred;
-                let Some(candidates) = doomed.get(&head) else {
+            if group.recursive {
+                let (over, re) = self.dred_group(group, &mut removed, &mut scratch);
+                overdeleted += over;
+                rederived += re;
+            } else {
+                overdeleted += self.counted_group(group, &mut removed, &mut scratch);
+            }
+        }
+        self.groups = groups;
+        (overdeleted, rederived)
+    }
+
+    /// Counted component: one [`SideSources::DeleteTriangle`] pass per
+    /// (rule, body position) enumerates every lost firing exactly once and
+    /// decrements its head's support; rows whose count reaches zero are
+    /// retracted and join the removed set. Facts with surviving support
+    /// never touch the join kernel again. Returns facts removed.
+    fn counted_group(
+        &mut self,
+        group: &SccGroup,
+        removed: &mut Database,
+        scratch: &mut ExecScratch,
+    ) -> usize {
+        self.metrics.iterations += 1;
+        let mut dec: Vec<(Predicate, u32)> = Vec::new();
+        for &ri in &group.rules {
+            let rule = &self.compiled[ri];
+            ensure_rule_indexes(rule, &mut self.total);
+            ensure_rule_indexes(rule, removed);
+            let head = rule.head.pred;
+            for (i, lit) in rule.body.iter().enumerate() {
+                if removed.len_of(lit.atom.pred) == 0 {
                     continue;
-                };
+                }
                 let input = JoinInput {
                     total: &self.total,
-                    delta: None,
+                    delta: Some((i, DeltaSource::Db(removed))),
+                    sides: Some(SideSources::DeleteTriangle { removed }),
                     negatives: None,
                     governor: None,
                 };
                 let total_ref = &self.total;
                 let _ = exec_plan(
-                    plan,
+                    &self.plans[ri],
                     &input,
-                    &mut scratch,
+                    scratch,
                     &mut self.metrics,
                     &mut |h, row| {
-                        if candidates.contains(&Tuple::new(row))
-                            && !total_ref.contains_row_hashed(head, h, row)
-                            && next.insert_row_hashed(head, h, row)
-                        {
-                            Emitted::New
-                        } else {
-                            Emitted::Duplicate
-                        }
+                        // invariant: a lost firing's head was derivable over
+                        // the old state, and this component's rows are only
+                        // removed below, after the passes.
+                        let id = total_ref
+                            .relation(head)
+                            .and_then(|r| r.id_of_hashed(h, row))
+                            .expect("lost firing's head is still stored");
+                        dec.push((head, id));
+                        Emitted::Duplicate
                     },
                 );
             }
-            let n = self.total.merge(&next);
-            rederived += n;
-            if n == 0 {
+        }
+        // Apply the decrements, then retract exactly the rows that lost
+        // their last support. Only decremented ids can newly hit zero, so
+        // the sweep is O(lost firings), not O(|relation|).
+        let mut zero: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
+        for &(p, id) in &dec {
+            self.total.relation_mut(p).sub_support(id, 1);
+        }
+        for &(p, id) in &dec {
+            // invariant: ids stay valid until `remove_tuples` below — the
+            // decrement loop only touches the support column.
+            let rel = self.total.relation(p).expect("decremented relation exists");
+            if rel.support(id) == 0 {
+                zero.entry(p).or_default().insert(Tuple::new(rel.row(id)));
+            }
+        }
+        let mut dropped = 0usize;
+        for (p, set) in &zero {
+            dropped += self.total.remove_tuples(*p, set);
+            for t in set {
+                self.provenance.forget(&t.to_atom(p.name));
+                removed.insert(*p, t.clone());
+            }
+        }
+        dropped
+    }
+
+    /// Recursive component: DRed. Phase 1 overdeletes every fact with a
+    /// derivation through the removed set, joining non-delta positions
+    /// against the *old* total ([`SideSources::OldTotal`]). Phase 2 asks
+    /// each doomed fact, individually, whether it still has a derivation:
+    /// first by re-checking its memoised witness from a previous cascade,
+    /// then with a head-seeded indexed probe; fresh witnesses are memoised.
+    /// Returns `(facts removed, facts rederived)`.
+    fn dred_group(
+        &mut self,
+        group: &SccGroup,
+        removed: &mut Database,
+        scratch: &mut ExecScratch,
+    ) -> (usize, usize) {
+        // ---- Phase 1: overdelete. ----
+        let mut doomed: FxHashMap<Predicate, FxHashSet<Tuple>> = FxHashMap::default();
+        let mut doomed_list: Vec<(Predicate, Tuple)> = Vec::new();
+        let mut delta = Database::new();
+        let mut first_round = true;
+        loop {
+            self.metrics.iterations += 1;
+            let mut next = Database::new();
+            for &ri in &group.rules {
+                let rule = &self.compiled[ri];
+                ensure_rule_indexes(rule, &mut self.total);
+                ensure_rule_indexes(rule, removed);
+                ensure_rule_indexes(rule, &mut delta);
+                let head = rule.head.pred;
+                let source: &Database = if first_round { removed } else { &delta };
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if source.len_of(lit.atom.pred) == 0 {
+                        continue;
+                    }
+                    let input = JoinInput {
+                        total: &self.total,
+                        delta: Some((i, DeltaSource::Db(source))),
+                        sides: Some(SideSources::OldTotal { removed }),
+                        negatives: None,
+                        governor: None,
+                    };
+                    let doomed_ref = &doomed;
+                    let protected_ref = &self.protected;
+                    let _ = exec_plan(
+                        &self.plans[ri],
+                        &input,
+                        scratch,
+                        &mut self.metrics,
+                        &mut |h, row| {
+                            let hit = |s: &FxHashSet<Tuple>| s.contains(&Tuple::new(row));
+                            if protected_ref.get(&head).is_some_and(hit)
+                                || doomed_ref.get(&head).is_some_and(hit)
+                            {
+                                Emitted::Duplicate
+                            } else if next.insert_row_hashed(head, h, row) {
+                                Emitted::New
+                            } else {
+                                Emitted::Duplicate
+                            }
+                        },
+                    );
+                }
+            }
+            first_round = false;
+            if next.total_tuples() == 0 {
+                break;
+            }
+            for p in next.predicates() {
+                let set = doomed.entry(p).or_default();
+                if let Some(rel) = next.relation(p) {
+                    for row in rel.iter() {
+                        let t = Tuple::new(row);
+                        if set.insert(t.clone()) {
+                            doomed_list.push((p, t));
+                        }
+                    }
+                }
+            }
+            delta = next;
+        }
+        let mut overdeleted = 0usize;
+        for (p, set) in &doomed {
+            overdeleted += self.total.remove_tuples(*p, set);
+        }
+        if doomed_list.is_empty() {
+            return (0, 0);
+        }
+
+        // ---- Phase 2: rederive. ----
+        // Passes over the still-doomed facts until a full pass rederives
+        // nothing: a fact may only become rederivable after a premise of
+        // its alternative derivation came back, so this converges to
+        // exactly the facts with support in the new state.
+        let mut alive = vec![false; doomed_list.len()];
+        let mut rederived = 0usize;
+        let mut jscratch = JoinScratch::new();
+        loop {
+            self.metrics.iterations += 1;
+            for &ri in &group.rules {
+                ensure_rule_indexes(&self.seeded[ri], &mut self.total);
+            }
+            let mut progress = false;
+            for (idx, (p, t)) in doomed_list.iter().enumerate() {
+                if alive[idx] {
+                    continue;
+                }
+                let fact = t.to_atom(p.name);
+                let mut witness = self
+                    .provenance
+                    .justification(&fact)
+                    .filter(|j| j.premises.iter().all(|pr| self.total.contains_atom(pr)))
+                    .cloned();
+                if witness.is_none() {
+                    for &ri in &group.rules {
+                        let rule = &self.seeded[ri];
+                        if rule.head.pred != *p {
+                            continue;
+                        }
+                        let input = JoinInput {
+                            total: &self.total,
+                            delta: None,
+                            sides: None,
+                            negatives: None,
+                            governor: None,
+                        };
+                        let mut found: Option<Justification> = None;
+                        join_rule_seeded(
+                            rule,
+                            t.values(),
+                            &input,
+                            &mut jscratch,
+                            &mut self.metrics,
+                            &mut |rule, bind, metrics| {
+                                metrics.firings += 1;
+                                let premises = rule
+                                    .body
+                                    .iter()
+                                    .map(|lit| {
+                                        lit.atom
+                                            .to_tuple(bind)
+                                            // invariant: emit fires after a
+                                            // full body match, when every
+                                            // body variable is bound.
+                                            .expect("ordered bodies ground at emit")
+                                            .to_atom(lit.atom.pred.name)
+                                    })
+                                    .collect();
+                                found = Some(Justification {
+                                    rule: ri,
+                                    premises,
+                                    negatives: Vec::new(),
+                                });
+                                ControlFlow::Break(())
+                            },
+                        );
+                        if found.is_some() {
+                            witness = found;
+                            break;
+                        }
+                    }
+                }
+                if let Some(j) = witness {
+                    self.total.insert(*p, t.clone());
+                    let rel = self.total.relation_mut(*p);
+                    let id = rel.len() as u32 - 1;
+                    rel.set_support(id, 1);
+                    self.provenance.record(fact, j);
+                    alive[idx] = true;
+                    progress = true;
+                    rederived += 1;
+                    self.metrics.new_facts += 1;
+                }
+            }
+            if !progress {
                 break;
             }
         }
-
-        // The deleted EDB fact itself is not a "derived" casualty.
-        Ok((overdeleted.saturating_sub(1), rederived))
+        for (idx, (p, t)) in doomed_list.iter().enumerate() {
+            if !alive[idx] {
+                self.provenance.forget(&t.to_atom(p.name));
+                removed.insert(*p, t.clone());
+            }
+        }
+        (overdeleted, rederived)
     }
+}
+
+/// True iff none of `rule`'s body predicates has rows in `removed` — the
+/// cheap skip that keeps unaffected components out of the cascade entirely.
+fn body_misses_removed(rule: &CompiledRule, removed: &Database) -> bool {
+    rule.body
+        .iter()
+        .all(|lit| removed.len_of(lit.atom.pred) == 0)
+}
+
+/// One blocked-executor pass with the counting emit discipline:
+///
+/// * head absent everywhere → staged with support 1 (its first firing);
+/// * head already staged → counted heads bump the staged support;
+/// * head in the total → counted heads defer an increment (ids are taken
+///   while the total is immutably borrowed, applied after the pass).
+///
+/// Recursive heads keep support 1 while present — a presence marker; their
+/// retraction is decided by DRed, not by the counter.
+#[allow(clippy::too_many_arguments)]
+fn counting_emit_pass(
+    plan: &RulePlan,
+    head: Predicate,
+    head_counted: bool,
+    input: &JoinInput<'_>,
+    total: &Database,
+    staged: &mut Database,
+    inc: &mut Vec<(Predicate, u32)>,
+    scratch: &mut ExecScratch,
+    metrics: &mut EvalMetrics,
+) {
+    let _ = exec_plan(plan, input, scratch, metrics, &mut |h, row| {
+        if let Some(id) = total.relation(head).and_then(|r| r.id_of_hashed(h, row)) {
+            if head_counted {
+                inc.push((head, id));
+            }
+            Emitted::Duplicate
+        } else if staged.insert_row_hashed(head, h, row) {
+            let rel = staged.relation_mut(head);
+            let id = rel.len() as u32 - 1;
+            rel.set_support(id, 1);
+            Emitted::New
+        } else {
+            if head_counted {
+                let rel = staged.relation_mut(head);
+                // invariant: the insert above found the row already staged.
+                let id = rel.id_of_hashed(h, row).expect("duplicate row is staged");
+                rel.add_support(id, 1);
+            }
+            Emitted::Duplicate
+        }
+    });
+}
+
+/// SCC decomposition of the head predicates: groups in dependencies-first
+/// order, plus the set of counted predicates (empty under
+/// [`Maintenance::Dred`]).
+fn classify(program: &Program, mode: Maintenance) -> (Vec<SccGroup>, FxHashSet<Predicate>) {
+    let graph = DepGraph::build(program);
+    let scc = tarjan(graph.len(), &|v| {
+        graph.succs[v].iter().map(|&(w, _)| w).collect()
+    });
+    let mut counted = FxHashSet::default();
+    let mut groups = Vec::new();
+    // `components` is already reverse topological — dependencies first.
+    for comp in &scc.components {
+        let preds: Vec<Predicate> = comp.iter().map(|&v| graph.vertices[v]).collect();
+        let rules: Vec<usize> = program
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| preds.contains(&r.head.predicate()))
+            .map(|(i, _)| i)
+            .collect();
+        if rules.is_empty() {
+            continue; // purely extensional vertex
+        }
+        let self_dependent = comp.len() > 1
+            || comp
+                .iter()
+                .any(|&v| graph.succs[v].iter().any(|&(w, _)| w == v));
+        let recursive = match mode {
+            Maintenance::Counting => self_dependent,
+            Maintenance::Dred => true,
+        };
+        if !recursive {
+            counted.extend(preds.iter().copied());
+        }
+        groups.push(SccGroup { rules, recursive });
+    }
+    (groups, counted)
 }
 
 #[cfg(test)]
@@ -347,6 +887,61 @@ mod tests {
         snapshot(&eval_seminaive(program, edb).unwrap().db)
     }
 
+    /// Asserts the support invariant: count > 0 iff the fact is stored, and
+    /// for counted predicates the count equals the distinct rule firings
+    /// over the final database (plus 1 when externally stored).
+    fn check_supports(inc: &IncrementalEngine) {
+        let db = inc.db();
+        // Expected firing counts per counted head fact, recomputed naively.
+        let mut expected: FxHashMap<(Predicate, Tuple), u32> = FxHashMap::default();
+        let mut scratch = JoinScratch::new();
+        let mut metrics = EvalMetrics::default();
+        for rule in &inc.program().rules {
+            let compiled = compile_rule(rule).unwrap();
+            if !inc.is_counted(compiled.head.pred) {
+                continue;
+            }
+            let input = JoinInput {
+                total: db,
+                delta: None,
+                sides: None,
+                negatives: None,
+                governor: None,
+            };
+            let head = compiled.head.clone();
+            let _ = crate::join::join_rule_bindings(
+                &compiled,
+                &input,
+                &mut scratch,
+                &mut metrics,
+                &mut |_, bind, _| {
+                    let t = head.to_tuple(bind).unwrap();
+                    *expected.entry((head.pred, t)).or_insert(0) += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+        for p in db.predicates() {
+            let rel = db.relation(p).unwrap();
+            let is_idb = inc.program().is_idb(p);
+            for id in 0..rel.len() as u32 {
+                let support = rel.support(id);
+                assert!(support > 0, "{p}: stored row with zero support");
+                if inc.is_counted(p) {
+                    let t = Tuple::new(rel.row(id));
+                    let external =
+                        u32::from(!is_idb || inc.protected.get(&p).is_some_and(|s| s.contains(&t)));
+                    let firings = expected.get(&(p, t)).copied().unwrap_or(0);
+                    assert_eq!(
+                        support,
+                        firings + external,
+                        "{p}: support drifted from firing count"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn insertion_matches_recompute() {
         let program = workload::transitive_closure();
@@ -357,6 +952,7 @@ mod tests {
         assert!(added > 1, "the new edge extends the closure");
         edb.insert_atom(&new_edge).unwrap();
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb));
+        check_supports(&inc);
     }
 
     #[test]
@@ -372,6 +968,7 @@ mod tests {
         let mut edb2 = edb;
         assert!(edb2.remove_atom(&victim));
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+        check_supports(&inc);
     }
 
     #[test]
@@ -405,6 +1002,129 @@ mod tests {
     }
 
     #[test]
+    fn delete_returns_the_true_overdeleted_count() {
+        // chain n0->n1->n2: deleting e(n1, n2) removes the base fact plus
+        // tc(n1, n2) and tc(n0, n2) — three facts, none rederived. The old
+        // API under-reported this as 2 by excluding the base fact.
+        let program = workload::transitive_closure();
+        let edb = workload::chain("e", 2);
+        let mut inc = IncrementalEngine::new(program, edb).unwrap();
+        let (over, re) = inc.delete(&parse_atom("e(n1, n2)").unwrap()).unwrap();
+        assert_eq!((over, re), (3, 0));
+    }
+
+    #[test]
+    fn counted_predicates_keep_surviving_support() {
+        // join(X, Z) has two derivations for (a, c): via b1 and via b2.
+        // Deleting one support must decrement, not retract.
+        let parsed = parse(
+            "
+            e(a, b1). e(a, b2). f(b1, c). f(b2, c).
+            join(X, Z) :- e(X, Y), f(Y, Z).
+        ",
+        )
+        .unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let program = Program {
+            rules: parsed.program.rules,
+            facts: Vec::new(),
+        };
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let j = Predicate::new("join", 2);
+        assert!(inc.is_counted(j), "non-recursive head must be counted");
+        let fact = parse_atom("join(a, c)").unwrap();
+        assert_eq!(inc.support_of(&fact), 2);
+
+        // Drop one branch: the fact survives on the other derivation, and
+        // the cascade never overdeletes or rederives it.
+        let (over, re) = inc.delete(&parse_atom("e(a, b1)").unwrap()).unwrap();
+        assert_eq!((over, re), (1, 0), "only the base fact goes");
+        assert_eq!(inc.support_of(&fact), 1);
+        assert!(inc.db().contains_atom(&fact));
+
+        // Drop the last branch: now the count hits zero and it retracts.
+        let (over, re) = inc.delete(&parse_atom("f(b2, c)").unwrap()).unwrap();
+        assert_eq!((over, re), (2, 0));
+        assert!(!inc.db().contains_atom(&fact));
+
+        let mut edb2 = edb;
+        edb2.remove_atom(&parse_atom("e(a, b1)").unwrap());
+        edb2.remove_atom(&parse_atom("f(b2, c)").unwrap());
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+        check_supports(&inc);
+    }
+
+    #[test]
+    fn counting_and_dred_modes_agree() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let program = workload::transitive_closure();
+        for seed in [7u64, 8] {
+            let edb = workload::random_graph("e", 8, 18, seed);
+            let mut counting = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+            let mut dred =
+                IncrementalEngine::with_mode(program.clone(), edb, Maintenance::Dred).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..10 {
+                let a = rng.random_range(0..8);
+                let b = rng.random_range(0..8);
+                let atom = parse_atom(&format!("e(n{a}, n{b})")).unwrap();
+                if rng.random_range(0..2) == 0 {
+                    counting.insert(&atom).unwrap();
+                    dred.insert(&atom).unwrap();
+                } else {
+                    counting.delete(&atom).unwrap();
+                    dred.delete(&atom).unwrap();
+                }
+                assert_eq!(snapshot(counting.db()), snapshot(dred.db()));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_applies_as_one_cascade() {
+        let program = workload::transitive_closure();
+        let mut edb = workload::chain("e", 8);
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let ops: Vec<(bool, Atom)> = vec![
+            (false, parse_atom("e(n3, n4)").unwrap()),
+            (true, parse_atom("e(n3, n5)").unwrap()),
+            (true, parse_atom("e(n8, n9)").unwrap()),
+            (false, parse_atom("e(n0, n1)").unwrap()),
+        ];
+        let out = inc.apply_batch(&ops).unwrap();
+        assert!(out.added > 0 && out.overdeleted > 0);
+        for (insert, atom) in &ops {
+            if *insert {
+                edb.insert_atom(atom).unwrap();
+            } else {
+                edb.remove_atom(atom);
+            }
+        }
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb));
+        check_supports(&inc);
+    }
+
+    #[test]
+    fn batch_nets_out_conflicting_ops_on_one_fact() {
+        let program = workload::transitive_closure();
+        let edb = workload::chain("e", 4);
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        // Delete-then-insert of a present fact nets to a no-op; insert-then-
+        // delete of an absent fact nets to a no-op.
+        let out = inc
+            .apply_batch(&[
+                (false, parse_atom("e(n1, n2)").unwrap()),
+                (true, parse_atom("e(n1, n2)").unwrap()),
+                (true, parse_atom("e(n9, n8)").unwrap()),
+                (false, parse_atom("e(n9, n8)").unwrap()),
+            ])
+            .unwrap();
+        assert_eq!(out, BatchOutcome::default());
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb));
+    }
+
+    #[test]
     fn random_update_sequences_match_recompute() {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
@@ -432,6 +1152,7 @@ mod tests {
                     from_scratch(&program, &edb),
                     "seed {seed} step {step}"
                 );
+                check_supports(&inc);
             }
         }
     }
@@ -447,6 +1168,66 @@ mod tests {
         let mut edb2 = edb;
         edb2.remove_atom(&victim);
         assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+        check_supports(&inc);
+    }
+
+    #[test]
+    fn memoised_witnesses_survive_repeated_deletions() {
+        // Two parallel paths n0->n1->n3, n0->n2->n3 plus a third n0->n4->n3.
+        // Delete branches one at a time: each cascade rederives tc(n0, n3)
+        // and the second deletion can reuse (or replace) the stored witness.
+        let parsed = parse(
+            "
+            e(n0, n1). e(n1, n3). e(n0, n2). e(n2, n3). e(n0, n4). e(n4, n3).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let edb = Database::from_program(&parsed.program);
+        let program = Program {
+            rules: parsed.program.rules,
+            facts: Vec::new(),
+        };
+        let mut inc = IncrementalEngine::new(program.clone(), edb.clone()).unwrap();
+        let goal = parse_atom("tc(n0, n3)").unwrap();
+        let mut edb2 = edb;
+        for gone in ["e(n1, n3)", "e(n2, n3)"] {
+            let victim = parse_atom(gone).unwrap();
+            let (_, re) = inc.delete(&victim).unwrap();
+            assert!(re > 0, "{gone}: tc(n0, n3) survives on another branch");
+            assert!(inc.db().contains_atom(&goal));
+            edb2.remove_atom(&victim);
+            assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+        }
+        // Removing the last branch retracts it for good.
+        let victim = parse_atom("e(n4, n3)").unwrap();
+        inc.delete(&victim).unwrap();
+        assert!(!inc.db().contains_atom(&goal));
+        edb2.remove_atom(&victim);
+        assert_eq!(snapshot(inc.db()), from_scratch(&program, &edb2));
+    }
+
+    #[test]
+    fn program_seeded_idb_facts_are_protected() {
+        // tc(n5, n6) is asserted by the program itself: deleting base edges
+        // must never retract it, in either mode.
+        let parsed = parse(
+            "
+            tc(n5, n6).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ",
+        )
+        .unwrap();
+        let mut edb = workload::chain("e", 4);
+        for mode in [Maintenance::Counting, Maintenance::Dred] {
+            let mut inc =
+                IncrementalEngine::with_mode(parsed.program.clone(), edb.clone(), mode).unwrap();
+            inc.delete(&parse_atom("e(n1, n2)").unwrap()).unwrap();
+            assert!(inc.db().contains_atom(&parse_atom("tc(n5, n6)").unwrap()));
+        }
+        edb.remove_atom(&parse_atom("e(n1, n2)").unwrap());
     }
 
     #[test]
@@ -456,6 +1237,9 @@ mod tests {
         let mut inc = IncrementalEngine::new(program, edb).unwrap();
         assert!(inc.insert(&parse_atom("tc(n0, n9)").unwrap()).is_err());
         assert!(inc.delete(&parse_atom("tc(n0, n1)").unwrap()).is_err());
+        assert!(inc
+            .apply_batch(&[(true, parse_atom("tc(n0, n9)").unwrap())])
+            .is_err());
     }
 
     #[test]

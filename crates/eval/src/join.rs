@@ -89,6 +89,20 @@ pub struct CompiledRule {
 /// Compiles `rule`, reordering its body for evaluability first. Fails only
 /// on rules whose negations cannot be grounded (unsafe rules).
 pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
+    compile_rule_inner(rule, false)
+}
+
+/// Compiles `rule` for head-seeded joining ([`join_rule_seeded`]): binding
+/// masks are computed as if every head slot were already bound, so body
+/// literals sharing head variables probe indexes with those constants
+/// instead of scanning. A rederivation check over a seeded compilation is
+/// an indexed point lookup; over a plain compilation it would start with a
+/// full scan of the first literal.
+pub fn compile_rule_seeded(rule: &Rule) -> Result<CompiledRule, Unorderable> {
+    compile_rule_inner(rule, true)
+}
+
+fn compile_rule_inner(rule: &Rule, seed_head: bool) -> Result<CompiledRule, Unorderable> {
     let ordered = order_for_evaluation(rule)?;
     let mut slots: FxHashMap<Var, u32> = FxHashMap::default();
     let slot_of = |v: Var, slots: &mut FxHashMap<Var, u32>| -> u32 {
@@ -108,9 +122,22 @@ pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
     };
 
     // Compile body first so masks reflect the evaluation order; safety
-    // guarantees head slots are a subset of body slots.
+    // guarantees head slots are a subset of body slots. The seeded variant
+    // compiles the head up front instead and marks its slots bound.
     let mut body = Vec::with_capacity(ordered.body.len());
     let mut bound_slots: Vec<bool> = Vec::new();
+    let pre_head = if seed_head {
+        let h = compile_atom(&ordered.head, &mut slots);
+        bound_slots.resize(slots.len(), false);
+        for p in &h.args {
+            if let Pat::Var(v) = p {
+                bound_slots[*v as usize] = true;
+            }
+        }
+        Some(h)
+    } else {
+        None
+    };
     for l in &ordered.body {
         let atom = compile_atom(&l.atom, &mut slots);
         bound_slots.resize(slots.len(), false);
@@ -141,7 +168,7 @@ pub fn compile_rule(rule: &Rule) -> Result<CompiledRule, Unorderable> {
             bound,
         });
     }
-    let head = compile_atom(&ordered.head, &mut slots);
+    let head = pre_head.unwrap_or_else(|| compile_atom(&ordered.head, &mut slots));
     Ok(CompiledRule {
         head,
         body,
@@ -162,6 +189,35 @@ pub enum DeltaSource<'a> {
     Db(&'a Database),
 }
 
+/// How *non-delta* literals resolve their fact sources during a counting
+/// update (see `incremental.rs`). The plain semi-naive delta join reads the
+/// full total at every non-delta position, which enumerates a firing once
+/// per delta position it matches — fine for set semantics, fatal for
+/// counting. The triangle decomposition splits the space so every changed
+/// firing is enumerated **exactly once**: position `i` reads the delta,
+/// positions before `i` read one side of the change, positions after `i`
+/// the other.
+#[derive(Clone, Copy)]
+pub enum SideSources<'a> {
+    /// Insertion triangle (`delta` must be [`DeltaSource::Spans`]): new
+    /// firings after a round's merge are `Σ_i join(old_{<i}, Δ_i,
+    /// new_{>i})`. Literals *before* the delta position read only the ids
+    /// below each span predicate's start (the pre-merge prefix); literals
+    /// after it read the full (post-merge) total.
+    InsertTriangle,
+    /// Deletion triangle, applied after the victims were physically removed
+    /// from the total: lost firings are `Σ_i join(new_{<i}, victims_i,
+    /// old_{>i})`. Literals before the delta position read the (shrunken)
+    /// total alone; literals after it read total ∪ `removed`.
+    DeleteTriangle { removed: &'a Database },
+    /// DRed overdelete: every non-delta literal reads total ∪ `removed`,
+    /// reconstructing the pre-deletion database. Unlike the triangle this
+    /// enumerates a lost firing once *per* delta position — sound for the
+    /// set-valued doomed computation, and required when a dead derivation
+    /// used removed facts at several positions.
+    OldTotal { removed: &'a Database },
+}
+
 /// The fact sources a join reads from.
 pub struct JoinInput<'a> {
     /// Full set of facts derived so far (plus the EDB).
@@ -169,6 +225,9 @@ pub struct JoinInput<'a> {
     /// Semi-naive: the literal index that must match the delta, and the
     /// delta itself. `None` runs a naive (full) join.
     pub delta: Option<(usize, DeltaSource<'a>)>,
+    /// Triangle/union resolution for the non-delta literals; `None` (the
+    /// default) reads the full total there, as plain semi-naive does.
+    pub sides: Option<SideSources<'a>>,
     /// Where negative literals are checked. Stratified evaluation passes the
     /// total database (lower strata complete); `None` defaults to `total`.
     pub negatives: Option<&'a Database>,
@@ -184,9 +243,68 @@ impl<'a> JoinInput<'a> {
         JoinInput {
             total,
             delta: None,
+            sides: None,
             negatives: None,
             governor: None,
         }
+    }
+}
+
+/// One enumerable source for a positive literal: a relation plus an
+/// optional `[lo, hi)` id range restricting the scan.
+pub(crate) type AccessSource<'a> = (&'a Relation, Option<(u32, u32)>);
+
+/// Resolves the (up to two) `(relation, id range)` sources a positive
+/// literal at body position `lit` enumerates, honouring the delta and any
+/// [`SideSources`]. Shared by both executors so their emission sequences
+/// stay bit-identical; the two sources are always disjoint (a removed fact
+/// is by construction absent from the total), so enumerating them in order
+/// needs no dedup.
+#[inline]
+pub(crate) fn resolve_access<'a>(
+    input: &JoinInput<'a>,
+    lit: usize,
+    pred: Predicate,
+) -> [Option<AccessSource<'a>>; 2] {
+    let full = |db: &'a Database| db.relation(pred).map(|r| (r, None));
+    match input.delta {
+        Some((d, src)) if d == lit => match src {
+            DeltaSource::Spans(spans) => {
+                let span = spans.get(pred);
+                [
+                    span.and_then(|s| input.total.relation(pred).map(|r| (r, Some(s)))),
+                    None,
+                ]
+            }
+            DeltaSource::Db(db) => [full(db), None],
+        },
+        _ => match input.sides {
+            None => [full(input.total), None],
+            Some(SideSources::InsertTriangle) => {
+                let before = matches!(input.delta, Some((d, _)) if lit < d);
+                let prefix = if before {
+                    match input.delta {
+                        Some((_, DeltaSource::Spans(spans))) => spans.get(pred).map(|(lo, _)| lo),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                match prefix {
+                    // The pre-merge prefix of a span predicate: ids [0, lo).
+                    Some(lo) => [input.total.relation(pred).map(|r| (r, Some((0, lo)))), None],
+                    None => [full(input.total), None],
+                }
+            }
+            Some(SideSources::DeleteTriangle { removed }) => {
+                if matches!(input.delta, Some((d, _)) if lit > d) {
+                    [full(input.total), full(removed)]
+                } else {
+                    [full(input.total), None]
+                }
+            }
+            Some(SideSources::OldTotal { removed }) => [full(input.total), full(removed)],
+        },
     }
 }
 
@@ -328,6 +446,48 @@ pub fn join_rule_bindings(
     descend(rule, input, neg_db, 0, bind, trail, metrics, emit)
 }
 
+/// A head-seeded derivability probe: pre-binds the rule's head slots from
+/// `head_row` and joins the body over `input`, calling `emit` for each
+/// satisfying assignment (which may `Break` at the first witness). This is
+/// DRed's rederivation question — "does *this specific* doomed fact still
+/// have a derivation?" — asked as an indexed point lookup instead of a full
+/// rule join: with the head bound, the body literals sharing its variables
+/// probe with those constants, so a transitive-closure rederivation check
+/// costs a handful of probes rather than a stratum re-evaluation.
+///
+/// Returns `None` (without joining) when `head_row` cannot match the head
+/// pattern (constant mismatch or conflicting repeated variables); otherwise
+/// the join's flow — `Break` iff `emit` broke.
+pub fn join_rule_seeded(
+    rule: &CompiledRule,
+    head_row: &[Const],
+    input: &JoinInput<'_>,
+    scratch: &mut JoinScratch,
+    metrics: &mut EvalMetrics,
+    emit: &mut EmitBindings<'_>,
+) -> Option<ControlFlow<()>> {
+    debug_assert_eq!(head_row.len(), rule.head.args.len());
+    let JoinScratch { bind, trail, .. } = scratch;
+    bind.clear();
+    bind.resize(rule.nvars, None);
+    trail.clear();
+    for (p, &v) in rule.head.args.iter().zip(head_row) {
+        match p {
+            Pat::Const(c) => {
+                if *c != v {
+                    return None;
+                }
+            }
+            Pat::Var(s) => match bind[*s as usize] {
+                Some(prev) if prev != v => return None,
+                _ => bind[*s as usize] = Some(v),
+            },
+        }
+    }
+    let neg_db = input.negatives.unwrap_or(input.total);
+    Some(descend(rule, input, neg_db, 0, bind, trail, metrics, emit))
+}
+
 /// Resolves a compiled term under the binding array. Only called for
 /// positions the evaluation order has already bound.
 #[inline]
@@ -387,94 +547,75 @@ fn descend(
             }
         }
         Polarity::Positive => {
-            // Resolve the relation this literal scans and the id range the
-            // delta (if this is the delta position) restricts it to.
-            let (relation, range): (&Relation, Option<(u32, u32)>) = match input.delta {
-                Some((d, DeltaSource::Spans(spans))) if d == depth => {
-                    let Some(span) = spans.get(lit.atom.pred) else {
-                        return ControlFlow::Continue(());
-                    };
-                    let Some(rel) = input.total.relation(lit.atom.pred) else {
-                        return ControlFlow::Continue(());
-                    };
-                    (rel, Some(span))
-                }
-                Some((d, DeltaSource::Db(db))) if d == depth => {
-                    let Some(rel) = db.relation(lit.atom.pred) else {
-                        return ControlFlow::Continue(());
-                    };
-                    (rel, None)
-                }
-                _ => {
-                    let Some(rel) = input.total.relation(lit.atom.pred) else {
-                        return ControlFlow::Continue(());
-                    };
-                    (rel, None)
-                }
-            };
-            let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
-            metrics.probes += 1;
+            // Resolve the (up to two) sources this literal enumerates; the
+            // second appears only for counting-update side resolutions.
+            let sources = resolve_access(input, depth, lit.atom.pred);
+            for (relation, range) in sources.into_iter().flatten() {
+                let (lo, hi) = range.unwrap_or((0, relation.len() as u32));
+                metrics.probes += 1;
 
-            let base = trail.len();
-            if lit.mask.is_empty() {
-                // Full scan of the (possibly range-restricted) relation.
-                // `tuples_considered` charges the whole enumeration, which
-                // is what the index ablation (E10) measures.
-                metrics.tuples_considered += u64::from(hi - lo);
-                for row in relation.rows_in(lo, hi) {
-                    match_candidate(
-                        rule, input, neg_db, depth, row, bind, trail, base, metrics, emit,
-                    )?;
-                }
-            } else {
-                // Hash the bound columns in place — no key vector. The
-                // digest matches the index's projection hashes because both
-                // sides stream the same constants in ascending column
-                // order.
-                let mut h = RowHasher::new();
-                for &(_, p) in &lit.bound {
-                    h.push(&resolve(p, bind));
-                }
-                let ids = relation.probe_ids(lit.mask, h.finish(), |rep| {
-                    lit.bound
-                        .iter()
-                        .all(|&(c, p)| rep[c as usize] == resolve(p, bind))
-                });
-                match ids {
-                    Some(ids) => {
-                        // Narrow the id-sorted posting list to the delta
-                        // range; for a full probe this is the whole list.
-                        let ids = match range {
-                            Some(_) => {
-                                let from = ids.partition_point(|&id| id < lo);
-                                let to = ids.partition_point(|&id| id < hi);
-                                &ids[from..to]
-                            }
-                            None => ids,
-                        };
-                        for &id in ids {
-                            metrics.tuples_considered += 1;
-                            let row = relation.row(id);
-                            match_candidate(
-                                rule, input, neg_db, depth, row, bind, trail, base, metrics, emit,
-                            )?;
-                        }
+                let base = trail.len();
+                if lit.mask.is_empty() {
+                    // Full scan of the (possibly range-restricted) relation.
+                    // `tuples_considered` charges the whole enumeration, which
+                    // is what the index ablation (E10) measures.
+                    metrics.tuples_considered += u64::from(hi - lo);
+                    for row in relation.rows_in(lo, hi) {
+                        match_candidate(
+                            rule, input, neg_db, depth, row, bind, trail, base, metrics, emit,
+                        )?;
                     }
-                    None => {
-                        // Fallback scan: storage enumerates the whole range
-                        // to filter it, and that cost is what
-                        // `tuples_considered` measures (ablation E10).
-                        metrics.tuples_considered += u64::from(hi - lo);
-                        for row in relation.rows_in(lo, hi) {
-                            if lit
-                                .bound
-                                .iter()
-                                .all(|&(c, p)| row[c as usize] == resolve(p, bind))
-                            {
+                } else {
+                    // Hash the bound columns in place — no key vector. The
+                    // digest matches the index's projection hashes because both
+                    // sides stream the same constants in ascending column
+                    // order.
+                    let mut h = RowHasher::new();
+                    for &(_, p) in &lit.bound {
+                        h.push(&resolve(p, bind));
+                    }
+                    let ids = relation.probe_ids(lit.mask, h.finish(), |rep| {
+                        lit.bound
+                            .iter()
+                            .all(|&(c, p)| rep[c as usize] == resolve(p, bind))
+                    });
+                    match ids {
+                        Some(ids) => {
+                            // Narrow the id-sorted posting list to the delta
+                            // range; for a full probe this is the whole list.
+                            let ids = match range {
+                                Some(_) => {
+                                    let from = ids.partition_point(|&id| id < lo);
+                                    let to = ids.partition_point(|&id| id < hi);
+                                    &ids[from..to]
+                                }
+                                None => ids,
+                            };
+                            for &id in ids {
+                                metrics.tuples_considered += 1;
+                                let row = relation.row(id);
                                 match_candidate(
                                     rule, input, neg_db, depth, row, bind, trail, base, metrics,
                                     emit,
                                 )?;
+                            }
+                        }
+                        None => {
+                            // Fallback scan: storage enumerates the whole range
+                            // to filter it, and that cost is what
+                            // `tuples_considered` measures (ablation E10).
+                            metrics.tuples_considered += u64::from(hi - lo);
+                            for row in relation.rows_in(lo, hi) {
+                                if lit
+                                    .bound
+                                    .iter()
+                                    .all(|&(c, p)| row[c as usize] == resolve(p, bind))
+                                {
+                                    match_candidate(
+                                        rule, input, neg_db, depth, row, bind, trail, base,
+                                        metrics, emit,
+                                    )?;
+                                }
                             }
                         }
                     }
@@ -698,6 +839,7 @@ mod tests {
         let input = JoinInput {
             total: &db,
             delta: Some((0, DeltaSource::Db(&delta))),
+            sides: None,
             negatives: None,
             governor: None,
         };
@@ -728,6 +870,7 @@ mod tests {
             let input = JoinInput {
                 total: &db,
                 delta: Some((delta_pos, DeltaSource::Spans(&spans))),
+                sides: None,
                 negatives: None,
                 governor: None,
             };
@@ -749,6 +892,7 @@ mod tests {
         let input = JoinInput {
             total: &db2,
             delta: Some((1, DeltaSource::Spans(&spans))),
+            sides: None,
             negatives: None,
             governor: None,
         };

@@ -90,10 +90,10 @@ pub use conditional::{eval_conditional, eval_conditional_opts, ConditionalResult
 pub use error::EvalError;
 pub use exec::{exec_plan, ExecMode, ExecScratch, BLOCK_ROWS};
 pub use govern::{Budget, CancelHandle, Completion, Consumption, Governor, Resource};
-pub use incremental::IncrementalEngine;
+pub use incremental::{BatchOutcome, IncrementalEngine, Maintenance};
 pub use join::{
-    compile_rule, ensure_rule_indexes, join_rule, CompiledRule, DeltaSource, Emitted, JoinInput,
-    JoinScratch,
+    compile_rule, compile_rule_seeded, ensure_rule_indexes, join_rule, join_rule_bindings,
+    join_rule_seeded, CompiledRule, DeltaSource, Emitted, JoinInput, JoinScratch, SideSources,
 };
 pub use metrics::{EvalMetrics, ExecStats};
 pub use naive::{eval_naive, eval_naive_opts, EvalOptions, EvalResult};

@@ -166,6 +166,7 @@ pub fn eval_naive_opts(
             let input = JoinInput {
                 total: &db,
                 delta: None,
+                sides: None,
                 negatives: None,
                 governor: gov_ref,
             };

@@ -97,6 +97,7 @@ pub fn eval_naive_parallel_opts(
                                 let input = JoinInput {
                                     total: db_ref,
                                     delta: None,
+                                    sides: None,
                                     negatives: None,
                                     governor,
                                 };

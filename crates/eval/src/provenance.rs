@@ -50,6 +50,20 @@ impl Provenance {
         self.justifications.get(fact)
     }
 
+    /// Records (or replaces) the justification for `fact`. The incremental
+    /// engine uses this to memoise rederivation witnesses: the next deletion
+    /// touching `fact` re-checks the stored premises before falling back to
+    /// a head-seeded join.
+    pub fn record(&mut self, fact: Atom, justification: Justification) {
+        self.justifications.insert(fact, justification);
+    }
+
+    /// Drops the justification for `fact` (when the fact is retracted for
+    /// good, its witness must not outlive it).
+    pub fn forget(&mut self, fact: &Atom) {
+        self.justifications.remove(fact);
+    }
+
     /// Number of justified facts.
     pub fn len(&self) -> usize {
         self.justifications.len()
@@ -212,6 +226,7 @@ pub fn eval_with_provenance(
                 let input = JoinInput {
                     total: &db,
                     delta: None,
+                    sides: None,
                     negatives: None,
                     governor: None,
                 };

@@ -291,6 +291,7 @@ fn run_round_tasks(
                 let input = JoinInput {
                     total: db,
                     delta: delta_of(task.delta_pos),
+                    sides: None,
                     negatives,
                     governor,
                 };
@@ -369,6 +370,7 @@ fn run_round_tasks(
                             let input = JoinInput {
                                 total: frozen.db(),
                                 delta: delta_of(task.delta_pos),
+                                sides: None,
                                 negatives,
                                 governor,
                             };

@@ -113,6 +113,19 @@ impl NetStats {
             SessionEnd::WriteError => &self.write_error,
         }
     }
+
+    /// Every session-end outcome with its wire name, for `STATS` lines.
+    const ENDS: [(SessionEnd, &'static str); 9] = [
+        (SessionEnd::Quit, "quit"),
+        (SessionEnd::Eof, "eof"),
+        (SessionEnd::Shutdown, "shutdown"),
+        (SessionEnd::Idle, "idle"),
+        (SessionEnd::Stalled, "stalled"),
+        (SessionEnd::SlowClient, "slow_client"),
+        (SessionEnd::ClientGone, "client_gone"),
+        (SessionEnd::ReadError, "read_error"),
+        (SessionEnd::WriteError, "write_error"),
+    ];
 }
 
 /// A running server; dropping it (or calling [`ServeHandle::shutdown`])
@@ -290,7 +303,7 @@ fn spawn_accept_loop<A: Acceptor>(
                     stats.accepted.fetch_add(1, Ordering::Relaxed);
                     stats.active.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
-                        let end = session(&service, wrap_stream(stream), &shutdown);
+                        let end = session(&service, wrap_stream(stream), &shutdown, &stats);
                         stats.counter(end).fetch_add(1, Ordering::Relaxed);
                         stats.active.fetch_sub(1, Ordering::SeqCst);
                         if end.is_abnormal() {
@@ -392,6 +405,7 @@ fn session<S: Read + Write>(
     service: &QueryService,
     stream: S,
     shutdown: &AtomicBool,
+    net: &NetStats,
 ) -> SessionEnd {
     let idle_timeout = service.config().idle_timeout;
     let mut reply = CappedBuf::new(service.config().max_reply_bytes);
@@ -444,7 +458,8 @@ fn session<S: Read + Write>(
         // multi-line answer must not trickle out as per-line segments.
         reply.clear();
         // invariant: CappedBuf never returns an IO error.
-        let quit = respond(service, &mut tenant, &line, &mut reply).expect("infallible buffer");
+        let quit =
+            respond(service, &mut tenant, &line, &mut reply, net).expect("infallible buffer");
         let wire = reply.wire();
         let wrote = reader
             .get_mut()
@@ -482,6 +497,7 @@ fn respond<W: Write>(
     tenant: &mut String,
     line: &str,
     w: &mut W,
+    net: &NetStats,
 ) -> io::Result<bool> {
     let mut quit = false;
     match parse_request(line) {
@@ -537,6 +553,10 @@ fn respond<W: Write>(
                 writeln!(w, "OK degraded epoch {} {flat}", service.generation())?;
             }
         },
+        Ok(Request::Stats) => {
+            let n = write_stats(service, net, w)?;
+            writeln!(w, "OK {n} epoch {}", service.generation())?;
+        }
         Ok(Request::Ping) => writeln!(w, "OK pong")?,
         Ok(Request::Quit) => {
             writeln!(w, "OK bye")?;
@@ -545,6 +565,34 @@ fn respond<W: Write>(
     }
     w.flush()?;
     Ok(quit)
+}
+
+/// Writes the `STAT <section>.<key> <value>` lines for a `STATS` request:
+/// this listener's connection counters ([`NetStats`]), the admission
+/// controller's live occupancy and shed total, and the health state
+/// machine's transition counts. Returns how many lines were written (the
+/// terminal `OK` line echoes it, mirroring `QUERY`'s answer count).
+fn write_stats<W: Write>(service: &QueryService, net: &NetStats, w: &mut W) -> io::Result<usize> {
+    let adm = service.admission();
+    let health = service.health();
+    let mut stats: Vec<(String, u64)> = vec![
+        ("net.active".into(), net.active() as u64),
+        ("net.accepted".into(), net.accepted()),
+    ];
+    for (end, name) in NetStats::ENDS {
+        stats.push((format!("net.{name}"), net.ended(end)));
+    }
+    stats.extend([
+        ("admission.active".into(), adm.active() as u64),
+        ("admission.waiting".into(), adm.waiting() as u64),
+        ("admission.shed".into(), adm.shed_total()),
+        ("health.degradations".into(), health.degradations()),
+        ("health.heals".into(), health.heals()),
+    ]);
+    for (key, value) in &stats {
+        writeln!(w, "STAT {key} {value}")?;
+    }
+    Ok(stats.len())
 }
 
 fn run_query(
@@ -603,7 +651,7 @@ mod tests {
     /// Drives one request through `respond` and returns the reply text.
     fn roundtrip(s: &QueryService, tenant: &mut String, line: &str) -> String {
         let mut out = Vec::new();
-        respond(s, tenant, line, &mut out).unwrap();
+        respond(s, tenant, line, &mut out, &NetStats::default()).unwrap();
         String::from_utf8(out).unwrap()
     }
 
@@ -635,6 +683,35 @@ mod tests {
         let q = roundtrip(&s, &mut tenant, "QUERY anc(adam, X) STRATEGY oldt");
         assert!(q.ends_with("OK 2 epoch 1 complete\n"), "{q}");
         assert_eq!(roundtrip(&s, &mut tenant, "QUIT"), "OK bye\n");
+    }
+
+    #[test]
+    fn stats_reports_every_counter_section_with_an_ok_terminal() {
+        let s = service();
+        let mut tenant = String::from("anon");
+        let net = NetStats::default();
+        net.accepted.fetch_add(3, Ordering::Relaxed);
+        net.quit.fetch_add(2, Ordering::Relaxed);
+        s.health().degrade("io");
+        s.health().heal();
+        let mut out = Vec::new();
+        respond(&s, &mut tenant, "STATS", &mut out, &net).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let (stat_lines, terminal) = lines.split_at(lines.len() - 1);
+        assert!(stat_lines.iter().all(|l| l.starts_with("STAT ")), "{text}");
+        assert_eq!(terminal[0], format!("OK {} epoch 0", stat_lines.len()));
+        for expected in [
+            "STAT net.accepted 3",
+            "STAT net.quit 2",
+            "STAT net.active 0",
+            "STAT admission.active 0",
+            "STAT admission.shed 0",
+            "STAT health.degradations 1",
+            "STAT health.heals 1",
+        ] {
+            assert!(stat_lines.contains(&expected), "missing {expected}: {text}");
+        }
     }
 
     #[test]
@@ -699,7 +776,7 @@ mod tests {
             out: out.clone(),
         };
         let shutdown = AtomicBool::new(false);
-        let end = session(&s, stream, &shutdown);
+        let end = session(&s, stream, &shutdown, &NetStats::default());
         assert_eq!(end, SessionEnd::Eof);
         let reply = String::from_utf8(out.lock().unwrap().clone()).unwrap();
         assert_eq!(
@@ -724,7 +801,10 @@ mod tests {
             out: Arc::new(std::sync::Mutex::new(Vec::new())),
         };
         let shutdown = AtomicBool::new(false);
-        assert_eq!(session(&s, stream, &shutdown), SessionEnd::Idle);
+        assert_eq!(
+            session(&s, stream, &shutdown, &NetStats::default()),
+            SessionEnd::Idle
+        );
 
         // A half-read request line turns the same timeout into Stalled.
         let stream = ScriptedStream {
@@ -735,7 +815,10 @@ mod tests {
             ]),
             out: Arc::new(std::sync::Mutex::new(Vec::new())),
         };
-        assert_eq!(session(&s, stream, &shutdown), SessionEnd::Stalled);
+        assert_eq!(
+            session(&s, stream, &shutdown, &NetStats::default()),
+            SessionEnd::Stalled
+        );
     }
 
     /// Writes fail like a vanished peer after the first chunk.
@@ -771,7 +854,10 @@ mod tests {
             input: std::collections::VecDeque::from([b"PING\n".to_vec()]),
         };
         let shutdown = AtomicBool::new(false);
-        assert_eq!(session(&s, stream, &shutdown), SessionEnd::ClientGone);
+        assert_eq!(
+            session(&s, stream, &shutdown, &NetStats::default()),
+            SessionEnd::ClientGone
+        );
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! EPOCH                              -> OK epoch <gen>
 //! HEALTH                             -> OK healthy epoch <gen>
 //!                                     | OK degraded epoch <gen> <reason>
+//! STATS                              -> STAT <section>.<key> <value>… then
+//!                                       OK <n> epoch <gen>
 //! PING                               -> OK pong
 //! QUIT                               -> OK bye (connection closes)
 //! ```
 //!
 //! Every response's final line starts with `OK` or `ERR` — that is the
 //! whole framing contract. `ANSWER` lines only appear before a `QUERY`'s
-//! terminal line. Error text is flattened to one line.
+//! terminal line, and `STAT` lines only before a `STATS` terminal line.
+//! Error text is flattened to one line.
 
 /// One parsed client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,6 +44,9 @@ pub enum Request {
     Epoch,
     /// Report the server state (healthy or degraded read-only).
     Health,
+    /// Report operational counters: connection outcomes, admission and
+    /// shedding, health transitions.
+    Stats,
     /// Liveness check.
     Ping,
     /// Close the session.
@@ -101,11 +107,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "COMMIT" => Ok(Request::Commit),
         "EPOCH" => Ok(Request::Epoch),
         "HEALTH" => Ok(Request::Health),
+        "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!(
-            "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH HEALTH PING \
-             QUIT"
+            "unknown verb `{other}`; one of: HELLO QUERY INSERT DELETE COMMIT EPOCH HEALTH STATS \
+             PING QUIT"
         )),
     }
 }
@@ -189,6 +196,7 @@ mod tests {
         assert_eq!(parse_request("  commit  ").unwrap(), Request::Commit);
         assert_eq!(parse_request("EPOCH").unwrap(), Request::Epoch);
         assert_eq!(parse_request("health").unwrap(), Request::Health);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("ping").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
     }

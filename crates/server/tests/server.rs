@@ -82,6 +82,44 @@ fn tcp_sessions_speak_the_protocol_end_to_end() {
 }
 
 #[test]
+fn stats_over_tcp_reports_listener_and_service_counters() {
+    let handle = serve_tcp(service("par(adam, seth)."), "127.0.0.1:0").unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // One whole session ends cleanly first, so the quit counter is non-zero.
+    {
+        let mut conn = BufReader::new(TcpStream::connect(addr).unwrap());
+        assert_eq!(exchange(&mut conn, "QUIT"), ["OK bye"]);
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.stats().ended(SessionEnd::Quit) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let mut conn = BufReader::new(TcpStream::connect(addr).unwrap());
+    let out = exchange(&mut conn, "STATS");
+    let (stats, terminal) = out.split_at(out.len() - 1);
+    assert!(stats.iter().all(|l| l.starts_with("STAT ")), "{out:?}");
+    assert_eq!(terminal[0], format!("OK {} epoch 0", stats.len()));
+    let value = |key: &str| -> u64 {
+        stats
+            .iter()
+            .find_map(|l| l.strip_prefix(&format!("STAT {key} ")))
+            .unwrap_or_else(|| panic!("missing {key}: {out:?}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(value("net.accepted"), 2, "the quit session and this one");
+    assert_eq!(value("net.quit"), 1);
+    assert_eq!(value("net.active"), 1, "this session");
+    assert_eq!(value("admission.active"), 0, "no query in flight");
+    assert_eq!(value("admission.shed"), 0);
+    assert_eq!(value("health.degradations"), 0);
+    assert_eq!(value("health.heals"), 0);
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_tcp_clients_get_consistent_epoch_tagged_answers() {
     let handle = serve_tcp(service("par(n0, n1)."), "127.0.0.1:0").unwrap();
     let addr = handle.tcp_addr().unwrap();

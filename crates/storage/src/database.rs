@@ -168,10 +168,16 @@ impl Database {
         for (p, r) in other.iter() {
             let target = self.relation_mut(p);
             // Reuse the source relation's stored digests: a merge never
-            // re-hashes what insertion already hashed.
-            for (row, &h) in r.iter().zip(r.row_hashes()) {
+            // re-hashes what insertion already hashed. Appended rows carry
+            // their source support count (duplicates keep the target's —
+            // the counting engine reconciles those separately).
+            for ((row, &h), &s) in r.iter().zip(r.row_hashes()).zip(r.supports()) {
                 if target.insert_row_hashed(h, row) {
                     added += 1;
+                    if s != 0 {
+                        let id = u32::try_from(target.len() - 1).expect("relation overflow");
+                        target.set_support(id, s);
+                    }
                 }
             }
         }
@@ -189,8 +195,12 @@ impl Database {
         let mut added = 0;
         for (p, r) in staged.iter() {
             let target = self.relation_mut(p);
-            for (row, &h) in r.iter().zip(r.row_hashes()) {
+            for ((row, &h), &s) in r.iter().zip(r.row_hashes()).zip(r.supports()) {
                 target.push_new_row_hashed(h, row);
+                if s != 0 {
+                    let id = u32::try_from(target.len() - 1).expect("relation overflow");
+                    target.set_support(id, s);
+                }
                 added += 1;
             }
         }
@@ -416,6 +426,30 @@ mod tests {
         b.insert(Predicate::new("e", 1), tuple_of_syms(&["y"]));
         assert_eq!(a.merge(&b), 1);
         assert_eq!(a.len_of(Predicate::new("e", 1)), 2);
+    }
+
+    #[test]
+    fn merge_and_absorb_carry_support_counts() {
+        let e = Predicate::new("e", 1);
+        let mut a = Database::new();
+        a.insert(e, tuple_of_syms(&["x"]));
+        a.relation_mut(e).set_support(0, 5);
+        let mut b = Database::new();
+        b.insert(e, tuple_of_syms(&["x"]));
+        b.insert(e, tuple_of_syms(&["y"]));
+        let rb = b.relation_mut(e);
+        rb.set_support(0, 9);
+        rb.set_support(1, 2);
+        assert_eq!(a.merge(&b), 1);
+        let ra = a.relation(e).unwrap();
+        assert_eq!(ra.support(0), 5, "duplicate keeps the target's count");
+        assert_eq!(ra.support(1), 2, "appended row carries its source count");
+
+        let mut staged = Database::new();
+        staged.insert(e, tuple_of_syms(&["z"]));
+        staged.relation_mut(e).set_support(0, 3);
+        assert_eq!(a.absorb_staged(&staged), 1);
+        assert_eq!(a.relation(e).unwrap().support(2), 3);
     }
 
     #[test]

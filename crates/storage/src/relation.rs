@@ -14,18 +14,23 @@
 //!
 //! ## Invariants
 //!
-//! - Ids are dense and insertion-ordered: id `i` is the `i`-th distinct
-//!   tuple ever inserted. Iteration (and therefore everything downstream:
-//!   merge order, metrics, parallel-round determinism) follows ids.
+//! - Ids are dense: rows occupy `0..len` with no holes. Inserts append in
+//!   insertion order; a small deletion may swap the tail row into the
+//!   vacated id, so relative order is only insertion order until the first
+//!   removal. Iteration (and everything downstream: merge order, metrics,
+//!   parallel-round determinism) follows ids, which stay deterministic for
+//!   a deterministic operation sequence.
 //! - `hashes[id]` is always the [`alexander_ir::hash_row`] digest of row
 //!   `id`; the dedup table and every index group key off these digests.
-//! - Index posting lists are sorted ascending by id (inserts append, ids
-//!   grow monotonically), so a semi-naive delta — an id range `[lo, hi)` —
-//!   restricts a posting list with two binary searches instead of probing
-//!   a separate delta database.
-//! - Once an index exists, every insert maintains it in place: O(1) per
-//!   (tuple, index). Bulk deletion ([`Relation::remove_all`]) is the one
-//!   rebuild point.
+//! - Index posting lists are sorted ascending by id, so a semi-naive
+//!   delta — an id range `[lo, hi)` — restricts a posting list with two
+//!   binary searches instead of probing a separate delta database.
+//!   Appends keep lists sorted for free; deletions re-sort the two
+//!   patched lists ([`Relation::remove_all`]).
+//! - Once an index exists, every insert *and every delete* maintains it in
+//!   place: O(1) per (tuple, index) on insert, O(|group|) per victim on
+//!   small deletes, one order-preserving remap pass on mass deletes —
+//!   never a from-scratch rebuild.
 
 use crate::tuple::Tuple;
 use alexander_ir::{hash_row, Const, FxHashMap, RowHasher};
@@ -162,9 +167,53 @@ impl RawTable {
         self.len += 1;
     }
 
-    fn clear(&mut self) {
-        self.slots.clear();
-        self.len = 0;
+    /// Overwrites the slot holding `value` (an entry with hash `hash`) with
+    /// `new`. The probe chain is untouched — `new` answers to the same hash.
+    fn replace(&mut self, hash: u64, value: u32, new: u32) {
+        let cap = self.slots.len();
+        let mut i = hash as usize & (cap - 1);
+        while self.slots[i] != value {
+            debug_assert!(self.slots[i] != EMPTY, "entry to replace exists");
+            i = (i + 1) & (cap - 1);
+        }
+        self.slots[i] = new;
+    }
+
+    /// Backward-shift deletion of the slot holding `value` (hash `hash`):
+    /// entries later in the same probe chain slide back over the hole, so
+    /// `find` never stops early at a spurious empty slot. `hash_of`
+    /// recovers an entry's hash from the owning side structure. The entry
+    /// must exist.
+    fn delete(&mut self, hash: u64, value: u32, mut hash_of: impl FnMut(u32) -> u64) {
+        let cap = self.slots.len();
+        let mut hole = hash as usize & (cap - 1);
+        while self.slots[hole] != value {
+            debug_assert!(self.slots[hole] != EMPTY, "entry to delete exists");
+            hole = (hole + 1) & (cap - 1);
+        }
+        let mut j = hole;
+        loop {
+            j = (j + 1) & (cap - 1);
+            let v = self.slots[j];
+            if v == EMPTY {
+                break;
+            }
+            // `v` may slide into the hole iff its home slot is cyclically
+            // outside `(hole, j]` — otherwise it is already as close to
+            // home as the chain allows.
+            let home = hash_of(v) as usize & (cap - 1);
+            let in_gap = if hole <= j {
+                home > hole && home <= j
+            } else {
+                home > hole || home <= j
+            };
+            if !in_gap {
+                self.slots[hole] = v;
+                hole = j;
+            }
+        }
+        self.slots[hole] = EMPTY;
+        self.len -= 1;
     }
 
     /// Empties the table while keeping its slot array, so a recycled
@@ -173,6 +222,12 @@ impl RawTable {
         self.slots.fill(EMPTY);
         self.len = 0;
     }
+}
+
+/// Row `id` of an arena with the given stride, as a slice.
+#[inline]
+fn row_of(pool: &[Const], arity: usize, id: u32) -> &[Const] {
+    &pool[id as usize * arity..id as usize * arity + arity]
 }
 
 /// One key group of an index: every row whose projection onto the index
@@ -249,6 +304,89 @@ impl Index {
         }
     }
 
+    /// Resolves the position in `groups` of the group holding `row` (which
+    /// must be indexed; `row_at` reads representative rows from the arena).
+    fn group_of<'p>(&self, row: &[Const], row_at: impl Fn(u32) -> &'p [Const]) -> u32 {
+        let h = self.projection_hash(row);
+        let cols = &self.cols;
+        let groups = &self.groups;
+        self.table
+            .find(h, |g| {
+                let grp = &groups[g as usize];
+                grp.hash == h && {
+                    let rep = row_at(grp.ids[0]);
+                    cols.iter().all(|&c| rep[c as usize] == row[c as usize])
+                }
+            })
+            .expect("indexed row's group exists")
+    }
+
+    /// Drops row `id` (data `row`) from its posting list; a group emptied
+    /// by the drop is deleted, with the swapped-in tail group's table entry
+    /// redirected. O(|group|) — independent of the relation's size.
+    fn remove_id<'p>(&mut self, id: u32, row: &[Const], row_at: impl Fn(u32) -> &'p [Const]) {
+        let g = self.group_of(row, &row_at);
+        let grp = &mut self.groups[g as usize];
+        let pos = grp
+            .ids
+            .binary_search(&id)
+            .expect("indexed row in its group");
+        grp.ids.remove(pos);
+        if !grp.ids.is_empty() {
+            return;
+        }
+        let hash = grp.hash;
+        let groups = &self.groups;
+        self.table.delete(hash, g, |gg| groups[gg as usize].hash);
+        self.groups.swap_remove(g as usize);
+        let last = self.groups.len() as u32;
+        if g != last {
+            // The former tail group now lives at `g`.
+            self.table.replace(self.groups[g as usize].hash, last, g);
+        }
+    }
+
+    /// Renames row `old` to `new` in its posting list (`row` is its data).
+    /// `old` must be the relation's current maximum id, so it is the last
+    /// element of its ascending posting list; `new` re-inserts in sorted
+    /// position. O(|group|).
+    fn move_id<'p>(
+        &mut self,
+        old: u32,
+        new: u32,
+        row: &[Const],
+        row_at: impl Fn(u32) -> &'p [Const],
+    ) {
+        let g = self.group_of(row, &row_at);
+        let ids = &mut self.groups[g as usize].ids;
+        debug_assert_eq!(ids.last(), Some(&old), "max id ends its posting list");
+        ids.pop();
+        let pos = ids.partition_point(|&x| x < new);
+        ids.insert(pos, new);
+    }
+
+    /// Rewrites the index after a bulk removal: `remap[old_id]` is a
+    /// surviving row's new id, or [`EMPTY`] for a removed row. Survivors
+    /// keep their relative order, so substituting ids in place preserves
+    /// every posting list's ascending invariant — no projection is ever
+    /// rehashed. Emptied groups are dropped and the group table re-slotted
+    /// (group ids shift when groups die, and open addressing cannot delete
+    /// in place anyway).
+    fn remove_remap(&mut self, remap: &[u32]) {
+        for grp in &mut self.groups {
+            grp.ids.retain_mut(|id| {
+                let nid = remap[*id as usize];
+                *id = nid;
+                nid != EMPTY
+            });
+        }
+        self.groups.retain(|g| !g.ids.is_empty());
+        self.table.clear_retaining();
+        for (g, grp) in self.groups.iter().enumerate() {
+            self.table.insert_no_grow(grp.hash, g as u32);
+        }
+    }
+
     /// The ids whose projection hashes to `hash` and satisfies `key_eq`
     /// (checked against one representative row). Empty when no group
     /// matches.
@@ -285,6 +423,12 @@ pub struct Relation {
     len: u32,
     pool: Vec<Const>,
     hashes: Vec<u64>,
+    /// Per-row support count, parallel to `hashes`: the number of distinct
+    /// rule firings currently deriving row `id`. Plain evaluators leave it
+    /// at 0 (they never read it); the counting incremental engine maintains
+    /// it and retracts a row only when its count reaches zero. The column
+    /// rides the arena layout — deletion rebuilds carry it, merges copy it.
+    supports: Vec<u32>,
     dedup: RawTable,
     indexes: FxHashMap<Mask, Index>,
 }
@@ -396,6 +540,7 @@ impl Relation {
         self.dedup.insert_no_grow(h, id);
         self.pool.extend_from_slice(row);
         self.hashes.push(h);
+        self.supports.push(0);
         self.len = id + 1;
     }
 
@@ -409,6 +554,62 @@ impl Relation {
     fn find_id(&self, h: u64, row: &[Const]) -> Option<u32> {
         self.dedup
             .find(h, |id| self.hashes[id as usize] == h && self.row(id) == row)
+    }
+
+    /// The id of the stored row equal to `row`, if present. Arity
+    /// mismatches simply miss.
+    #[inline]
+    pub fn id_of(&self, row: &[Const]) -> Option<u32> {
+        if row.len() != self.arity {
+            return None;
+        }
+        self.find_id(hash_row(row), row)
+    }
+
+    /// As [`Relation::id_of`], with the row's [`hash_row`] digest already
+    /// computed by the caller.
+    #[inline]
+    pub fn id_of_hashed(&self, h: u64, row: &[Const]) -> Option<u32> {
+        if row.len() != self.arity {
+            return None;
+        }
+        self.find_id(h, row)
+    }
+
+    /// The support count of row `id`.
+    #[inline]
+    pub fn support(&self, id: u32) -> u32 {
+        self.supports[id as usize]
+    }
+
+    /// The whole support column, indexed by id (parallel to
+    /// [`Relation::row_hashes`]).
+    #[inline]
+    pub fn supports(&self) -> &[u32] {
+        &self.supports
+    }
+
+    /// Overwrites row `id`'s support count.
+    #[inline]
+    pub fn set_support(&mut self, id: u32, count: u32) {
+        self.supports[id as usize] = count;
+    }
+
+    /// Adds `by` firings to row `id`'s support; returns the new count.
+    #[inline]
+    pub fn add_support(&mut self, id: u32, by: u32) -> u32 {
+        let s = &mut self.supports[id as usize];
+        *s = s.checked_add(by).expect("support overflow");
+        *s
+    }
+
+    /// Removes `by` firings from row `id`'s support (saturating at zero);
+    /// returns the new count.
+    #[inline]
+    pub fn sub_support(&mut self, id: u32, by: u32) -> u32 {
+        let s = &mut self.supports[id as usize];
+        *s = s.saturating_sub(by);
+        *s
     }
 
     /// Membership test for a row slice.
@@ -577,39 +778,142 @@ impl Relation {
 
     /// Removes every tuple in `victims`; returns how many were present.
     ///
-    /// Deletion compacts the arena and rebuilds the dedup table and any
-    /// existing indexes (they key tuple ids by position). Incremental
-    /// maintenance deletes in batches, so one rebuild per batch amortises
-    /// fine.
+    /// Two strategies, picked by how much of the relation dies. A small
+    /// victim set takes the O(|victims|) path: each victim is resolved
+    /// through the dedup table and the current tail row swaps into its
+    /// hole — the dedup table takes a backward-shift deletion plus one
+    /// renamed entry, and each index patches two posting lists. Ids stay
+    /// dense but the relative order of rows that crossed a removal is no
+    /// longer insertion order (nothing downstream depends on order across
+    /// a deletion; ascending posting lists are restored on insert).
+    ///
+    /// A large victim set (an eighth of the relation or more) amortises
+    /// better as a compaction: survivors slide left in one pass preserving
+    /// their order, the dedup table re-slots the surviving precomputed
+    /// hashes, and posting lists substitute remapped ids. O(|relation|),
+    /// but in cheap moves — no hash is recomputed and no row compared.
     pub fn remove_all(&mut self, victims: &alexander_ir::FxHashSet<Tuple>) -> usize {
-        if victims.is_empty() {
+        if victims.is_empty() || self.len == 0 {
             return 0;
         }
-        let before = self.len();
-        let masks: Vec<Mask> = self.indexes.keys().copied().collect();
-        let arity = self.arity;
-        let old_pool = std::mem::take(&mut self.pool);
-        self.hashes.clear();
-        self.dedup.clear();
-        self.indexes.clear();
-        self.len = 0;
-        if arity == 0 {
-            // Propositional relation: the single possible row survives iff
-            // the empty tuple is not a victim.
-            if before == 1 && !victims.contains(&Tuple::new(Vec::new())) {
-                self.insert_row(&[]);
-            }
+        if victims.len().saturating_mul(8) < self.len() {
+            self.remove_swap(victims)
         } else {
-            for row in old_pool.chunks_exact(arity) {
-                if !victims.contains(&Tuple::new(row)) {
-                    self.insert_row(row);
+            self.remove_compact(victims)
+        }
+    }
+
+    /// The small-delete path: per-victim tail swaps, O(|victims|) overall.
+    /// See [`Relation::remove_all`].
+    fn remove_swap(&mut self, victims: &alexander_ir::FxHashSet<Tuple>) -> usize {
+        let mut dropped = 0;
+        for t in victims {
+            if t.arity() != self.arity {
+                continue;
+            }
+            let h = hash_row(t.values());
+            let Some(id) = self.find_id(h, t.values()) else {
+                continue;
+            };
+            self.swap_remove_id(h, id);
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Removes row `id` (whose hash is `h`) by swapping the tail row into
+    /// its slot. All derived structures are patched in place.
+    fn swap_remove_id(&mut self, h: u64, id: u32) {
+        let last = self.len - 1;
+        let arity = self.arity;
+        // Drop the victim from the dedup table and every index while its
+        // row is still addressable.
+        let hashes = &self.hashes;
+        self.dedup.delete(h, id, |v| hashes[v as usize]);
+        let pool = &self.pool;
+        for index in self.indexes.values_mut() {
+            index.remove_id(id, row_of(pool, arity, id), |rid| row_of(pool, arity, rid));
+        }
+        if id != last {
+            // Rename the tail row to `id`: dedup entry first, then each
+            // index's posting entry, then the arena columns.
+            let lh = self.hashes[last as usize];
+            self.dedup.replace(lh, last, id);
+            for index in self.indexes.values_mut() {
+                index.move_id(last, id, row_of(pool, arity, last), |rid| {
+                    row_of(pool, arity, rid)
+                });
+            }
+            self.pool.copy_within(
+                last as usize * arity..(last as usize + 1) * arity,
+                id as usize * arity,
+            );
+            self.hashes[id as usize] = lh;
+            self.supports[id as usize] = self.supports[last as usize];
+        }
+        self.pool.truncate(last as usize * arity);
+        self.hashes.truncate(last as usize);
+        self.supports.truncate(last as usize);
+        self.len = last;
+    }
+
+    /// The mass-delete path: one order-preserving compaction pass,
+    /// O(|relation|) in moves. See [`Relation::remove_all`].
+    fn remove_compact(&mut self, victims: &alexander_ir::FxHashSet<Tuple>) -> usize {
+        // Resolve victims to ids; absent (or wrong-arity) victims fall out.
+        let mut victim_ids: Vec<u32> = victims
+            .iter()
+            .filter(|t| t.arity() == self.arity)
+            .filter_map(|t| self.find_id(hash_row(t.values()), t.values()))
+            .collect();
+        if victim_ids.is_empty() {
+            return 0;
+        }
+        victim_ids.sort_unstable();
+        // Dense remap: `remap[old] = new` for survivors, EMPTY for victims.
+        // Survivors keep their relative (insertion) order.
+        let mut remap = vec![EMPTY; self.len as usize];
+        {
+            let mut vi = 0;
+            let mut next = 0u32;
+            for old in 0..self.len {
+                if vi < victim_ids.len() && victim_ids[vi] == old {
+                    vi += 1;
+                } else {
+                    remap[old as usize] = next;
+                    next += 1;
                 }
             }
         }
-        for m in masks {
-            self.ensure_index(m);
+        let new_len = self.len - victim_ids.len() as u32;
+        // Compact the arena columns. Rows only ever move left, so the
+        // destination slot is always dead (a victim or already moved).
+        let arity = self.arity;
+        for (old, &nid) in remap.iter().enumerate() {
+            if nid == EMPTY || nid as usize == old {
+                continue;
+            }
+            let nid = nid as usize;
+            self.pool
+                .copy_within(old * arity..old * arity + arity, nid * arity);
+            self.hashes[nid] = self.hashes[old];
+            self.supports[nid] = self.supports[old];
         }
-        before - self.len()
+        self.pool.truncate(new_len as usize * arity);
+        self.hashes.truncate(new_len as usize);
+        self.supports.truncate(new_len as usize);
+        self.len = new_len;
+        // Open addressing cannot delete in place; re-slot the surviving
+        // hashes instead. No row is rehashed or compared — survivors are
+        // distinct by the relation's own invariant.
+        self.dedup.clear_retaining();
+        for id in 0..new_len {
+            self.dedup.insert_no_grow(self.hashes[id as usize], id);
+        }
+        for index in self.indexes.values_mut() {
+            index.remove_remap(&remap);
+        }
+        victim_ids.len()
     }
 
     /// Removes a single tuple; returns whether it was present.
@@ -626,6 +930,7 @@ impl Relation {
     pub fn clear_rows(&mut self) {
         self.pool.clear();
         self.hashes.clear();
+        self.supports.clear();
         self.dedup.clear_retaining();
         self.indexes.clear();
         self.len = 0;
@@ -900,6 +1205,113 @@ mod tests {
     }
 
     #[test]
+    fn both_removal_paths_agree_with_a_model() {
+        // Drive the swap path and the compaction path over the same
+        // victim sets and check every observable against a model: length,
+        // membership, dedup (re-insertion), index probes, supports.
+        for compact in [false, true] {
+            let mut r = Relation::new(2);
+            let m0 = Mask::of_columns(&[0]);
+            let m01 = Mask::of_columns(&[0, 1]);
+            r.ensure_index(m0);
+            r.ensure_index(m01);
+            let mut model: Vec<(i64, i64)> = Vec::new();
+            for i in 0..60 {
+                r.insert(Tuple::new(vec![Const::int(i % 5), Const::int(i)]));
+                model.push((i % 5, i));
+                let id = r.len() as u32 - 1;
+                r.set_support(id, i as u32 + 1);
+            }
+            let mut victims = alexander_ir::FxHashSet::default();
+            for i in (0..60).step_by(3) {
+                victims.insert(Tuple::new(vec![Const::int(i % 5), Const::int(i)]));
+            }
+            victims.insert(Tuple::new(vec![Const::int(99), Const::int(99)])); // absent
+            victims.insert(Tuple::new(vec![Const::int(1)])); // wrong arity
+            let dropped = if compact {
+                r.remove_compact(&victims)
+            } else {
+                r.remove_swap(&victims)
+            };
+            assert_eq!(dropped, 20, "compact={compact}");
+            model.retain(|&(_, i)| i % 3 != 0);
+            assert_eq!(r.len(), model.len());
+            for &(k, i) in &model {
+                let row = [Const::int(k), Const::int(i)];
+                let id = r.id_of(&row).expect("survivor present");
+                assert_eq!(r.support(id), i as u32 + 1, "support followed the row");
+            }
+            for k in 0..5i64 {
+                let want = model.iter().filter(|&&(a, _)| a == k).count();
+                assert_eq!(r.select(m0, &[Const::int(k)]).len(), want, "k={k}");
+            }
+            // Posting lists stay ascending (binary-search probes rely on it).
+            for index in r.indexes.values() {
+                for grp in &index.groups {
+                    assert!(grp.ids.windows(2).all(|w| w[0] < w[1]), "sorted postings");
+                }
+            }
+            // The dedup table forgot the victims and still dedups survivors.
+            assert!(r.insert(Tuple::new(vec![Const::int(0), Const::int(0)])));
+            assert!(!r.insert(Tuple::new(vec![Const::int(1), Const::int(1)])));
+        }
+    }
+
+    #[test]
+    fn swap_removal_drops_emptied_groups_and_redirects_moved_ones() {
+        // One group per key under the full mask: removals empty groups
+        // constantly, exercising group swap_remove + table redirection.
+        let mut r = Relation::new(2);
+        let mask = Mask::of_columns(&[0, 1]);
+        r.ensure_index(mask);
+        for i in 0..40i64 {
+            r.insert(Tuple::new(vec![Const::int(i), Const::int(-i)]));
+        }
+        for i in (0..20i64).rev().map(|k| 2 * k) {
+            let mut v = alexander_ir::FxHashSet::default();
+            v.insert(Tuple::new(vec![Const::int(i), Const::int(-i)]));
+            assert_eq!(r.remove_swap(&v), 1);
+        }
+        assert_eq!(r.len(), 20);
+        for i in 0..40i64 {
+            let key = [Const::int(i), Const::int(-i)];
+            assert_eq!(r.select(mask, &key).len(), usize::from(i % 2 == 1), "i={i}");
+            assert_eq!(r.contains_row(&key), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn removal_dispatch_covers_both_paths() {
+        // Small victim sets take the swap path, large ones the compaction;
+        // either way the observable result is the same set difference.
+        let build = || {
+            let mut r = Relation::new(1);
+            r.ensure_index(Mask::of_columns(&[0]));
+            for i in 0..100i64 {
+                r.insert(Tuple::new(vec![Const::int(i)]));
+            }
+            r
+        };
+        let mut small = build();
+        let mut v = alexander_ir::FxHashSet::default();
+        v.insert(Tuple::new(vec![Const::int(7)]));
+        assert_eq!(small.remove_all(&v), 1);
+        assert_eq!(small.len(), 99);
+        assert!(!small.contains_row(&[Const::int(7)]));
+
+        let mut big = build();
+        let mut v = alexander_ir::FxHashSet::default();
+        for i in 0..50i64 {
+            v.insert(Tuple::new(vec![Const::int(i)]));
+        }
+        assert_eq!(big.remove_all(&v), 50);
+        assert_eq!(big.len(), 50);
+        for i in 0..100i64 {
+            assert_eq!(big.contains_row(&[Const::int(i)]), i >= 50);
+        }
+    }
+
+    #[test]
     fn duplicate_heavy_stream_grows_nothing() {
         // Hammer the dedup path: many duplicates interleaved with few
         // distinct rows, with an index live so maintenance also dedups.
@@ -916,6 +1328,60 @@ mod tests {
         for k in 0..17 {
             assert_eq!(r.select(Mask::of_columns(&[0]), &[Const::int(k)]).len(), 1);
         }
+    }
+
+    #[test]
+    fn support_counts_ride_insert_and_removal() {
+        let mut r = Relation::new(2);
+        for i in 0..6 {
+            r.insert(Tuple::new(vec![Const::int(i % 2), Const::int(i)]));
+        }
+        // Fresh rows start unsupported; counts are settable and saturate.
+        assert!(r.supports().iter().all(|&s| s == 0));
+        let id = r.id_of(&[Const::int(1), Const::int(3)]).unwrap();
+        assert_eq!(r.add_support(id, 2), 2);
+        assert_eq!(r.sub_support(id, 1), 1);
+        assert_eq!(r.sub_support(id, 5), 0, "saturates at zero");
+        r.set_support(id, 7);
+        for i in 0..6u32 {
+            let rid = r.id_of(&[Const::int(i64::from(i % 2)), Const::int(i64::from(i))]);
+            r.set_support(rid.unwrap(), i + 1);
+        }
+        // Deletion re-densifies ids but survivors keep their counts.
+        let mut victims = alexander_ir::FxHashSet::default();
+        victims.insert(Tuple::new(vec![Const::int(0), Const::int(2)]));
+        victims.insert(Tuple::new(vec![Const::int(1), Const::int(5)]));
+        assert_eq!(r.remove_all(&victims), 2);
+        for i in [0u32, 1, 3, 4] {
+            let rid = r
+                .id_of(&[Const::int(i64::from(i % 2)), Const::int(i64::from(i))])
+                .unwrap();
+            assert_eq!(r.support(rid), i + 1, "row {i} kept its count");
+        }
+        // clear_rows drops the column with the rest of the arena.
+        r.clear_rows();
+        assert!(r.supports().is_empty());
+    }
+
+    #[test]
+    fn support_survives_arity_zero_removal() {
+        let mut r = Relation::new(0);
+        r.insert_row(&[]);
+        r.set_support(0, 3);
+        // A removal that misses keeps the row and its count.
+        let mut victims = alexander_ir::FxHashSet::default();
+        victims.insert(Tuple::new(vec![Const::int(9)]));
+        assert_eq!(r.remove_all(&victims), 0);
+        assert_eq!(r.support(0), 3);
+    }
+
+    #[test]
+    fn id_of_resolves_rows_and_misses_cleanly() {
+        let r = edges();
+        let id = r.id_of(tuple_of_syms(&["b", "c"]).values()).unwrap();
+        assert_eq!(r.row(id), tuple_of_syms(&["b", "c"]).values());
+        assert!(r.id_of(tuple_of_syms(&["z", "z"]).values()).is_none());
+        assert!(r.id_of(&[Const::sym("a")]).is_none(), "arity mismatch");
     }
 
     #[test]
